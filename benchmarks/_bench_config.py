@@ -1,0 +1,26 @@
+"""Shared configuration for the pytest-benchmark harness.
+
+By default the benchmarks run a *quick* preset (small benchmarks, multiplier
+degree 1) so that ``pytest benchmarks/ --benchmark-only`` finishes in a couple
+of minutes.  Set the environment variable ``REPRO_BENCH_FULL=1`` to reproduce
+the paper's full parameter set (this is what EXPERIMENTS.md reports; expect
+several minutes for the largest instances).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def benchmark_options(benchmark):
+    """The synthesis options to use for a suite benchmark in the current mode."""
+    if FULL_MODE:
+        return benchmark.options()
+    return benchmark.options(upsilon=1)

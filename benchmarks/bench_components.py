@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the substrate components (useful for performance tracking)."""
+
+from __future__ import annotations
+
+from repro.cfg.builder import build_cfg
+from repro.invariants.generation import generate_constraint_pairs
+from repro.invariants.template import TemplateSet
+from repro.lang.parser import parse_program
+from repro.polynomial.ordering import monomials_up_to_degree
+from repro.polynomial.parse import parse_polynomial
+from repro.semantics.interpreter import Interpreter
+from repro.semantics.scheduler import RandomScheduler
+from repro.spec.preconditions import Precondition, augment_entry_preconditions
+from repro.suite.registry import get_benchmark
+
+
+def test_polynomial_multiplication(benchmark):
+    p = parse_polynomial("(x + y + z + 1)^4")
+    q = parse_polynomial("(x - y + 2*z - 3)^3")
+    result = benchmark(lambda: p * q)
+    assert result.degree() == 7
+
+
+def test_polynomial_substitution(benchmark):
+    p = parse_polynomial("(x + y)^5")
+    result = benchmark(lambda: p.substitute({"x": parse_polynomial("y*y + 1")}))
+    assert result.degree() == 10
+
+
+def test_monomial_enumeration(benchmark):
+    variables = [f"v{i}" for i in range(8)]
+    result = benchmark(lambda: monomials_up_to_degree(variables, 3))
+    assert len(result) == 165
+
+
+def test_parse_and_build_cfg(benchmark):
+    source = get_benchmark("euclidex2").source
+
+    def frontend():
+        return build_cfg(parse_program(source))
+
+    cfg = benchmark(frontend)
+    assert cfg.variable_count() == 8
+
+
+def test_interpreter_throughput(benchmark):
+    cfg = get_benchmark("sqrt").cfg()
+    interpreter = Interpreter(cfg, scheduler=RandomScheduler(seed=0))
+
+    def run_batch():
+        return [interpreter.run({"n": n}).return_value for n in range(0, 40)]
+
+    values = benchmark(run_batch)
+    assert values[39] == 6
+
+
+def test_constraint_pair_generation(benchmark):
+    suite_benchmark = get_benchmark("sqrt")
+    cfg = suite_benchmark.cfg()
+    templates = TemplateSet.build(cfg, degree=2)
+    precondition = augment_entry_preconditions(
+        cfg, Precondition.from_spec(cfg, suite_benchmark.precondition)
+    )
+
+    pairs = benchmark(lambda: generate_constraint_pairs(cfg, precondition, templates))
+    assert len(pairs) == 10

@@ -1,0 +1,62 @@
+"""Table 2 benchmarks: the Step 1-3 reduction on the non-recursive suite.
+
+Each benchmark measures the wall-clock time of the full reduction (parsing,
+CFG construction, templates, constraint pairs, Putinar translation) and
+records the reproduced structural columns of Table 2 (|V|, number of
+constraint pairs, |S|) in the pytest-benchmark ``extra_info`` so that the
+report carries the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_config import FULL_MODE, benchmark_options
+from repro.invariants.synthesis import build_task
+from repro.suite.registry import benchmarks_by_category, get_benchmark
+
+QUICK_NAMES = [
+    "freire1",
+    "freire2",
+    "petter",
+    "sqrt",
+    "cohencu",
+    "mannadiv",
+    "prodbin",
+    "divbin",
+    "cohendiv",
+    "lcm2",
+]
+
+NAMES = (
+    [benchmark.name for benchmark in benchmarks_by_category("nonrecursive")]
+    if FULL_MODE
+    else QUICK_NAMES
+)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_table2_reduction(benchmark, name):
+    suite_benchmark = get_benchmark(name)
+    options = benchmark_options(suite_benchmark)
+
+    def reduce():
+        return build_task(
+            suite_benchmark.source,
+            suite_benchmark.precondition,
+            suite_benchmark.objective(),
+            options,
+        )
+
+    task = benchmark.pedantic(reduce, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["variables"] = task.cfg.variable_count()
+    benchmark.extra_info["constraint_pairs"] = len(task.pairs)
+    benchmark.extra_info["system_size"] = task.system.size
+    benchmark.extra_info["degree"] = options.degree
+    benchmark.extra_info["upsilon"] = options.upsilon
+    if suite_benchmark.paper is not None:
+        benchmark.extra_info["paper_system_size"] = suite_benchmark.paper.system_size
+        benchmark.extra_info["paper_runtime_seconds"] = suite_benchmark.paper.runtime_seconds
+    assert task.system.size > 0
+    if suite_benchmark.paper is not None and suite_benchmark.name != "merge-sort":
+        assert task.cfg.variable_count() == suite_benchmark.paper.variables

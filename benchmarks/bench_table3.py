@@ -1,0 +1,77 @@
+"""Table 3 benchmarks: the reduction on the recursive and reinforcement-learning suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_config import FULL_MODE, benchmark_options
+from repro.invariants.synthesis import build_task
+from repro.suite.registry import benchmarks_by_category, get_benchmark
+
+QUICK_NAMES = ["recursive-sum", "recursive-square-sum", "pw2", "oscillator"]
+
+NAMES = (
+    [
+        benchmark.name
+        for benchmark in benchmarks_by_category("reinforcement") + benchmarks_by_category("recursive")
+    ]
+    if FULL_MODE
+    else QUICK_NAMES
+)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_table3_reduction(benchmark, name):
+    suite_benchmark = get_benchmark(name)
+    options = benchmark_options(suite_benchmark)
+
+    def reduce():
+        return build_task(
+            suite_benchmark.source,
+            suite_benchmark.precondition,
+            suite_benchmark.objective(),
+            options,
+        )
+
+    task = benchmark.pedantic(reduce, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["variables"] = task.cfg.variable_count()
+    benchmark.extra_info["constraint_pairs"] = len(task.pairs)
+    benchmark.extra_info["system_size"] = task.system.size
+    if suite_benchmark.paper is not None:
+        benchmark.extra_info["paper_system_size"] = suite_benchmark.paper.system_size
+        benchmark.extra_info["paper_runtime_seconds"] = suite_benchmark.paper.runtime_seconds
+    assert task.system.size > 0
+    if suite_benchmark.category == "recursive":
+        assert task.templates.has_postconditions()
+
+
+def test_table3_running_example_solve(benchmark):
+    """End-to-end weak synthesis (Step 4 included) on the smallest end-to-end instance."""
+    from repro.invariants.synthesis import SynthesisOptions, weak_inv_synth
+    from repro.polynomial.parse import parse_polynomial
+    from repro.solvers.base import SolverOptions
+    from repro.solvers.qclp import PenaltyQCLPSolver
+    from repro.spec.objectives import TargetInvariantObjective
+
+    source = """
+    double(x) {
+        y := x + x;
+        return y
+    }
+    """
+    objective = TargetInvariantObjective(
+        function="double", label_index=3, target=parse_polynomial("ret_double - 2*x_init + 1")
+    )
+
+    def solve():
+        return weak_inv_synth(
+            source,
+            {"double": {1: "x >= 0"}},
+            objective,
+            SynthesisOptions(degree=1, upsilon=2),
+            PenaltyQCLPSolver(SolverOptions(restarts=1, max_iterations=250)),
+        )
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["status"] = result.solver_status
+    benchmark.extra_info["system_size"] = result.system_size

@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark harness (sys.path setup only)."""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example end to end.
+
+This script reproduces Example 1 / Example 9 of the paper: for the
+non-deterministic summation program of Figure 2 it
+
+1. parses the program and builds its CFG (the labels match Figure 3),
+2. runs Steps 1-3 (templates, constraint pairs, Putinar translation) with the
+   objective of proving ``ret_sum < 0.5*n^2 + 0.5*n + 1`` at the endpoint,
+3. prints the structural statistics (the paper's |V| and |S| columns), and
+4. independently validates the paper's reported invariant by simulation.
+
+The full Step-4 QCLP solve on this instance takes several minutes with the
+SciPy back-end, so by default the script stops after the reduction; pass
+``--solve`` to also attempt the solve.
+
+Run with::
+
+    python examples/quickstart.py [--solve]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    SynthesisOptions,
+    TargetInvariantObjective,
+    build_cfg,
+    build_task,
+    check_invariant,
+    parse_program,
+    weak_inv_synth,
+)
+from repro.invariants.result import Invariant
+from repro.polynomial import parse_polynomial
+from repro.solvers import PenaltyQCLPSolver
+from repro.solvers.base import SolverOptions
+from repro.spec import Precondition, parse_assertion
+from repro.suite.running_example import SUM_SOURCE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--solve", action="store_true", help="also run the Step-4 QCLP solver")
+    args = parser.parse_args()
+
+    print("=== Program (Figure 2) ===")
+    print(SUM_SOURCE.strip())
+
+    program = parse_program(SUM_SOURCE)
+    cfg = build_cfg(program)
+    function = cfg.function("sum")
+    print("\n=== CFG (Figure 3) ===")
+    for transition in function.transitions:
+        print(f"  {transition}")
+
+    target = parse_polynomial("0.5*n_init^2 + 0.5*n_init + 1 - ret_sum")
+    objective = TargetInvariantObjective(function="sum", label_index=9, target=target)
+    options = SynthesisOptions(degree=2, upsilon=2)
+
+    print("\n=== Steps 1-3: reduction to a quadratic system ===")
+    task = build_task(SUM_SOURCE, {"sum": {1: "n >= 1"}}, objective, options)
+    counts = task.system.counts()
+    print(f"  program variables |V| : {cfg.variable_count()}")
+    print(f"  constraint pairs      : {len(task.pairs)}")
+    print(f"  quadratic system |S|  : {task.system.size}")
+    print(f"  unknowns              : {counts['variables']} "
+          f"({counts['template_variables']} template coefficients)")
+    print(f"  reduction time        : {task.statistics['time_translation']:.2f}s")
+
+    print("\n=== Independent validation of the paper's invariant (Appendix B.1, label 9) ===")
+    precondition = Precondition.from_spec(cfg, {"sum": {1: "n >= 1"}})
+    assertions = {label: parse_assertion("true") for label in function.labels}
+    assertions[function.label_by_index(9)] = parse_assertion(
+        "1 + 0.5*n_init + 0.5*n_init^2 - ret_sum > 0"
+    )
+    report = check_invariant(
+        cfg,
+        precondition,
+        Invariant(assertions=assertions),
+        argument_sets=[{"n": n} for n in range(1, 15)],
+        pair_samples=0,
+    )
+    print(f"  {report.summary()}")
+
+    if args.solve:
+        print("\n=== Step 4: QCLP solve (this can take a while) ===")
+        solver = PenaltyQCLPSolver(SolverOptions(restarts=2, max_iterations=400, time_limit=600))
+        result = weak_inv_synth(SUM_SOURCE, task=task, solver=solver)
+        print(f"  solver status: {result.solver_status}")
+        if result.invariant is not None:
+            print("  synthesized invariant at label 9:")
+            print(f"    {result.invariant.at_index('sum', 9)}")
+    else:
+        print("\n(pass --solve to also run the Step-4 QCLP solver)")
+
+
+if __name__ == "__main__":
+    main()

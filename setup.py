@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment this reproduction targets ships setuptools without the
+``wheel`` package, so PEP 660 editable installs are unavailable.  Keeping this
+shim lets ``pip install -e .`` fall back to the legacy ``setup.py develop``
+code path, which works with a bare setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,117 @@
+"""repro — polynomial invariant generation for non-deterministic recursive programs.
+
+A faithful, pure-Python reproduction of
+
+    Chatterjee, Fu, Goharshady, Goharshady.
+    "Polynomial Invariant Generation for Non-deterministic Recursive Programs."
+    PLDI 2020.
+
+Quickstart
+----------
+>>> from repro import weak_inv_synth, SynthesisOptions, TargetInvariantObjective
+>>> from repro.polynomial import parse_polynomial
+>>> source = '''
+... sum(n) {
+...     i := 1; s := 0;
+...     while i <= n do
+...         if * then s := s + i else skip fi;
+...         i := i + 1
+...     od;
+...     return s
+... }
+... '''
+>>> objective = TargetInvariantObjective(
+...     function="sum", label_index=9,
+...     target=parse_polynomial("1 + 0.5*n_init + 0.5*n_init^2 - ret_sum"))
+>>> result = weak_inv_synth(source, {"sum": {1: "n >= 0"}}, objective,
+...                         SynthesisOptions(degree=2))            # doctest: +SKIP
+
+See ``examples/`` for complete runnable scenarios and ``DESIGN.md`` for the
+mapping between the paper's sections and the packages of this library.
+"""
+
+from repro.errors import (
+    InfeasibleError,
+    ParseError,
+    PolynomialError,
+    ReproError,
+    SemanticsError,
+    SolverError,
+    SpecificationError,
+    SynthesisError,
+    ValidationError,
+)
+from repro.cfg import build_cfg
+from repro.invariants import (
+    CheckReport,
+    Invariant,
+    QuadraticSystem,
+    SynthesisOptions,
+    SynthesisResult,
+    SynthesisTask,
+    TemplateSet,
+    build_task,
+    check_invariant,
+    generate_constraint_pairs,
+    rec_strong_inv_synth,
+    rec_weak_inv_synth,
+    strong_inv_synth,
+    weak_inv_synth,
+)
+from repro.lang import parse_program, pretty_print
+from repro.polynomial import Monomial, Polynomial, parse_polynomial
+from repro.semantics import Interpreter
+from repro.spec import (
+    ConjunctiveAssertion,
+    FeasibilityObjective,
+    Postcondition,
+    Precondition,
+    TargetInvariantObjective,
+    parse_assertion,
+)
+from repro.solvers import AlternatingSolver, PenaltyQCLPSolver, RepresentativeEnumerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlternatingSolver",
+    "CheckReport",
+    "ConjunctiveAssertion",
+    "FeasibilityObjective",
+    "InfeasibleError",
+    "Interpreter",
+    "Invariant",
+    "Monomial",
+    "ParseError",
+    "PenaltyQCLPSolver",
+    "Polynomial",
+    "PolynomialError",
+    "Postcondition",
+    "Precondition",
+    "QuadraticSystem",
+    "RepresentativeEnumerator",
+    "ReproError",
+    "SemanticsError",
+    "SolverError",
+    "SpecificationError",
+    "SynthesisError",
+    "SynthesisOptions",
+    "SynthesisResult",
+    "SynthesisTask",
+    "TargetInvariantObjective",
+    "TemplateSet",
+    "ValidationError",
+    "build_cfg",
+    "build_task",
+    "check_invariant",
+    "generate_constraint_pairs",
+    "parse_assertion",
+    "parse_polynomial",
+    "parse_program",
+    "pretty_print",
+    "rec_strong_inv_synth",
+    "rec_weak_inv_synth",
+    "strong_inv_synth",
+    "weak_inv_synth",
+    "__version__",
+]

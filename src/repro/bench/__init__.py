@@ -1,0 +1,25 @@
+"""Benchmark harness: regenerate the paper's Tables 1, 2 and 3.
+
+Use the command line entry point::
+
+    python -m repro.bench table2            # Table 2 (non-recursive)
+    python -m repro.bench table3            # Table 3 (recursive + RL)
+    python -m repro.bench table1            # Table 1 (literature summary)
+    python -m repro.bench ablation          # Putinar vs Handelman vs Farkas
+    python -m repro.bench all --quick       # everything, small parameter preset
+
+or the programmatic API in :mod:`repro.bench.runner` and
+:mod:`repro.bench.tables`.
+"""
+
+from repro.bench.runner import Measurement, measure_benchmark, measure_many
+from repro.bench.tables import render_measurements, render_table1, table_rows
+
+__all__ = [
+    "Measurement",
+    "measure_benchmark",
+    "measure_many",
+    "render_measurements",
+    "render_table1",
+    "table_rows",
+]

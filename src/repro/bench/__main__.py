@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m repro.bench <command>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.runner import Measurement, measure_many, quick_subset
+from repro.bench.tables import render_measurements, render_table1
+from repro.invariants.handelman import handelman_translate
+from repro.invariants.putinar import putinar_translate
+from repro.invariants.synthesis import build_task
+from repro.solvers.farkas import can_express_target, linear_baseline_system
+from repro.suite.registry import all_benchmarks, benchmarks_by_category, get_benchmark
+
+
+def _select(names: str | None, category: str) -> list:
+    benchmarks = benchmarks_by_category(category)
+    if names:
+        wanted = [name.strip() for name in names.split(",") if name.strip()]
+        benchmarks = [get_benchmark(name) for name in wanted]
+    return benchmarks
+
+
+def _run_table(category: str, title: str, args: argparse.Namespace) -> str:
+    benchmarks = _select(args.names, category)
+    if args.quick:
+        benchmarks = quick_subset(benchmarks)
+    measurements = measure_many(benchmarks, solve=args.solve, quick=args.quick, verbose=not args.no_progress)
+    return render_measurements(measurements, title)
+
+
+def _run_table3(args: argparse.Namespace) -> str:
+    benchmarks = []
+    if not args.names:
+        benchmarks = benchmarks_by_category("reinforcement") + benchmarks_by_category("recursive")
+    else:
+        benchmarks = [get_benchmark(name.strip()) for name in args.names.split(",") if name.strip()]
+    if args.quick:
+        benchmarks = quick_subset(benchmarks)
+    measurements = measure_many(benchmarks, solve=args.solve, quick=args.quick, verbose=not args.no_progress)
+    return render_measurements(measurements, "Table 3 - recursive and reinforcement-learning benchmarks")
+
+
+def _run_ablation(args: argparse.Namespace) -> str:
+    names = args.names or "freire1,sqrt,petter"
+    lines = ["## Ablation - translation scheme and linear baseline", ""]
+    lines.append("| Benchmark | |S| Putinar | |S| Handelman | |S| Farkas(d=1) | linear template can express target |")
+    lines.append("|---|---|---|---|---|")
+    for name in names.split(","):
+        benchmark = get_benchmark(name.strip())
+        options = benchmark.options(upsilon=1) if args.quick else benchmark.options()
+        task = build_task(benchmark.source, benchmark.precondition, benchmark.objective(), options)
+        putinar_size = task.system.size
+        handelman_size = handelman_translate(task.pairs).size
+        templates, farkas_system = linear_baseline_system(task.cfg, task.precondition)
+        target = benchmark.target_polynomial()
+        expressible = "-"
+        if target is not None and benchmark.target_label is not None and benchmark.target_kind == "label":
+            expressible = str(
+                can_express_target(templates, target, benchmark.target_function, benchmark.target_label)
+            )
+        lines.append(
+            f"| {benchmark.name} | {putinar_size} | {handelman_size} | {farkas_system.size} | {expressible} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables on this machine.",
+    )
+    parser.add_argument("command", choices=["table1", "table2", "table3", "ablation", "all"])
+    parser.add_argument("--names", help="comma-separated benchmark names to restrict to")
+    parser.add_argument("--quick", action="store_true", help="small parameter preset (Upsilon=1, small benchmarks)")
+    parser.add_argument("--solve", action="store_true", help="also run the Step-4 solver per benchmark")
+    parser.add_argument("--no-progress", action="store_true", help="suppress per-benchmark progress lines")
+    parser.add_argument("--output", help="write the rendered tables to this file as well")
+    args = parser.parse_args(argv)
+
+    sections: list[str] = []
+    if args.command in ("table1", "all"):
+        sections.append("## Table 1 - literature summary\n\n" + render_table1() + "\n")
+    if args.command in ("table2", "all"):
+        sections.append(_run_table("nonrecursive", "Table 2 - non-recursive benchmarks", args))
+    if args.command in ("table3", "all"):
+        sections.append(_run_table3(args))
+    if args.command in ("ablation", "all"):
+        sections.append(_run_ablation(args))
+
+    report = "\n".join(sections)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Measurement runner: execute the reduction (and optionally a solve) per benchmark."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.invariants.synthesis import SynthesisOptions, build_task, weak_inv_synth
+from repro.solvers.base import Solver, SolverOptions
+from repro.solvers.qclp import PenaltyQCLPSolver
+from repro.suite.base import Benchmark
+
+
+@dataclass
+class Measurement:
+    """One row of a reproduced table."""
+
+    name: str
+    category: str
+    conjuncts: int
+    degree: int
+    variables: int
+    constraint_pairs: int
+    system_size: int
+    unknowns: int
+    reduction_seconds: float
+    solve_seconds: float | None = None
+    solver_status: str | None = None
+    paper_system_size: int | None = None
+    paper_runtime_seconds: float | None = None
+    paper_variables: int | None = None
+    notes: str = ""
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Reduction plus solve time (the paper's runtime column spans both)."""
+        return self.reduction_seconds + (self.solve_seconds or 0.0)
+
+
+def measure_benchmark(
+    benchmark: Benchmark,
+    options: SynthesisOptions | None = None,
+    solve: bool = False,
+    solver: Solver | None = None,
+) -> Measurement:
+    """Run Steps 1-3 (and optionally Step 4) on one benchmark and record a row.
+
+    Parameters
+    ----------
+    benchmark:
+        The suite entry to measure.
+    options:
+        Synthesis options; defaults to the benchmark's own table parameters.
+    solve:
+        Whether to also run the Step-4 solver (adds its wall-clock time and
+        status to the row).  The reduction alone reproduces the structural
+        columns n, d, |V| and |S|.
+    solver:
+        Solver to use when ``solve`` is true (default: a short-budget
+        :class:`~repro.solvers.qclp.PenaltyQCLPSolver`).
+    """
+    options = options if options is not None else benchmark.options()
+
+    start = time.perf_counter()
+    task = build_task(benchmark.source, benchmark.precondition, benchmark.objective(), options)
+    reduction_seconds = time.perf_counter() - start
+
+    solve_seconds: float | None = None
+    solver_status: str | None = None
+    if solve:
+        solver = solver if solver is not None else PenaltyQCLPSolver(
+            SolverOptions(restarts=1, max_iterations=200, time_limit=60.0)
+        )
+        start = time.perf_counter()
+        result = weak_inv_synth(benchmark.source, task=task, solver=solver)
+        solve_seconds = time.perf_counter() - start
+        solver_status = result.solver_status
+
+    counts = task.system.counts()
+    return Measurement(
+        name=benchmark.name,
+        category=benchmark.category,
+        conjuncts=options.conjuncts,
+        degree=options.degree,
+        variables=task.cfg.variable_count(),
+        constraint_pairs=len(task.pairs),
+        system_size=task.system.size,
+        unknowns=counts["variables"],
+        reduction_seconds=reduction_seconds,
+        solve_seconds=solve_seconds,
+        solver_status=solver_status,
+        paper_system_size=benchmark.paper.system_size if benchmark.paper else None,
+        paper_runtime_seconds=benchmark.paper.runtime_seconds if benchmark.paper else None,
+        paper_variables=benchmark.paper.variables if benchmark.paper else None,
+        notes=benchmark.notes,
+        extra={
+            "template_variables": float(counts["template_variables"]),
+            "equalities": float(counts["equalities"]),
+            "inequalities": float(counts["inequalities"]),
+        },
+    )
+
+
+def measure_many(
+    benchmarks: Iterable[Benchmark],
+    solve: bool = False,
+    solver: Solver | None = None,
+    quick: bool = False,
+    verbose: bool = True,
+) -> list[Measurement]:
+    """Measure a collection of benchmarks, optionally with the quick parameter preset.
+
+    The quick preset lowers the multiplier degree (Upsilon) to 1, which keeps
+    every reduction under a few seconds; it is used by the default pytest
+    benchmark run so that CI stays fast.  The full preset (``quick=False``)
+    reproduces the paper's parameters.
+    """
+    measurements: list[Measurement] = []
+    for benchmark in benchmarks:
+        options = benchmark.options(upsilon=1) if quick else benchmark.options()
+        if verbose:
+            print(f"[bench] {benchmark.name} (d={options.degree}, n={options.conjuncts}, Y={options.upsilon}) ...")
+        measurement = measure_benchmark(benchmark, options=options, solve=solve, solver=solver)
+        if verbose:
+            print(
+                f"         |V|={measurement.variables} pairs={measurement.constraint_pairs} "
+                f"|S|={measurement.system_size} reduction={measurement.reduction_seconds:.2f}s"
+                + (f" solve={measurement.solve_seconds:.2f}s [{measurement.solver_status}]" if solve else "")
+            )
+        measurements.append(measurement)
+    return measurements
+
+
+def quick_subset(benchmarks: Sequence[Benchmark], limit_variables: int = 8) -> list[Benchmark]:
+    """The benchmarks whose variable count keeps the reduction cheap (used by default CI runs)."""
+    return [benchmark for benchmark in benchmarks if benchmark.variable_count() <= limit_variables]

@@ -1,0 +1,74 @@
+"""Rendering of reproduced tables (plain text / markdown)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.literature import LITERATURE_SUMMARY
+from repro.bench.runner import Measurement
+
+
+def _format_runtime(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 60:
+        minutes = int(seconds // 60)
+        return f"{minutes}m{seconds - 60 * minutes:.1f}s"
+    return f"{seconds:.2f}s"
+
+
+def table_rows(measurements: Sequence[Measurement]) -> list[dict[str, str]]:
+    """The reproduced rows in the paper's column layout plus paper-reported columns."""
+    rows = []
+    for measurement in measurements:
+        rows.append(
+            {
+                "Benchmark": measurement.name,
+                "n": str(measurement.conjuncts),
+                "d": str(measurement.degree),
+                "|V|": str(measurement.variables),
+                "|S|": str(measurement.system_size),
+                "Runtime": _format_runtime(measurement.total_seconds),
+                "|S| (paper)": str(measurement.paper_system_size) if measurement.paper_system_size else "-",
+                "Runtime (paper)": _format_runtime(measurement.paper_runtime_seconds),
+                "Solver": measurement.solver_status or "-",
+            }
+        )
+    return rows
+
+
+def render_rows(rows: Sequence[dict[str, str]], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as a markdown table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    widths = {column: max(len(column), *(len(row.get(column, "")) for row in rows)) for column in columns}
+    header = "| " + " | ".join(column.ljust(widths[column]) for column in columns) + " |"
+    separator = "|" + "|".join("-" * (widths[column] + 2) for column in columns) + "|"
+    lines = [header, separator]
+    for row in rows:
+        lines.append("| " + " | ".join(row.get(column, "").ljust(widths[column]) for column in columns) + " |")
+    return "\n".join(lines)
+
+
+def render_measurements(measurements: Sequence[Measurement], title: str = "") -> str:
+    """Render a full reproduced table with an optional title line."""
+    body = render_rows(table_rows(measurements))
+    return f"## {title}\n\n{body}\n" if title else body + "\n"
+
+
+def render_table1() -> str:
+    """Render the Table 1 literature summary (qualitative feature matrix)."""
+    columns = [
+        "Approach",
+        "Assignments",
+        "Invariants",
+        "Nondet",
+        "Rec",
+        "Prob",
+        "Sound",
+        "Complete",
+        "Weak",
+        "Strong",
+    ]
+    return render_rows(LITERATURE_SUMMARY, columns)

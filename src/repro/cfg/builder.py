@@ -1,0 +1,215 @@
+"""Construction of the control-flow graph from a parsed program.
+
+Labels are assigned in source (pre-order) order, one per statement plus one
+endpoint label per function, which reproduces the numbering the paper uses
+for the running example (Figure 2 / Figure 3).
+
+The paper's *Return Assumption* — every execution of a function ends with a
+return statement — is enforced by appending an implicit ``return 0`` to a
+function whose body does not end with a return.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cfg.graph import FunctionCFG, ProgramCFG
+from repro.cfg.labels import Label, LabelKind
+from repro.cfg.transition import CallSite, Transition, TransitionKind
+from repro.lang.ast_nodes import (
+    Assign,
+    CallAssign,
+    Function,
+    IfStatement,
+    NegatedPredicate,
+    NondetIf,
+    Program,
+    Return,
+    Skip,
+    Statement,
+    While,
+)
+from repro.lang.validate import frozen_parameter, return_variable
+from repro.polynomial.polynomial import Polynomial
+
+
+def _statement_kind(statement: Statement) -> LabelKind:
+    if isinstance(statement, (Assign, Skip, Return)):
+        return LabelKind.ASSIGN
+    if isinstance(statement, (IfStatement, While)):
+        return LabelKind.BRANCH
+    if isinstance(statement, CallAssign):
+        return LabelKind.CALL
+    if isinstance(statement, NondetIf):
+        return LabelKind.NONDET
+    raise TypeError(f"unknown statement node {statement!r}")
+
+
+class _FunctionBuilder:
+    def __init__(self, function: Function):
+        if function.body and isinstance(function.body[-1], Return):
+            body = function.body
+        else:
+            body = (*function.body, Return(expression=Polynomial.constant(0)))
+        self._function = function
+        self._body = body
+        self._labels: dict[int, Label] = {}
+        self._statements: dict[Label, Statement] = {}
+        self._transitions: list[Transition] = []
+        self._counter = 0
+        self._ordered_labels: list[Label] = []
+
+    # -- label assignment (pre-order) -----------------------------------------
+
+    def _new_label(self, kind: LabelKind) -> Label:
+        self._counter += 1
+        label = Label(function=self._function.name, index=self._counter, kind=kind)
+        self._ordered_labels.append(label)
+        return label
+
+    def _assign_labels(self, statements: Sequence[Statement]) -> None:
+        for statement in statements:
+            label = self._new_label(_statement_kind(statement))
+            self._labels[id(statement)] = label
+            self._statements[label] = statement
+            if isinstance(statement, (IfStatement, NondetIf)):
+                self._assign_labels(statement.then_branch)
+                self._assign_labels(statement.else_branch)
+            elif isinstance(statement, While):
+                self._assign_labels(statement.body)
+
+    # -- transition wiring -----------------------------------------------------
+
+    def _label_of(self, statement: Statement) -> Label:
+        return self._labels[id(statement)]
+
+    def _wire_block(self, statements: Sequence[Statement], successor: Label, exit_label: Label) -> None:
+        for position, statement in enumerate(statements):
+            if position + 1 < len(statements):
+                next_label = self._label_of(statements[position + 1])
+            else:
+                next_label = successor
+            self._wire_statement(statement, next_label, exit_label)
+
+    def _wire_statement(self, statement: Statement, successor: Label, exit_label: Label) -> None:
+        label = self._label_of(statement)
+        if isinstance(statement, Skip):
+            self._transitions.append(
+                Transition(source=label, target=successor, kind=TransitionKind.UPDATE, update={})
+            )
+        elif isinstance(statement, Assign):
+            self._transitions.append(
+                Transition(
+                    source=label,
+                    target=successor,
+                    kind=TransitionKind.UPDATE,
+                    update={statement.variable: statement.expression},
+                )
+            )
+        elif isinstance(statement, Return):
+            self._transitions.append(
+                Transition(
+                    source=label,
+                    target=exit_label,
+                    kind=TransitionKind.UPDATE,
+                    update={return_variable(self._function.name): statement.expression},
+                )
+            )
+        elif isinstance(statement, CallAssign):
+            self._transitions.append(
+                Transition(
+                    source=label,
+                    target=successor,
+                    kind=TransitionKind.CALL,
+                    call=CallSite(
+                        target=statement.target,
+                        callee=statement.callee,
+                        arguments=statement.arguments,
+                    ),
+                )
+            )
+        elif isinstance(statement, IfStatement):
+            then_entry = self._label_of(statement.then_branch[0])
+            else_entry = self._label_of(statement.else_branch[0])
+            self._transitions.append(
+                Transition(
+                    source=label,
+                    target=then_entry,
+                    kind=TransitionKind.GUARD,
+                    guard=statement.condition,
+                )
+            )
+            self._transitions.append(
+                Transition(
+                    source=label,
+                    target=else_entry,
+                    kind=TransitionKind.GUARD,
+                    guard=NegatedPredicate(operand=statement.condition),
+                )
+            )
+            self._wire_block(statement.then_branch, successor, exit_label)
+            self._wire_block(statement.else_branch, successor, exit_label)
+        elif isinstance(statement, NondetIf):
+            then_entry = self._label_of(statement.then_branch[0])
+            else_entry = self._label_of(statement.else_branch[0])
+            self._transitions.append(
+                Transition(source=label, target=then_entry, kind=TransitionKind.NONDET)
+            )
+            self._transitions.append(
+                Transition(source=label, target=else_entry, kind=TransitionKind.NONDET)
+            )
+            self._wire_block(statement.then_branch, successor, exit_label)
+            self._wire_block(statement.else_branch, successor, exit_label)
+        elif isinstance(statement, While):
+            body_entry = self._label_of(statement.body[0])
+            self._transitions.append(
+                Transition(
+                    source=label,
+                    target=body_entry,
+                    kind=TransitionKind.GUARD,
+                    guard=statement.condition,
+                )
+            )
+            self._transitions.append(
+                Transition(
+                    source=label,
+                    target=successor,
+                    kind=TransitionKind.GUARD,
+                    guard=NegatedPredicate(operand=statement.condition),
+                )
+            )
+            self._wire_block(statement.body, label, exit_label)
+        else:
+            raise TypeError(f"unknown statement node {statement!r}")
+
+    # -- assembly ---------------------------------------------------------------
+
+    def build(self) -> FunctionCFG:
+        self._assign_labels(self._body)
+        exit_label = self._new_label(LabelKind.END)
+        entry_label = self._label_of(self._body[0])
+        self._wire_block(self._body, exit_label, exit_label)
+
+        frozen = {parameter: frozen_parameter(parameter) for parameter in self._function.parameters}
+        names = set(self._function.local_variables())
+        names.add(return_variable(self._function.name))
+        names.update(frozen.values())
+
+        return FunctionCFG(
+            name=self._function.name,
+            parameters=self._function.parameters,
+            variables=tuple(sorted(names)),
+            return_variable=return_variable(self._function.name),
+            frozen_parameters=frozen,
+            entry=entry_label,
+            exit=exit_label,
+            labels=tuple(self._ordered_labels),
+            transitions=tuple(self._transitions),
+            statements=dict(self._statements),
+        )
+
+
+def build_cfg(program: Program) -> ProgramCFG:
+    """Build the :class:`~repro.cfg.graph.ProgramCFG` of a parsed program."""
+    functions = {function.name: _FunctionBuilder(function).build() for function in program.functions}
+    return ProgramCFG(program=program, functions=functions)

@@ -1,0 +1,51 @@
+"""Program labels and their taxonomy.
+
+The paper partitions the label set L into:
+
+* ``La`` — assignment, skip and return statements,
+* ``Lb`` — conditional branching (``if``) and while-loop guards,
+* ``Lc`` — function-call statements,
+* ``Ld`` — non-deterministic branching statements,
+* ``Le`` — function endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class LabelKind(str, Enum):
+    """The five label classes of Section 2.1."""
+
+    ASSIGN = "a"
+    BRANCH = "b"
+    CALL = "c"
+    NONDET = "d"
+    END = "e"
+
+
+@dataclass(frozen=True, order=True)
+class Label:
+    """A program label: a function name plus a 1-based index within it.
+
+    The index order follows the source order of statements, so for the
+    running example of Figure 2 the labels coincide with the paper's
+    numbering 1..9.
+    """
+
+    function: str
+    index: int
+    kind: LabelKind
+
+    def __str__(self) -> str:
+        return f"{self.function}:{self.index}{self.kind.value}"
+
+    def short(self) -> str:
+        """Just the numeric part, e.g. ``"3"`` — used in rendered tables."""
+        return str(self.index)
+
+    @property
+    def is_endpoint(self) -> bool:
+        """Whether this is the function's endpoint label (class ``Le``)."""
+        return self.kind is LabelKind.END

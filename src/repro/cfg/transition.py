@@ -1,0 +1,101 @@
+"""CFG transitions and their payloads.
+
+A transition ``(l, alpha, l')`` of the paper carries one of four payloads
+depending on the class of its source label:
+
+* an *update map* (assignment labels) — a finite map from variables to
+  polynomials over the function's variables; unmentioned variables keep their
+  value,
+* a *guard predicate* (branching labels),
+* a *call descriptor* (call labels, the paper's ``bottom`` payload),
+* the *star marker* (non-deterministic labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from repro.cfg.labels import Label
+from repro.errors import SemanticsError
+from repro.lang.ast_nodes import Predicate
+from repro.polynomial.polynomial import Polynomial
+
+
+class TransitionKind(str, Enum):
+    """Payload classes of CFG transitions."""
+
+    UPDATE = "update"
+    GUARD = "guard"
+    CALL = "call"
+    NONDET = "nondet"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """Descriptor of a function-call statement ``target := callee(arguments)``."""
+
+    target: str
+    callee: str
+    arguments: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.target} := {self.callee}({', '.join(self.arguments)})"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A single CFG edge with its payload."""
+
+    source: Label
+    target: Label
+    kind: TransitionKind
+    update: Mapping[str, Polynomial] | None = field(default=None)
+    guard: Predicate | None = field(default=None)
+    call: CallSite | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        expectations = {
+            TransitionKind.UPDATE: self.update is not None,
+            TransitionKind.GUARD: self.guard is not None,
+            TransitionKind.CALL: self.call is not None,
+            TransitionKind.NONDET: True,
+        }
+        if not expectations[self.kind]:
+            raise SemanticsError(
+                f"transition {self.source} -> {self.target} of kind {self.kind.value} "
+                "is missing its payload"
+            )
+
+    def apply_update(self, valuation: Mapping[str, object]) -> dict:
+        """Apply the update map to a concrete valuation (identity elsewhere)."""
+        if self.kind is not TransitionKind.UPDATE:
+            raise SemanticsError(f"transition {self} has no update map")
+        assert self.update is not None
+        updated = dict(valuation)
+        for variable, expression in self.update.items():
+            updated[variable] = expression.evaluate(valuation)
+        return updated
+
+    def compose(self, polynomial: Polynomial) -> Polynomial:
+        """The paper's ``g o alpha`` for update transitions: substitute the updates."""
+        if self.kind is not TransitionKind.UPDATE:
+            raise SemanticsError(f"transition {self} has no update map to compose with")
+        assert self.update is not None
+        return polynomial.substitute(dict(self.update))
+
+    def describe(self) -> str:
+        """Human-readable payload description (used in traces and debugging)."""
+        if self.kind is TransitionKind.UPDATE:
+            assert self.update is not None
+            parts = ", ".join(f"{var} <- {expr}" for var, expr in sorted(self.update.items()))
+            return f"[{parts}]" if parts else "[identity]"
+        if self.kind is TransitionKind.GUARD:
+            return f"guard({self.guard})"
+        if self.kind is TransitionKind.CALL:
+            return f"call({self.call})"
+        return "*"
+
+    def __str__(self) -> str:
+        return f"{self.source} --{self.describe()}--> {self.target}"

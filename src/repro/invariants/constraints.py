@@ -1,0 +1,101 @@
+"""Constraint pairs (Step 2): ``(g_1 >= 0 /\\ ... /\\ g_m >= 0)  ==>  g > 0``.
+
+A constraint pair keeps its assumptions and conclusion as polynomials whose
+coefficients may mention template unknowns (s-variables).  The
+``program_variables`` field records which variables are *program* variables —
+Step 3 ranges its monomials over exactly those, treating every other variable
+as an unknown coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.invariants.template import UNKNOWN_PREFIX
+from repro.polynomial.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class ConstraintPair:
+    """One constraint pair ``(Gamma, g)`` of the paper's Step 2."""
+
+    name: str
+    assumptions: tuple[Polynomial, ...]
+    conclusion: Polynomial
+    program_variables: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assumptions", tuple(self.assumptions))
+        object.__setattr__(self, "program_variables", tuple(self.program_variables))
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def assumption_count(self) -> int:
+        return len(self.assumptions)
+
+    def relevant_program_variables(self) -> tuple[str, ...]:
+        """Program variables that actually occur in the pair (the paper's set V).
+
+        Step 3 only enumerates monomials over these, which keeps the generated
+        quadratic system small when a transition touches few variables.
+        """
+        used: set[str] = set()
+        for polynomial in (*self.assumptions, self.conclusion):
+            used.update(polynomial.variables())
+        return tuple(name for name in self.program_variables if name in used)
+
+    def unknowns(self) -> frozenset[str]:
+        """Template unknowns (s-variables) mentioned by the pair."""
+        names: set[str] = set()
+        for polynomial in (*self.assumptions, self.conclusion):
+            names.update(v for v in polynomial.variables() if v.startswith(UNKNOWN_PREFIX))
+        return frozenset(names)
+
+    def max_degree(self) -> int:
+        """Maximum degree in the program variables across assumptions and conclusion."""
+        keep = set(self.program_variables)
+        degree = 0
+        for polynomial in (*self.assumptions, self.conclusion):
+            for monomial in polynomial.terms:
+                degree = max(degree, monomial.restrict(keep).degree())
+        return degree
+
+    # -- semantics ------------------------------------------------------------------
+
+    def holds_numerically(self, valuation: Mapping[str, float], tolerance: float = 1e-9) -> bool:
+        """Check the implication on one fully-numeric valuation.
+
+        The valuation must assign values to the program variables and to every
+        unknown mentioned by the pair.  Used by the dynamic checker and by
+        property-based tests; vacuously true when an assumption fails.
+
+        Because Step 2 relaxes strict template atoms to non-strict assumptions,
+        a point sitting exactly on the boundary of a strict invariant would be
+        reported as a spurious counterexample if the conclusion were required
+        to be strictly positive here; the conclusion is therefore only flagged
+        when it is *clearly* negative.
+        """
+        for assumption in self.assumptions:
+            if assumption.evaluate_float(valuation) < -tolerance:
+                return True
+        return self.conclusion.evaluate_float(valuation) >= -tolerance
+
+    def instantiate(self, assignment: Mapping[str, float | int]) -> "ConstraintPair":
+        """Substitute numeric values for the unknowns, keeping program variables symbolic."""
+        substitution = {
+            name: Polynomial.constant(value)
+            for name, value in assignment.items()
+            if name.startswith(UNKNOWN_PREFIX)
+        }
+        return ConstraintPair(
+            name=self.name,
+            assumptions=tuple(p.substitute(substitution) for p in self.assumptions),
+            conclusion=self.conclusion.substitute(substitution),
+            program_variables=self.program_variables,
+        )
+
+    def __str__(self) -> str:
+        assumptions = " /\\ ".join(f"({p} >= 0)" for p in self.assumptions) or "true"
+        return f"[{self.name}] {assumptions}  ==>  {self.conclusion} > 0"

@@ -1,0 +1,240 @@
+"""Step 2 / 2.a / 2.b: constraint-pair generation from the CFG.
+
+For every CFG transition this module produces the constraint pairs encoding
+*consecution*, plus *initiation* pairs at every function entry and, for
+recursive programs, the *post-condition consecution* pairs at return
+transitions and the abstraction pairs at call sites (rule (c') of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cfg.dnf import to_dnf
+from repro.cfg.graph import FunctionCFG, ProgramCFG
+from repro.cfg.labels import Label, LabelKind
+from repro.cfg.transition import Transition, TransitionKind
+from repro.errors import SynthesisError
+from repro.invariants.constraints import ConstraintPair
+from repro.invariants.template import TemplateSet
+from repro.polynomial.polynomial import Polynomial
+from repro.spec.assertions import ConjunctiveAssertion
+from repro.spec.preconditions import Precondition
+
+
+def _assertion_polynomials(assertion: ConjunctiveAssertion) -> list[Polynomial]:
+    """The atoms of an assertion as ``>= 0`` polynomials (strictness relaxed)."""
+    return [atom.relaxed().polynomial for atom in assertion]
+
+
+def _call_return_variable(call_target: str, label: Label) -> str:
+    """The fresh ``v0*`` variable modelling the value returned by a call."""
+    return f"{call_target}__ret{label.index}"
+
+
+class _PairBuilder:
+    """Accumulates the constraint pairs of one synthesis task."""
+
+    def __init__(self, cfg: ProgramCFG, precondition: Precondition, templates: TemplateSet):
+        self._cfg = cfg
+        self._precondition = precondition
+        self._templates = templates
+        self._pairs: list[ConstraintPair] = []
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _pre(self, label: Label) -> list[Polynomial]:
+        return _assertion_polynomials(self._precondition.at(label))
+
+    def _template_polys(self, label: Label) -> list[Polynomial]:
+        return self._templates.at(label).polynomials()
+
+    def _emit(
+        self,
+        name: str,
+        assumptions: Iterable[Polynomial],
+        conclusions: Iterable[Polynomial],
+        program_variables: tuple[str, ...],
+    ) -> None:
+        assumption_tuple = tuple(p for p in assumptions if not p.is_zero())
+        for index, conclusion in enumerate(conclusions):
+            self._pairs.append(
+                ConstraintPair(
+                    name=f"{name}#{index}",
+                    assumptions=assumption_tuple,
+                    conclusion=conclusion,
+                    program_variables=program_variables,
+                )
+            )
+
+    # -- initiation ------------------------------------------------------------------
+
+    def _initiation(self, function_cfg: FunctionCFG) -> None:
+        entry = function_cfg.entry
+        self._emit(
+            name=f"init:{function_cfg.name}",
+            assumptions=self._pre(entry),
+            conclusions=self._template_polys(entry),
+            program_variables=function_cfg.variables,
+        )
+
+    # -- consecution per transition kind ------------------------------------------------
+
+    def _assignment_pair(self, function_cfg: FunctionCFG, transition: Transition) -> None:
+        assert transition.update is not None
+        update = dict(transition.update)
+        source, target = transition.source, transition.target
+        assumptions = [
+            *self._pre(source),
+            *self._template_polys(source),
+            *(p.substitute(update) for p in self._pre(target)),
+        ]
+        conclusions = [g.substitute(update) for g in self._template_polys(target)]
+        self._emit(
+            name=f"step:{source}->{target}",
+            assumptions=assumptions,
+            conclusions=conclusions,
+            program_variables=function_cfg.variables,
+        )
+        # Step 2.b: post-condition consecution at return transitions.
+        if target.is_endpoint and self._templates.has_postconditions():
+            post_entry = self._templates.post_entry_for(function_cfg.name)
+            post_conclusions = [g.substitute(update) for g in post_entry.polynomials()]
+            self._emit(
+                name=f"post:{source}->{target}",
+                assumptions=assumptions,
+                conclusions=post_conclusions,
+                program_variables=function_cfg.variables,
+            )
+
+    def _guard_pair(self, function_cfg: FunctionCFG, transition: Transition) -> None:
+        assert transition.guard is not None
+        source, target = transition.source, transition.target
+        base_assumptions = [
+            *self._pre(source),
+            *self._template_polys(source),
+            *self._pre(target),
+        ]
+        conclusions = self._template_polys(target)
+        clauses = to_dnf(transition.guard)
+        for clause_index, clause in enumerate(clauses):
+            clause_polys = [atom.relaxed().polynomial for atom in clause]
+            self._emit(
+                name=f"guard:{source}->{target}@{clause_index}",
+                assumptions=[*base_assumptions, *clause_polys],
+                conclusions=conclusions,
+                program_variables=function_cfg.variables,
+            )
+
+    def _nondet_pair(self, function_cfg: FunctionCFG, transition: Transition) -> None:
+        source, target = transition.source, transition.target
+        self._emit(
+            name=f"nondet:{source}->{target}",
+            assumptions=[
+                *self._pre(source),
+                *self._template_polys(source),
+                *self._pre(target),
+            ],
+            conclusions=self._template_polys(target),
+            program_variables=function_cfg.variables,
+        )
+
+    def _call_pair(self, function_cfg: FunctionCFG, transition: Transition) -> None:
+        assert transition.call is not None
+        if not self._templates.has_postconditions():
+            raise SynthesisError(
+                "the program contains call statements but the template set has no "
+                "post-condition templates; build the templates with with_postconditions=True"
+            )
+        call = transition.call
+        source, target = transition.source, transition.target
+        callee_cfg = self._cfg.function(call.callee)
+        post_entry = self._templates.post_entry_for(call.callee)
+
+        fresh = _call_return_variable(call.target, source)
+        parameter_to_argument = {
+            parameter: Polynomial.variable(argument)
+            for parameter, argument in zip(callee_cfg.parameters, call.arguments)
+        }
+        frozen_to_argument = {
+            callee_cfg.frozen_parameters[parameter]: Polynomial.variable(argument)
+            for parameter, argument in zip(callee_cfg.parameters, call.arguments)
+        }
+
+        # Pre(l^{f'}_in)[v'_i <- v_i, v'_i_init <- v_i], keeping only atoms that talk
+        # about the callee's parameters / frozen parameters (other atoms constrain the
+        # callee's local variables and do not restrict the caller's state).
+        callee_vocabulary = set(callee_cfg.parameters) | set(callee_cfg.frozen_parameters.values())
+        callee_entry_assumptions = []
+        for atom in self._precondition.at(callee_cfg.entry):
+            if atom.polynomial.variables() <= callee_vocabulary:
+                substituted = atom.relaxed().polynomial.substitute(
+                    {**parameter_to_argument, **frozen_to_argument}
+                )
+                callee_entry_assumptions.append(substituted)
+
+        # mu(f')[ret_{f'} <- v0*, v'_i_init <- v_i]
+        post_substitution = {callee_cfg.return_variable: Polynomial.variable(fresh), **frozen_to_argument}
+        abstracted_post = [g.substitute(post_substitution) for g in post_entry.polynomials()]
+
+        # Pre(l')[v0 <- v0*] and the conclusions eta(l')[v0 <- v0*].
+        result_substitution = {call.target: Polynomial.variable(fresh)}
+        target_pre = [p.substitute(result_substitution) for p in self._pre(target)]
+        conclusions = [g.substitute(result_substitution) for g in self._template_polys(target)]
+
+        assumptions = [
+            *self._pre(source),
+            *self._template_polys(source),
+            *callee_entry_assumptions,
+            *abstracted_post,
+            *target_pre,
+        ]
+        self._emit(
+            name=f"call:{source}->{target}",
+            assumptions=assumptions,
+            conclusions=conclusions,
+            program_variables=(*function_cfg.variables, fresh),
+        )
+
+    # -- driver ------------------------------------------------------------------------
+
+    def build(self) -> list[ConstraintPair]:
+        for function_cfg in self._cfg:
+            self._initiation(function_cfg)
+            for transition in function_cfg.transitions:
+                if transition.kind is TransitionKind.UPDATE:
+                    self._assignment_pair(function_cfg, transition)
+                elif transition.kind is TransitionKind.GUARD:
+                    self._guard_pair(function_cfg, transition)
+                elif transition.kind is TransitionKind.NONDET:
+                    self._nondet_pair(function_cfg, transition)
+                elif transition.kind is TransitionKind.CALL:
+                    self._call_pair(function_cfg, transition)
+                else:  # pragma: no cover - exhaustive over TransitionKind
+                    raise SynthesisError(f"unsupported transition kind {transition.kind!r}")
+        return self._pairs
+
+
+def generate_constraint_pairs(
+    cfg: ProgramCFG, precondition: Precondition, templates: TemplateSet
+) -> list[ConstraintPair]:
+    """Generate every constraint pair of Steps 2, 2.a and 2.b.
+
+    The initiation pairs of every function come first, followed by the
+    consecution pairs in CFG transition order; pair names encode their origin
+    (``init:``, ``step:``, ``guard:``, ``nondet:``, ``call:``, ``post:``).
+    """
+    return _PairBuilder(cfg, precondition, templates).build()
+
+
+def constraint_pair_statistics(pairs: list[ConstraintPair]) -> dict[str, int]:
+    """Simple statistics used by the benchmark harness and the docs."""
+    by_kind: dict[str, int] = {}
+    for pair in pairs:
+        kind = pair.name.split(":", 1)[0]
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    return {
+        "total": len(pairs),
+        "max_assumptions": max((pair.assumption_count for pair in pairs), default=0),
+        **{f"kind_{kind}": count for kind, count in sorted(by_kind.items())},
+    }

@@ -1,0 +1,99 @@
+"""Alternative Step 3 translation via Handelman/Schweighofer products (Remark 2).
+
+Schweighofer's theorem (Theorem 3.3 of the paper) certifies positivity of
+``g`` over ``{C_1 >= 0, ..., C_p >= 0, g_{p+1} >= 0, ...}`` using non-negative
+combinations of *products* of the constraints::
+
+    g = lambda_0 + sum_I lambda_I * S^I,      lambda_0 > 0, lambda_I >= 0
+
+where each ``S^I`` is a product of assumption polynomials.  Compared to the
+Putinar encoding this avoids Gram matrices entirely — the unknowns are the
+scalar ``lambda`` multipliers — at the cost of completeness only over
+polytopes (plus bounded product degree).
+
+To keep the generated system quadratic in the unknowns we only form products
+that contain **at most one** assumption with template (s-variable)
+coefficients: a product of two template polynomials would make the
+coefficient equations cubic.  This restriction is sound (it merely shrinks
+the certificate search space) and is the variant used by the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import Sequence
+
+from repro.invariants.constraints import ConstraintPair
+from repro.invariants.quadratic_system import QuadraticSystem
+from repro.invariants.template import UNKNOWN_PREFIX
+from repro.polynomial.polynomial import Polynomial
+
+
+def _has_unknowns(polynomial: Polynomial) -> bool:
+    return any(name.startswith(UNKNOWN_PREFIX) for name in polynomial.variables())
+
+
+def _products(
+    assumptions: Sequence[Polynomial], max_factors: int
+) -> list[tuple[str, Polynomial]]:
+    """All admissible products ``S^I`` of at most ``max_factors`` assumptions.
+
+    The empty product (the constant 1) is always included; products containing
+    more than one unknown-bearing factor are skipped to keep the final system
+    quadratic.
+    """
+    products: list[tuple[str, Polynomial]] = [("1", Polynomial.one())]
+    for count in range(1, max_factors + 1):
+        for combination in combinations_with_replacement(range(len(assumptions)), count):
+            factors = [assumptions[i] for i in combination]
+            if sum(1 for f in factors if _has_unknowns(f)) > 1:
+                continue
+            product = Polynomial.one()
+            for factor in factors:
+                product = product * factor
+            label = "*".join(f"g{i}" for i in combination)
+            products.append((label, product))
+    return products
+
+
+def translate_pair_handelman(
+    pair: ConstraintPair,
+    pair_index: int,
+    system: QuadraticSystem,
+    max_factors: int = 2,
+    with_witness: bool = True,
+) -> None:
+    """Translate one constraint pair with the Handelman/Schweighofer scheme."""
+    tag = f"c{pair_index}"
+    variables = pair.relevant_program_variables()
+
+    rhs = Polynomial.zero()
+    if with_witness:
+        witness = Polynomial.variable(f"{UNKNOWN_PREFIX}eps_{tag}")
+        system.add_positive(witness, origin=f"{pair.name}:witness")
+        rhs = rhs + witness
+
+    for product_index, (label, product) in enumerate(_products(pair.assumptions, max_factors)):
+        multiplier = Polynomial.variable(f"{UNKNOWN_PREFIX}t_{tag}_{product_index}_0")
+        system.add_nonnegative(multiplier, origin=f"{pair.name}:lambda[{label}]")
+        rhs = rhs + multiplier * product
+
+    difference = pair.conclusion - rhs
+    for monomial, coefficient in difference.collect(variables).items():
+        system.add_equality(coefficient, origin=f"{pair.name}:coeff[{monomial}]")
+
+
+def handelman_translate(
+    pairs: Sequence[ConstraintPair],
+    max_factors: int = 2,
+    with_witness: bool = True,
+    objective: Polynomial | None = None,
+) -> QuadraticSystem:
+    """Translate constraint pairs into a quadratic system with scalar multipliers."""
+    system = QuadraticSystem()
+    if objective is not None:
+        system.objective = objective
+    for index, pair in enumerate(pairs):
+        translate_pair_handelman(pair, index, system, max_factors=max_factors, with_witness=with_witness)
+    return system

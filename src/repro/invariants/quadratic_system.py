@@ -1,0 +1,288 @@
+"""The system of quadratic constraints produced by Step 3.
+
+Every constraint is a polynomial over *unknowns only* (s-, t-, l- and
+eps-variables) of total degree at most 2, together with a relation:
+equality, non-strict or strict inequality with zero.  The system is the
+common input format of every Step-4 solver, and its size is the paper's
+``|S|`` column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SynthesisError
+from repro.invariants.template import UNKNOWN_PREFIX
+from repro.polynomial.polynomial import Polynomial
+
+
+class ConstraintKind(str, Enum):
+    """Relation between the constraint polynomial and zero."""
+
+    EQUALITY = "eq"          # p == 0
+    NONNEGATIVE = "ge"       # p >= 0
+    POSITIVE = "gt"          # p > 0
+
+
+class VariableRole(str, Enum):
+    """Where an unknown comes from (used for reporting and warm starts)."""
+
+    TEMPLATE = "s"       # template coefficients
+    MULTIPLIER = "t"     # coefficients of the h_i multiplier polynomials
+    CHOLESKY = "l"       # entries of the lower-triangular Cholesky factors
+    WITNESS = "eps"      # positivity witnesses
+    OTHER = "other"
+
+
+def classify_unknown(name: str) -> VariableRole:
+    """Classify an unknown by its name prefix (``$s_``, ``$t_``, ``$l_``, ``$eps_``)."""
+    if not name.startswith(UNKNOWN_PREFIX):
+        return VariableRole.OTHER
+    body = name[len(UNKNOWN_PREFIX):]
+    if body.startswith("s_"):
+        return VariableRole.TEMPLATE
+    if body.startswith("t_"):
+        return VariableRole.MULTIPLIER
+    if body.startswith("l_"):
+        return VariableRole.CHOLESKY
+    if body.startswith("eps_"):
+        return VariableRole.WITNESS
+    return VariableRole.OTHER
+
+
+@dataclass(frozen=True)
+class QuadraticConstraint:
+    """A single constraint ``polynomial (kind) 0``."""
+
+    polynomial: Polynomial
+    kind: ConstraintKind
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if self.polynomial.degree() > 2:
+            raise SynthesisError(
+                f"constraint from {self.origin!r} has degree {self.polynomial.degree()} > 2; "
+                "Step 3 must only produce quadratic constraints"
+            )
+
+    def violation(self, assignment: Mapping[str, float]) -> float:
+        """How badly the constraint is violated at a numeric assignment (0 when satisfied)."""
+        value = self.polynomial.evaluate_float(assignment)
+        if self.kind is ConstraintKind.EQUALITY:
+            return abs(value)
+        if self.kind is ConstraintKind.NONNEGATIVE:
+            return max(0.0, -value)
+        return max(0.0, -value + 1e-12)
+
+    def satisfied(self, assignment: Mapping[str, float], tolerance: float = 1e-6) -> bool:
+        """Whether the constraint holds at the assignment up to ``tolerance``."""
+        value = self.polynomial.evaluate_float(assignment)
+        if self.kind is ConstraintKind.EQUALITY:
+            return abs(value) <= tolerance
+        if self.kind is ConstraintKind.NONNEGATIVE:
+            return value >= -tolerance
+        return value > -tolerance
+
+    def __str__(self) -> str:
+        relation = {"eq": "=", "ge": ">=", "gt": ">"}[self.kind.value]
+        return f"{self.polynomial} {relation} 0"
+
+
+@dataclass
+class QuadraticSystem:
+    """An ordered collection of quadratic constraints over the unknowns."""
+
+    constraints: list[QuadraticConstraint] = field(default_factory=list)
+    objective: Polynomial = field(default_factory=Polynomial.zero)
+
+    # -- construction ----------------------------------------------------------------
+
+    def add(self, constraint: QuadraticConstraint) -> None:
+        self.constraints.append(constraint)
+
+    def add_equality(self, polynomial: Polynomial, origin: str = "") -> None:
+        """Add ``polynomial == 0`` (skipping constraints that are identically zero)."""
+        if polynomial.is_zero():
+            return
+        if polynomial.is_constant():
+            if polynomial.constant_value() != 0:
+                raise SynthesisError(f"inconsistent constant equality from {origin!r}: {polynomial} = 0")
+            return
+        self.add(QuadraticConstraint(polynomial=polynomial, kind=ConstraintKind.EQUALITY, origin=origin))
+
+    def add_nonnegative(self, polynomial: Polynomial, origin: str = "") -> None:
+        """Add ``polynomial >= 0``."""
+        self.add(QuadraticConstraint(polynomial=polynomial, kind=ConstraintKind.NONNEGATIVE, origin=origin))
+
+    def add_positive(self, polynomial: Polynomial, origin: str = "") -> None:
+        """Add ``polynomial > 0``."""
+        self.add(QuadraticConstraint(polynomial=polynomial, kind=ConstraintKind.POSITIVE, origin=origin))
+
+    def extend(self, constraints: Iterable[QuadraticConstraint]) -> None:
+        for constraint in constraints:
+            self.add(constraint)
+
+    def merge(self, other: "QuadraticSystem") -> None:
+        """Append all constraints of ``other`` to this system."""
+        self.constraints.extend(other.constraints)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self) -> Iterator[QuadraticConstraint]:
+        return iter(self.constraints)
+
+    @property
+    def size(self) -> int:
+        """The paper's ``|S|``: number of quadratic (in)equalities in the system."""
+        return len(self.constraints)
+
+    def variables(self) -> list[str]:
+        """All unknowns, sorted (template variables first, then by name)."""
+        names: set[str] = set()
+        for constraint in self.constraints:
+            names.update(constraint.polynomial.variables())
+        names.update(self.objective.variables())
+        return sorted(names, key=lambda name: (classify_unknown(name).value, name))
+
+    def variables_by_role(self) -> dict[VariableRole, list[str]]:
+        """Unknowns grouped by their role."""
+        grouped: dict[VariableRole, list[str]] = {role: [] for role in VariableRole}
+        for name in self.variables():
+            grouped[classify_unknown(name)].append(name)
+        return grouped
+
+    def counts(self) -> dict[str, int]:
+        """Summary counts used by the benchmark tables."""
+        kinds = {kind: 0 for kind in ConstraintKind}
+        for constraint in self.constraints:
+            kinds[constraint.kind] += 1
+        roles = {role: len(names) for role, names in self.variables_by_role().items()}
+        return {
+            "constraints": len(self.constraints),
+            "equalities": kinds[ConstraintKind.EQUALITY],
+            "inequalities": kinds[ConstraintKind.NONNEGATIVE] + kinds[ConstraintKind.POSITIVE],
+            "variables": sum(roles.values()),
+            "template_variables": roles[VariableRole.TEMPLATE],
+            "multiplier_variables": roles[VariableRole.MULTIPLIER],
+            "cholesky_variables": roles[VariableRole.CHOLESKY],
+            "witness_variables": roles[VariableRole.WITNESS],
+        }
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def max_violation(self, assignment: Mapping[str, float]) -> float:
+        """The worst constraint violation at an assignment (0 when feasible)."""
+        return max((c.violation(assignment) for c in self.constraints), default=0.0)
+
+    def satisfied(self, assignment: Mapping[str, float], tolerance: float = 1e-6) -> bool:
+        """Whether every constraint holds at the assignment up to ``tolerance``."""
+        return all(constraint.satisfied(assignment, tolerance) for constraint in self.constraints)
+
+    def violated_constraints(
+        self, assignment: Mapping[str, float], tolerance: float = 1e-6
+    ) -> list[QuadraticConstraint]:
+        """The constraints violated at an assignment (for diagnostics)."""
+        return [c for c in self.constraints if not c.satisfied(assignment, tolerance)]
+
+    # -- numeric compilation ---------------------------------------------------------------
+
+    def compile(self, variable_order: Sequence[str] | None = None) -> "CompiledSystem":
+        """Compile the system into numpy-friendly form for the numeric solvers."""
+        order = list(variable_order) if variable_order is not None else self.variables()
+        return CompiledSystem.from_system(self, order)
+
+
+@dataclass(frozen=True)
+class CompiledConstraint:
+    """A constraint compiled to ``x^T Q x + c^T x + b (kind) 0`` in index space."""
+
+    kind: ConstraintKind
+    quadratic: tuple[tuple[int, int, float], ...]
+    linear: tuple[tuple[int, float], ...]
+    constant: float
+    origin: str = ""
+
+    def value(self, point: np.ndarray) -> float:
+        total = self.constant
+        for index, coefficient in self.linear:
+            total += coefficient * point[index]
+        for row, col, coefficient in self.quadratic:
+            total += coefficient * point[row] * point[col]
+        return total
+
+    def gradient(self, point: np.ndarray) -> np.ndarray:
+        gradient = np.zeros(point.shape[0])
+        for index, coefficient in self.linear:
+            gradient[index] += coefficient
+        for row, col, coefficient in self.quadratic:
+            gradient[row] += coefficient * point[col]
+            gradient[col] += coefficient * point[row]
+        return gradient
+
+
+@dataclass(frozen=True)
+class CompiledSystem:
+    """A :class:`QuadraticSystem` with variables mapped to vector indices."""
+
+    variables: tuple[str, ...]
+    constraints: tuple[CompiledConstraint, ...]
+    objective: CompiledConstraint
+
+    @staticmethod
+    def from_system(system: QuadraticSystem, order: Sequence[str]) -> "CompiledSystem":
+        index = {name: position for position, name in enumerate(order)}
+
+        def compile_polynomial(polynomial: Polynomial, kind: ConstraintKind, origin: str) -> CompiledConstraint:
+            quadratic: list[tuple[int, int, float]] = []
+            linear: list[tuple[int, float]] = []
+            constant = 0.0
+            for monomial, coefficient in polynomial.terms.items():
+                value = float(coefficient)
+                names = list(monomial.powers.items())
+                degree = monomial.degree()
+                if degree == 0:
+                    constant += value
+                elif degree == 1:
+                    variable = names[0][0]
+                    linear.append((index[variable], value))
+                elif degree == 2:
+                    if len(names) == 1:
+                        variable = names[0][0]
+                        quadratic.append((index[variable], index[variable], value))
+                    else:
+                        quadratic.append((index[names[0][0]], index[names[1][0]], value))
+                else:  # pragma: no cover - guarded by QuadraticConstraint
+                    raise SynthesisError(f"constraint of degree {degree} cannot be compiled")
+            return CompiledConstraint(
+                kind=kind,
+                quadratic=tuple(quadratic),
+                linear=tuple(linear),
+                constant=constant,
+                origin=origin,
+            )
+
+        compiled = tuple(
+            compile_polynomial(constraint.polynomial, constraint.kind, constraint.origin)
+            for constraint in system.constraints
+        )
+        objective = compile_polynomial(system.objective, ConstraintKind.EQUALITY, "objective")
+        return CompiledSystem(variables=tuple(order), constraints=compiled, objective=objective)
+
+    @property
+    def dimension(self) -> int:
+        return len(self.variables)
+
+    def assignment_from_vector(self, point: np.ndarray) -> dict[str, float]:
+        """Convert a solution vector back to a name-to-value assignment."""
+        return {name: float(value) for name, value in zip(self.variables, point)}
+
+    def vector_from_assignment(self, assignment: Mapping[str, float]) -> np.ndarray:
+        """Convert an assignment into a vector in this system's variable order."""
+        return np.array([float(assignment.get(name, 0.0)) for name in self.variables])

@@ -1,0 +1,311 @@
+"""The four top-level algorithms of the paper.
+
+* :func:`weak_inv_synth` — ``WeakInvSynth`` (Section 3.4): reduce to a QCLP
+  and return the invariant optimising the objective.
+* :func:`strong_inv_synth` — ``StrongInvSynth`` (Section 3.3): return a
+  representative set of invariants.
+* :func:`rec_weak_inv_synth` / :func:`rec_strong_inv_synth` — the recursive
+  variants (Section 4).  The pipeline detects recursion automatically, so
+  these are thin aliases kept for fidelity with the paper's algorithm names.
+
+Every function accepts either program source text or a parsed
+:class:`~repro.lang.ast_nodes.Program`, and pre-conditions either as a
+:class:`~repro.spec.preconditions.Precondition` or as the nested-dict textual
+form accepted by :meth:`Precondition.from_spec`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import ProgramCFG
+from repro.errors import SynthesisError
+from repro.invariants.generation import generate_constraint_pairs
+from repro.invariants.handelman import handelman_translate
+from repro.invariants.constraints import ConstraintPair
+from repro.invariants.putinar import putinar_translate
+from repro.invariants.quadratic_system import QuadraticSystem
+from repro.invariants.result import Invariant, SynthesisResult
+from repro.invariants.template import TemplateSet
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+from repro.polynomial.polynomial import Polynomial
+from repro.spec.bounded import apply_bounded_reals_model
+from repro.spec.objectives import FeasibilityObjective, Objective
+from repro.spec.preconditions import Precondition, augment_entry_preconditions
+from repro.solvers.base import Solver, SolverResult
+from repro.solvers.qclp import PenaltyQCLPSolver
+from repro.solvers.strong import RepresentativeEnumerator
+
+ProgramLike = Union[str, Program]
+PreconditionLike = Union[None, Precondition, Mapping[str, Mapping[int, str]]]
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Parameters of the synthesis pipeline (the paper's d, n and Upsilon plus knobs).
+
+    Attributes
+    ----------
+    degree:
+        Degree ``d`` of the invariant templates.
+    conjuncts:
+        Number ``n`` of atomic assertions per label.
+    upsilon:
+        The technical parameter: degree bound of the SOS multipliers.
+    translation:
+        ``"putinar"`` (the paper's main encoding) or ``"handelman"``
+        (the Remark-2 alternative without Gram matrices).
+    add_entry_assumptions:
+        Add the implicit entry-label assumptions of Section 2.3.
+    bounded:
+        Apply the bounded-reals model (adds the compactness ball constraint of
+        Remark 5 to every label's pre-condition).  Compactness is only needed
+        for the *semi-completeness* guarantee; soundness holds without it and
+        the numeric solvers behave better on the un-balled systems, so the
+        default is off.
+    bound:
+        The bound ``c`` of the bounded-reals model.
+    with_witness:
+        Include strict positivity witnesses (set to ``False`` for the
+        non-strict variant of Remark 6).
+    encode_sos:
+        Encode SOS-ness of the multipliers through Cholesky factors.
+    """
+
+    degree: int = 2
+    conjuncts: int = 1
+    upsilon: int = 2
+    translation: str = "putinar"
+    add_entry_assumptions: bool = True
+    bounded: bool = False
+    bound: int = 100
+    with_witness: bool = True
+    encode_sos: bool = True
+
+    def __post_init__(self) -> None:
+        if self.translation not in ("putinar", "handelman"):
+            raise SynthesisError(f"unknown translation {self.translation!r}")
+
+
+@dataclass
+class SynthesisTask:
+    """Everything Step 1-3 produced, before any solver runs."""
+
+    program: Program
+    cfg: ProgramCFG
+    precondition: Precondition
+    templates: TemplateSet
+    pairs: list[ConstraintPair]
+    system: QuadraticSystem
+    options: SynthesisOptions
+    objective: Objective
+    statistics: dict[str, float] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Steps 1-3
+# ---------------------------------------------------------------------------
+
+
+def _coerce_program(program: ProgramLike) -> Program:
+    if isinstance(program, Program):
+        return program
+    return parse_program(program)
+
+
+def _coerce_precondition(cfg: ProgramCFG, precondition: PreconditionLike) -> Precondition:
+    if precondition is None:
+        return Precondition.trivial()
+    if isinstance(precondition, Precondition):
+        return precondition.copy()
+    return Precondition.from_spec(cfg, precondition)
+
+
+def build_task(
+    program: ProgramLike,
+    precondition: PreconditionLike = None,
+    objective: Objective | None = None,
+    options: SynthesisOptions | None = None,
+) -> SynthesisTask:
+    """Run Steps 1-3 and return the resulting task (templates, pairs, system)."""
+    options = options if options is not None else SynthesisOptions()
+    objective = objective if objective is not None else FeasibilityObjective()
+    statistics: dict[str, float] = {}
+
+    start = time.perf_counter()
+    parsed = _coerce_program(program)
+    cfg = build_cfg(parsed)
+    statistics["time_frontend"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pre = _coerce_precondition(cfg, precondition)
+    if options.add_entry_assumptions:
+        pre = augment_entry_preconditions(cfg, pre)
+    if options.bounded:
+        pre = apply_bounded_reals_model(cfg, pre, bound=options.bound)
+    statistics["time_preconditions"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    templates = TemplateSet.build(cfg, degree=options.degree, conjuncts=options.conjuncts)
+    statistics["time_templates"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pairs = generate_constraint_pairs(cfg, pre, templates)
+    statistics["time_constraint_pairs"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    objective_polynomial: Polynomial = objective.polynomial(templates)
+    if options.translation == "putinar":
+        system = putinar_translate(
+            pairs,
+            upsilon=options.upsilon,
+            with_witness=options.with_witness,
+            encode_sos=options.encode_sos,
+            objective=objective_polynomial,
+        )
+    else:
+        system = handelman_translate(
+            pairs, with_witness=options.with_witness, objective=objective_polynomial
+        )
+    statistics["time_translation"] = time.perf_counter() - start
+    statistics["constraint_pairs"] = float(len(pairs))
+    statistics["system_size"] = float(system.size)
+
+    return SynthesisTask(
+        program=parsed,
+        cfg=cfg,
+        precondition=pre,
+        templates=templates,
+        pairs=pairs,
+        system=system,
+        options=options,
+        objective=objective,
+        statistics=statistics,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Step 4 wrappers
+# ---------------------------------------------------------------------------
+
+
+def _clean_assignment(assignment: Mapping[str, float], threshold: float = 1e-7) -> dict[str, float]:
+    """Zero out numerically-insignificant coefficients for readable invariants."""
+    return {name: (0.0 if abs(value) < threshold else round(value, 9)) for name, value in assignment.items()}
+
+
+def _instantiate_invariant(task: SynthesisTask, assignment: Mapping[str, float]) -> Invariant:
+    cleaned = _clean_assignment(assignment)
+    assertions = {
+        label: entry.instantiate_assertion(cleaned) for label, entry in task.templates.entries.items()
+    }
+    postconditions = {
+        name: entry.instantiate_assertion(cleaned)
+        for name, entry in task.templates.post_entries.items()
+    }
+    return Invariant(assertions=assertions, postconditions=postconditions)
+
+
+def weak_inv_synth(
+    program: ProgramLike,
+    precondition: PreconditionLike = None,
+    objective: Objective | None = None,
+    options: SynthesisOptions | None = None,
+    solver: Solver | None = None,
+    task: SynthesisTask | None = None,
+) -> SynthesisResult:
+    """The paper's ``WeakInvSynth`` / ``RecWeakInvSynth``: reduce to QCLP and solve.
+
+    Pass ``task`` to reuse a previously built Step-1-3 reduction (e.g. to try
+    several solvers on the same system without re-translating).
+    """
+    if task is None:
+        task = build_task(program, precondition, objective, options)
+    solver = solver if solver is not None else PenaltyQCLPSolver()
+
+    start = time.perf_counter()
+    solve_result: SolverResult = solver.solve(task.system)
+    task.statistics["time_solver"] = time.perf_counter() - start
+
+    invariant = None
+    invariants: list[Invariant] = []
+    assignment = None
+    if solve_result.feasible and solve_result.assignment is not None:
+        assignment = dict(solve_result.assignment)
+        invariant = _instantiate_invariant(task, assignment)
+        invariants = [invariant]
+
+    return SynthesisResult(
+        invariant=invariant,
+        invariants=invariants,
+        assignment=assignment,
+        system=task.system,
+        templates=task.templates,
+        cfg=task.cfg,
+        statistics=dict(task.statistics),
+        solver_status=solve_result.status,
+    )
+
+
+def strong_inv_synth(
+    program: ProgramLike,
+    precondition: PreconditionLike = None,
+    options: SynthesisOptions | None = None,
+    enumerator: RepresentativeEnumerator | None = None,
+    task: SynthesisTask | None = None,
+) -> SynthesisResult:
+    """The paper's ``StrongInvSynth`` / ``RecStrongInvSynth``: a representative set.
+
+    The Grigor'ev–Vorobjov procedure is replaced by multi-start enumeration
+    with clustering (see DESIGN.md for the substitution rationale).
+    """
+    if task is None:
+        task = build_task(program, precondition, None, options)
+    enumerator = enumerator if enumerator is not None else RepresentativeEnumerator()
+
+    start = time.perf_counter()
+    enumeration = enumerator.enumerate(task.system)
+    task.statistics["time_solver"] = time.perf_counter() - start
+    task.statistics["enumeration_attempts"] = float(enumeration.attempts)
+    task.statistics["enumeration_feasible"] = float(enumeration.feasible_attempts)
+
+    invariants = [
+        _instantiate_invariant(task, assignment) for assignment in enumeration.representatives
+    ]
+    best_assignment = enumeration.representatives[0] if enumeration.representatives else None
+
+    return SynthesisResult(
+        invariant=invariants[0] if invariants else None,
+        invariants=invariants,
+        assignment=best_assignment,
+        system=task.system,
+        templates=task.templates,
+        cfg=task.cfg,
+        statistics=dict(task.statistics),
+        solver_status=f"representatives={len(invariants)}",
+    )
+
+
+def rec_weak_inv_synth(
+    program: ProgramLike,
+    precondition: PreconditionLike = None,
+    objective: Objective | None = None,
+    options: SynthesisOptions | None = None,
+    solver: Solver | None = None,
+) -> SynthesisResult:
+    """``RecWeakInvSynth`` (Section 4) — identical pipeline, recursion handled automatically."""
+    return weak_inv_synth(program, precondition, objective, options, solver)
+
+
+def rec_strong_inv_synth(
+    program: ProgramLike,
+    precondition: PreconditionLike = None,
+    options: SynthesisOptions | None = None,
+    enumerator: RepresentativeEnumerator | None = None,
+) -> SynthesisResult:
+    """``RecStrongInvSynth`` (Section 4) — identical pipeline, recursion handled automatically."""
+    return strong_inv_synth(program, precondition, options, enumerator)

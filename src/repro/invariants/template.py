@@ -1,0 +1,259 @@
+"""Step 1 / Step 1.a: invariant and post-condition templates.
+
+A template at a label is a conjunction of ``n`` polynomial inequalities of
+degree at most ``d`` whose coefficients are fresh unknowns (the paper's
+*s-variables*).  For recursive programs, each function additionally gets a
+post-condition template over its return variable and frozen parameters.
+
+Unknown-variable names are prefixed with ``"$"`` which the program lexer can
+never produce, so clashes with program variables are impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.cfg.graph import FunctionCFG, ProgramCFG
+from repro.cfg.labels import Label
+from repro.errors import SynthesisError
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.ordering import monomials_up_to_degree
+from repro.polynomial.polynomial import Polynomial
+from repro.spec.assertions import ConjunctiveAssertion, assertion_from_polynomials
+
+UNKNOWN_PREFIX = "$"
+
+
+def _coefficient_name(kind: str, owner: str, conjunct: int, index: int) -> str:
+    return f"{UNKNOWN_PREFIX}{kind}_{owner}_{conjunct}_{index}"
+
+
+@dataclass(frozen=True)
+class TemplateEntry:
+    """The invariant template ``eta(l)`` at one label."""
+
+    function: str
+    label: Label
+    conjuncts: int
+    degree: int
+    variables: tuple[str, ...]
+    monomials: tuple[Monomial, ...]
+
+    @property
+    def label_index(self) -> int:
+        return self.label.index
+
+    def coefficient_name(self, conjunct: int, monomial: Monomial) -> str:
+        """The s-variable holding the coefficient of ``monomial`` in conjunct ``conjunct``."""
+        try:
+            index = self.monomials.index(monomial)
+        except ValueError as exc:
+            raise SynthesisError(
+                f"monomial {monomial} is not part of the degree-{self.degree} template at {self.label}"
+            ) from exc
+        owner = f"{self.function}_{self.label.index}"
+        return _coefficient_name("s", owner, conjunct, index)
+
+    def coefficient_names(self) -> list[str]:
+        """All s-variables of this entry, conjunct-major."""
+        names = []
+        for conjunct in range(self.conjuncts):
+            owner = f"{self.function}_{self.label.index}"
+            names.extend(
+                _coefficient_name("s", owner, conjunct, index) for index in range(len(self.monomials))
+            )
+        return names
+
+    def conjunct_polynomial(self, conjunct: int) -> Polynomial:
+        """The symbolic polynomial ``sum_j s_j * m_j`` of one conjunct."""
+        if not 0 <= conjunct < self.conjuncts:
+            raise SynthesisError(f"conjunct {conjunct} out of range for template at {self.label}")
+        owner = f"{self.function}_{self.label.index}"
+        result = Polynomial.zero()
+        for index, monomial in enumerate(self.monomials):
+            name = _coefficient_name("s", owner, conjunct, index)
+            result = result + Polynomial.variable(name) * Polynomial.from_monomial(monomial)
+        return result
+
+    def polynomials(self) -> list[Polynomial]:
+        """The symbolic polynomials of all conjuncts."""
+        return [self.conjunct_polynomial(conjunct) for conjunct in range(self.conjuncts)]
+
+    def instantiate(self, conjunct: int, assignment: Mapping[str, float | int]) -> Polynomial:
+        """Plug numeric values for the s-variables of one conjunct."""
+        symbolic = self.conjunct_polynomial(conjunct)
+        substitution = {
+            name: Polynomial.constant(assignment.get(name, 0))
+            for name in symbolic.variables()
+            if name.startswith(UNKNOWN_PREFIX)
+        }
+        return symbolic.substitute(substitution)
+
+    def instantiate_assertion(self, assignment: Mapping[str, float | int]) -> ConjunctiveAssertion:
+        """The concrete (numeric) invariant assertion at this label."""
+        return assertion_from_polynomials(
+            [self.instantiate(conjunct, assignment) for conjunct in range(self.conjuncts)],
+            strict=True,
+        )
+
+
+@dataclass(frozen=True)
+class PostTemplateEntry:
+    """The post-condition template ``mu(f)`` of one function (Step 1.a)."""
+
+    function: str
+    conjuncts: int
+    degree: int
+    variables: tuple[str, ...]
+    monomials: tuple[Monomial, ...]
+
+    def coefficient_name(self, conjunct: int, monomial: Monomial) -> str:
+        try:
+            index = self.monomials.index(monomial)
+        except ValueError as exc:
+            raise SynthesisError(
+                f"monomial {monomial} is not part of the post-condition template of {self.function}"
+            ) from exc
+        return _coefficient_name("s", f"post_{self.function}", conjunct, index)
+
+    def coefficient_names(self) -> list[str]:
+        names = []
+        for conjunct in range(self.conjuncts):
+            names.extend(
+                _coefficient_name("s", f"post_{self.function}", conjunct, index)
+                for index in range(len(self.monomials))
+            )
+        return names
+
+    def conjunct_polynomial(self, conjunct: int) -> Polynomial:
+        if not 0 <= conjunct < self.conjuncts:
+            raise SynthesisError(
+                f"conjunct {conjunct} out of range for post-condition template of {self.function}"
+            )
+        result = Polynomial.zero()
+        for index, monomial in enumerate(self.monomials):
+            name = _coefficient_name("s", f"post_{self.function}", conjunct, index)
+            result = result + Polynomial.variable(name) * Polynomial.from_monomial(monomial)
+        return result
+
+    def polynomials(self) -> list[Polynomial]:
+        return [self.conjunct_polynomial(conjunct) for conjunct in range(self.conjuncts)]
+
+    def instantiate(self, conjunct: int, assignment: Mapping[str, float | int]) -> Polynomial:
+        symbolic = self.conjunct_polynomial(conjunct)
+        substitution = {
+            name: Polynomial.constant(assignment.get(name, 0))
+            for name in symbolic.variables()
+            if name.startswith(UNKNOWN_PREFIX)
+        }
+        return symbolic.substitute(substitution)
+
+    def instantiate_assertion(self, assignment: Mapping[str, float | int]) -> ConjunctiveAssertion:
+        return assertion_from_polynomials(
+            [self.instantiate(conjunct, assignment) for conjunct in range(self.conjuncts)],
+            strict=True,
+        )
+
+
+@dataclass(frozen=True)
+class TemplateSet:
+    """All templates of a synthesis task: one entry per label, one post entry per function."""
+
+    entries: Mapping[Label, TemplateEntry]
+    post_entries: Mapping[str, PostTemplateEntry]
+    degree: int
+    conjuncts: int
+
+    @staticmethod
+    def build(
+        cfg: ProgramCFG,
+        degree: int,
+        conjuncts: int = 1,
+        with_postconditions: bool | None = None,
+    ) -> "TemplateSet":
+        """Create templates for every label (and post-conditions when recursive).
+
+        ``with_postconditions`` defaults to "the program is recursive"; pass
+        ``True`` to force post-condition templates for non-recursive programs
+        (useful when a caller wants a summary of the single function).
+        """
+        if degree < 1:
+            raise SynthesisError(f"template degree must be at least 1, got {degree}")
+        if conjuncts < 1:
+            raise SynthesisError(f"template must have at least one conjunct, got {conjuncts}")
+        if with_postconditions is None:
+            with_postconditions = cfg.program.is_recursive()
+
+        entries: dict[Label, TemplateEntry] = {}
+        post_entries: dict[str, PostTemplateEntry] = {}
+        for function_cfg in cfg:
+            label_monomials = tuple(monomials_up_to_degree(function_cfg.variables, degree))
+            for label in function_cfg.labels:
+                entries[label] = TemplateEntry(
+                    function=function_cfg.name,
+                    label=label,
+                    conjuncts=conjuncts,
+                    degree=degree,
+                    variables=tuple(function_cfg.variables),
+                    monomials=label_monomials,
+                )
+            if with_postconditions:
+                post_entries[function_cfg.name] = _build_post_entry(function_cfg, degree, conjuncts)
+        return TemplateSet(entries=entries, post_entries=post_entries, degree=degree, conjuncts=conjuncts)
+
+    # -- lookups -----------------------------------------------------------------
+
+    def at(self, label: Label) -> TemplateEntry:
+        """The template entry at a label."""
+        try:
+            return self.entries[label]
+        except KeyError as exc:
+            raise SynthesisError(f"no template entry at label {label}") from exc
+
+    def entry_for(self, function: str, label_index: int) -> TemplateEntry:
+        """Look up a template entry by function name and 1-based label index."""
+        for label, entry in self.entries.items():
+            if label.function == function and label.index == label_index:
+                return entry
+        raise SynthesisError(f"no template entry at {function}:{label_index}")
+
+    def post_entry_for(self, function: str) -> PostTemplateEntry:
+        """The post-condition template of a function."""
+        try:
+            return self.post_entries[function]
+        except KeyError as exc:
+            raise SynthesisError(f"no post-condition template for function {function!r}") from exc
+
+    def has_postconditions(self) -> bool:
+        return bool(self.post_entries)
+
+    def __iter__(self) -> Iterator[TemplateEntry]:
+        return iter(self.entries.values())
+
+    def coefficient_names(self) -> list[str]:
+        """Every s-variable introduced by the whole template set."""
+        names: list[str] = []
+        for entry in self.entries.values():
+            names.extend(entry.coefficient_names())
+        for post_entry in self.post_entries.values():
+            names.extend(post_entry.coefficient_names())
+        return names
+
+    def coefficient_count(self) -> int:
+        """Total number of s-variables."""
+        return len(self.coefficient_names())
+
+
+def _build_post_entry(function_cfg: FunctionCFG, degree: int, conjuncts: int) -> PostTemplateEntry:
+    vocabulary: Sequence[str] = sorted(
+        {function_cfg.return_variable, *function_cfg.frozen_parameters.values()}
+    )
+    monomials = tuple(monomials_up_to_degree(vocabulary, degree))
+    return PostTemplateEntry(
+        function=function_cfg.name,
+        conjuncts=conjuncts,
+        degree=degree,
+        variables=tuple(vocabulary),
+        monomials=monomials,
+    )

@@ -1,0 +1,63 @@
+"""Front-end for the paper's guarded polynomial language (Figure 5 grammar).
+
+The package provides:
+
+* :mod:`repro.lang.ast_nodes` — the abstract syntax tree,
+* :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` — text to AST,
+* :mod:`repro.lang.validate` — the Appendix A syntactic assumptions,
+* :mod:`repro.lang.pretty` — AST back to text.
+
+The surface syntax follows the paper::
+
+    sum(n) {
+        i := 1;
+        s := 0;
+        while i <= n do
+            if * then s := s + i else skip fi;
+            i := i + 1
+        od;
+        return s
+    }
+"""
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinaryPredicate,
+    CallAssign,
+    Comparison,
+    Function,
+    IfStatement,
+    NegatedPredicate,
+    NondetIf,
+    Program,
+    Return,
+    Skip,
+    Statement,
+    While,
+)
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_print
+from repro.lang.validate import validate_program
+
+__all__ = [
+    "Assign",
+    "BinaryPredicate",
+    "CallAssign",
+    "Comparison",
+    "Function",
+    "IfStatement",
+    "NegatedPredicate",
+    "NondetIf",
+    "Program",
+    "Return",
+    "Skip",
+    "Statement",
+    "While",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_program",
+    "pretty_print",
+    "validate_program",
+]

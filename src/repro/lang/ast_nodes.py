@@ -1,0 +1,278 @@
+"""Abstract syntax tree for non-deterministic recursive polynomial programs.
+
+Arithmetic expressions are represented directly as
+:class:`~repro.polynomial.polynomial.Polynomial` values (the grammar only
+allows ``+``, ``-`` and ``*``, so every expression *is* a polynomial), which
+keeps the rest of the pipeline free of a separate expression type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Union
+
+from repro.polynomial.polynomial import Polynomial
+
+# ---------------------------------------------------------------------------
+# Boolean expressions (propositional polynomial predicates)
+# ---------------------------------------------------------------------------
+
+ComparisonOp = str  # one of "<", "<=", ">=", ">"
+
+_COMPARISON_OPS = ("<", "<=", ">=", ">")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """An atomic comparison ``left op right`` between polynomial expressions."""
+
+    left: Polynomial
+    op: ComparisonOp
+    right: Polynomial
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def holds(self, valuation) -> bool:
+        """Evaluate the comparison under a valuation (used by the interpreter)."""
+        difference = float((self.left - self.right).evaluate_float(valuation))
+        if self.op == "<":
+            return difference < 0
+        if self.op == "<=":
+            return difference <= 0
+        if self.op == ">=":
+            return difference >= 0
+        return difference > 0
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class NegatedPredicate:
+    """Logical negation of a predicate."""
+
+    operand: "Predicate"
+
+    def holds(self, valuation) -> bool:
+        return not self.operand.holds(valuation)
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"not ({self.operand})"
+
+
+@dataclass(frozen=True)
+class BinaryPredicate:
+    """Conjunction or disjunction of two predicates."""
+
+    op: str  # "and" | "or"
+    left: "Predicate"
+    right: "Predicate"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or"):
+            raise ValueError(f"unsupported boolean operator {self.op!r}")
+
+    def holds(self, valuation) -> bool:
+        if self.op == "and":
+            return self.left.holds(valuation) and self.right.holds(valuation)
+        return self.left.holds(valuation) or self.right.holds(valuation)
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left}) {self.op} ({self.right})"
+
+
+Predicate = Union[Comparison, NegatedPredicate, BinaryPredicate]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Skip:
+    """The ``skip`` statement."""
+
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class Assign:
+    """An assignment ``variable := expression``."""
+
+    variable: str
+    expression: Polynomial
+
+    def __str__(self) -> str:
+        return f"{self.variable} := {self.expression}"
+
+
+@dataclass(frozen=True)
+class CallAssign:
+    """A function-call assignment ``target := callee(arguments...)``."""
+
+    target: str
+    callee: str
+    arguments: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.target} := {self.callee}({', '.join(self.arguments)})"
+
+
+@dataclass(frozen=True)
+class Return:
+    """A ``return expression`` statement."""
+
+    expression: Polynomial
+
+    def __str__(self) -> str:
+        return f"return {self.expression}"
+
+
+@dataclass(frozen=True)
+class IfStatement:
+    """A conditional branch guarded by a predicate."""
+
+    condition: Predicate
+    then_branch: tuple["Statement", ...]
+    else_branch: tuple["Statement", ...]
+
+
+@dataclass(frozen=True)
+class NondetIf:
+    """A non-deterministic branch (``if * then ... else ... fi``)."""
+
+    then_branch: tuple["Statement", ...]
+    else_branch: tuple["Statement", ...]
+
+
+@dataclass(frozen=True)
+class While:
+    """A while loop guarded by a predicate."""
+
+    condition: Predicate
+    body: tuple["Statement", ...]
+
+
+Statement = Union[Skip, Assign, CallAssign, Return, IfStatement, NondetIf, While]
+
+
+# ---------------------------------------------------------------------------
+# Functions and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Function:
+    """A program function: a name, parameter list and a statement body."""
+
+    name: str
+    parameters: tuple[str, ...]
+    body: tuple[Statement, ...]
+
+    def local_variables(self) -> frozenset[str]:
+        """All variables appearing anywhere in the function (parameters included)."""
+        names: set[str] = set(self.parameters)
+
+        def visit(statements: Sequence[Statement]) -> None:
+            for statement in statements:
+                if isinstance(statement, Assign):
+                    names.add(statement.variable)
+                    names.update(statement.expression.variables())
+                elif isinstance(statement, CallAssign):
+                    names.add(statement.target)
+                    names.update(statement.arguments)
+                elif isinstance(statement, Return):
+                    names.update(statement.expression.variables())
+                elif isinstance(statement, IfStatement):
+                    names.update(statement.condition.variables())
+                    visit(statement.then_branch)
+                    visit(statement.else_branch)
+                elif isinstance(statement, NondetIf):
+                    visit(statement.then_branch)
+                    visit(statement.else_branch)
+                elif isinstance(statement, While):
+                    names.update(statement.condition.variables())
+                    visit(statement.body)
+
+        visit(self.body)
+        return frozenset(names)
+
+    def called_functions(self) -> frozenset[str]:
+        """Names of all functions invoked by call statements in the body."""
+        callees: set[str] = set()
+
+        def visit(statements: Sequence[Statement]) -> None:
+            for statement in statements:
+                if isinstance(statement, CallAssign):
+                    callees.add(statement.callee)
+                elif isinstance(statement, IfStatement):
+                    visit(statement.then_branch)
+                    visit(statement.else_branch)
+                elif isinstance(statement, NondetIf):
+                    visit(statement.then_branch)
+                    visit(statement.else_branch)
+                elif isinstance(statement, While):
+                    visit(statement.body)
+
+        visit(self.body)
+        return frozenset(callees)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A program: an ordered collection of functions.
+
+    The first function is the entry point ``f_main`` unless ``main`` names a
+    different one.
+    """
+
+    functions: tuple[Function, ...]
+    main: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ValueError("a program must contain at least one function")
+        if not self.main:
+            object.__setattr__(self, "main", self.functions[0].name)
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions)
+
+    def function(self, name: str) -> Function:
+        """Look up a function by name."""
+        for candidate in self.functions:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"program has no function named {name!r}")
+
+    def function_names(self) -> list[str]:
+        """Names of all functions in declaration order."""
+        return [function.name for function in self.functions]
+
+    @property
+    def main_function(self) -> Function:
+        """The entry-point function."""
+        return self.function(self.main)
+
+    def is_recursive(self) -> bool:
+        """Whether the program contains any function-call statement.
+
+        This matches the paper's definition: a program is *simple* (non
+        recursive) iff it has a single function and no call statements.
+        """
+        if len(self.functions) > 1:
+            return True
+        return bool(self.functions[0].called_functions())

@@ -1,0 +1,86 @@
+"""Lexer for the guarded polynomial language.
+
+The surface syntax supports:
+
+* identifiers (letters, digits, underscores; must start with a letter or ``_``),
+* decimal number literals (``3``, ``0.5``),
+* the keywords and symbols of Figure 5 plus ``and``/``or``/``not`` spellings,
+* the non-determinism marker ``*`` in guard position (lexed as the ``*`` symbol;
+  the parser disambiguates it from multiplication),
+* comments starting with ``//`` or ``#`` and running to the end of the line.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.tokens import KEYWORDS, SYMBOLS, Token, TokenKind
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert program text into a list of tokens ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+
+        if char in " \t\r\n":
+            advance(1)
+            continue
+
+        if char == "#" or source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                advance(1)
+            continue
+
+        if char.isdigit() or (char == "." and index + 1 < length and source[index + 1].isdigit()):
+            start_line, start_column = line, column
+            end = index
+            seen_dot = False
+            while end < length and (source[end].isdigit() or (source[end] == "." and not seen_dot)):
+                if source[end] == ".":
+                    seen_dot = True
+                end += 1
+            text = source[index:end]
+            tokens.append(Token(TokenKind.NUMBER, text, start_line, start_column))
+            advance(end - index)
+            continue
+
+        if char.isalpha() or char == "_":
+            start_line, start_column = line, column
+            end = index
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[index:end]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_column))
+            advance(end - index)
+            continue
+
+        matched = None
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, index):
+                matched = symbol
+                break
+        if matched is not None:
+            tokens.append(Token(TokenKind.SYMBOL, matched, line, column))
+            advance(len(matched))
+            continue
+
+        raise ParseError(f"unexpected character {char!r}", line=line, column=column)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,304 @@
+"""Recursive-descent parser producing the AST of :mod:`repro.lang.ast_nodes`.
+
+The accepted grammar is the one in Figure 5 of the paper (Appendix A), with
+two ergonomic extensions that desugar into it:
+
+* exponentiation ``e ^ k`` / ``e ** k`` with a constant integer exponent
+  (repeated multiplication),
+* division of an expression by a non-zero numeric constant (scaling), so the
+  paper's literals such as ``0.5 * x`` can also be written ``x / 2``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ParseError
+from repro.lang.ast_nodes import (
+    Assign,
+    BinaryPredicate,
+    CallAssign,
+    Comparison,
+    Function,
+    IfStatement,
+    NegatedPredicate,
+    NondetIf,
+    Predicate,
+    Program,
+    Return,
+    Skip,
+    Statement,
+    While,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind
+from repro.lang.validate import validate_program
+from repro.polynomial.polynomial import Polynomial
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(message, line=token.line, column=token.column)
+
+    def _expect_symbol(self, text: str) -> Token:
+        token = self._advance()
+        if not token.is_symbol(text):
+            raise self._error(f"expected {text!r} but found {token.text!r}", token)
+        return token
+
+    def _expect_keyword(self, text: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(text):
+            raise self._error(f"expected keyword {text!r} but found {token.text!r}", token)
+        return token
+
+    def _expect_ident(self) -> str:
+        token = self._advance()
+        if token.kind is not TokenKind.IDENT:
+            raise self._error(f"expected an identifier but found {token.text!r}", token)
+        return token.text
+
+    # -- program structure ----------------------------------------------------
+
+    def parse_program(self) -> Program:
+        functions = []
+        while self._peek().kind is not TokenKind.EOF:
+            functions.append(self._parse_function())
+        if not functions:
+            raise ParseError("a program must contain at least one function")
+        return Program(functions=tuple(functions))
+
+    def _parse_function(self) -> Function:
+        name = self._expect_ident()
+        self._expect_symbol("(")
+        parameters: list[str] = []
+        if not self._peek().is_symbol(")"):
+            parameters.append(self._expect_ident())
+            while self._peek().is_symbol(","):
+                self._advance()
+                parameters.append(self._expect_ident())
+        self._expect_symbol(")")
+        self._expect_symbol("{")
+        body = self._parse_statement_list(terminators=("}",))
+        self._expect_symbol("}")
+        return Function(name=name, parameters=tuple(parameters), body=tuple(body))
+
+    def _parse_statement_list(self, terminators: tuple[str, ...]) -> list[Statement]:
+        statements = [self._parse_statement()]
+        while self._peek().is_symbol(";"):
+            self._advance()
+            token = self._peek()
+            if token.kind is TokenKind.SYMBOL and token.text in terminators:
+                break  # tolerate a trailing semicolon
+            if token.kind is TokenKind.KEYWORD and token.text in terminators:
+                break
+            statements.append(self._parse_statement())
+        return statements
+
+    # -- statements -----------------------------------------------------------
+
+    def _parse_statement(self) -> Statement:
+        token = self._peek()
+        if token.is_keyword("skip"):
+            self._advance()
+            return Skip()
+        if token.is_keyword("return"):
+            self._advance()
+            return Return(expression=self._parse_expression())
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.kind is TokenKind.IDENT:
+            return self._parse_assignment()
+        raise self._error(f"unexpected token {token.text!r} at start of a statement", token)
+
+    def _parse_if(self) -> Statement:
+        self._expect_keyword("if")
+        if self._peek().is_symbol("*"):
+            self._advance()
+            self._expect_keyword("then")
+            then_branch = self._parse_statement_list(terminators=("else",))
+            self._expect_keyword("else")
+            else_branch = self._parse_statement_list(terminators=("fi",))
+            self._expect_keyword("fi")
+            return NondetIf(then_branch=tuple(then_branch), else_branch=tuple(else_branch))
+        condition = self._parse_predicate()
+        self._expect_keyword("then")
+        then_branch = self._parse_statement_list(terminators=("else",))
+        self._expect_keyword("else")
+        else_branch = self._parse_statement_list(terminators=("fi",))
+        self._expect_keyword("fi")
+        return IfStatement(
+            condition=condition,
+            then_branch=tuple(then_branch),
+            else_branch=tuple(else_branch),
+        )
+
+    def _parse_while(self) -> Statement:
+        self._expect_keyword("while")
+        condition = self._parse_predicate()
+        self._expect_keyword("do")
+        body = self._parse_statement_list(terminators=("od",))
+        self._expect_keyword("od")
+        return While(condition=condition, body=tuple(body))
+
+    def _parse_assignment(self) -> Statement:
+        target = self._expect_ident()
+        self._expect_symbol(":=")
+        if self._peek().kind is TokenKind.IDENT and self._peek(1).is_symbol("("):
+            callee = self._expect_ident()
+            self._expect_symbol("(")
+            arguments: list[str] = []
+            if not self._peek().is_symbol(")"):
+                arguments.append(self._expect_ident())
+                while self._peek().is_symbol(","):
+                    self._advance()
+                    arguments.append(self._expect_ident())
+            self._expect_symbol(")")
+            return CallAssign(target=target, callee=callee, arguments=tuple(arguments))
+        expression = self._parse_expression()
+        return Assign(variable=target, expression=expression)
+
+    # -- predicates -----------------------------------------------------------
+
+    def _parse_predicate(self) -> Predicate:
+        return self._parse_disjunction()
+
+    def _parse_disjunction(self) -> Predicate:
+        left = self._parse_conjunction()
+        while self._peek().is_keyword("or"):
+            self._advance()
+            right = self._parse_conjunction()
+            left = BinaryPredicate(op="or", left=left, right=right)
+        return left
+
+    def _parse_conjunction(self) -> Predicate:
+        left = self._parse_negation()
+        while self._peek().is_keyword("and"):
+            self._advance()
+            right = self._parse_negation()
+            left = BinaryPredicate(op="and", left=left, right=right)
+        return left
+
+    def _parse_negation(self) -> Predicate:
+        if self._peek().is_keyword("not"):
+            self._advance()
+            return NegatedPredicate(operand=self._parse_negation())
+        if self._peek().is_symbol("("):
+            # Could be a parenthesised predicate or a parenthesised arithmetic
+            # expression at the start of a comparison; try the predicate first.
+            checkpoint = self._position
+            self._advance()
+            try:
+                inner = self._parse_predicate()
+                if self._peek().is_symbol(")"):
+                    closing = self._peek(1)
+                    if not (
+                        closing.kind is TokenKind.SYMBOL
+                        and closing.text in ("<", "<=", ">=", ">", "+", "-", "*", "^", "**")
+                    ):
+                        self._advance()
+                        return inner
+            except ParseError:
+                pass
+            self._position = checkpoint
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_expression()
+        token = self._advance()
+        if token.kind is not TokenKind.SYMBOL or token.text not in ("<", "<=", ">=", ">", "="):
+            raise self._error(f"expected a comparison operator but found {token.text!r}", token)
+        if token.text == "=":
+            raise self._error("equality guards are not in the grammar; use <= and >= conjunctions", token)
+        right = self._parse_expression()
+        return Comparison(left=left, op=token.text, right=right)
+
+    # -- arithmetic expressions ------------------------------------------------
+
+    def _parse_expression(self) -> Polynomial:
+        result = self._parse_term()
+        while True:
+            token = self._peek()
+            if token.is_symbol("+"):
+                self._advance()
+                result = result + self._parse_term()
+            elif token.is_symbol("-"):
+                self._advance()
+                result = result - self._parse_term()
+            else:
+                return result
+
+    def _parse_term(self) -> Polynomial:
+        result = self._parse_power()
+        while True:
+            token = self._peek()
+            if token.is_symbol("*"):
+                self._advance()
+                result = result * self._parse_power()
+            elif token.is_symbol("/"):
+                self._advance()
+                divisor = self._parse_power()
+                if not divisor.is_constant() or divisor.constant_value() == 0:
+                    raise self._error("division is only supported by a non-zero constant")
+                result = result / divisor.constant_value()
+            else:
+                return result
+
+    def _parse_power(self) -> Polynomial:
+        base = self._parse_atom()
+        token = self._peek()
+        if token.is_symbol("^") or token.is_symbol("**"):
+            self._advance()
+            exponent_token = self._advance()
+            if exponent_token.kind is not TokenKind.NUMBER or "." in exponent_token.text:
+                raise self._error("exponent must be a non-negative integer literal", exponent_token)
+            return base ** int(exponent_token.text)
+        return base
+
+    def _parse_atom(self) -> Polynomial:
+        token = self._advance()
+        if token.is_symbol("("):
+            inner = self._parse_expression()
+            self._expect_symbol(")")
+            return inner
+        if token.is_symbol("-"):
+            return -self._parse_power()
+        if token.is_symbol("+"):
+            return self._parse_power()
+        if token.kind is TokenKind.NUMBER:
+            return Polynomial.constant(Fraction(token.text))
+        if token.kind is TokenKind.IDENT:
+            return Polynomial.variable(token.text)
+        raise self._error(f"unexpected token {token.text!r} in an arithmetic expression", token)
+
+
+def parse_program(source: str, validate: bool = True) -> Program:
+    """Parse program text into a :class:`~repro.lang.ast_nodes.Program`.
+
+    When ``validate`` is true (the default) the Appendix A syntactic
+    assumptions are checked and a :class:`~repro.errors.ValidationError`
+    is raised on violation.
+    """
+    program = _Parser(tokenize(source)).parse_program()
+    if validate:
+        validate_program(program)
+    return program

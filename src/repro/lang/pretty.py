@@ -1,0 +1,97 @@
+"""Pretty-printer: AST back to concrete syntax.
+
+``parse_program(pretty_print(program))`` is structurally the identity (up to
+polynomial normal forms), a property exercised by the round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinaryPredicate,
+    CallAssign,
+    Comparison,
+    Function,
+    IfStatement,
+    NegatedPredicate,
+    NondetIf,
+    Predicate,
+    Program,
+    Return,
+    Skip,
+    Statement,
+    While,
+)
+
+_INDENT = "    "
+
+
+def format_predicate(predicate: Predicate) -> str:
+    """Render a predicate in concrete syntax."""
+    if isinstance(predicate, Comparison):
+        return f"{predicate.left} {predicate.op} {predicate.right}"
+    if isinstance(predicate, NegatedPredicate):
+        return f"not ({format_predicate(predicate.operand)})"
+    if isinstance(predicate, BinaryPredicate):
+        return (
+            f"({format_predicate(predicate.left)}) {predicate.op} "
+            f"({format_predicate(predicate.right)})"
+        )
+    raise TypeError(f"unknown predicate node {predicate!r}")
+
+
+def _format_statement(statement: Statement, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(statement, Skip):
+        return [f"{pad}skip"]
+    if isinstance(statement, Assign):
+        return [f"{pad}{statement.variable} := {statement.expression}"]
+    if isinstance(statement, CallAssign):
+        arguments = ", ".join(statement.arguments)
+        return [f"{pad}{statement.target} := {statement.callee}({arguments})"]
+    if isinstance(statement, Return):
+        return [f"{pad}return {statement.expression}"]
+    if isinstance(statement, IfStatement):
+        lines = [f"{pad}if {format_predicate(statement.condition)} then"]
+        lines.extend(_format_block(statement.then_branch, depth + 1))
+        lines.append(f"{pad}else")
+        lines.extend(_format_block(statement.else_branch, depth + 1))
+        lines.append(f"{pad}fi")
+        return lines
+    if isinstance(statement, NondetIf):
+        lines = [f"{pad}if * then"]
+        lines.extend(_format_block(statement.then_branch, depth + 1))
+        lines.append(f"{pad}else")
+        lines.extend(_format_block(statement.else_branch, depth + 1))
+        lines.append(f"{pad}fi")
+        return lines
+    if isinstance(statement, While):
+        lines = [f"{pad}while {format_predicate(statement.condition)} do"]
+        lines.extend(_format_block(statement.body, depth + 1))
+        lines.append(f"{pad}od")
+        return lines
+    raise TypeError(f"unknown statement node {statement!r}")
+
+
+def _format_block(statements: Sequence[Statement], depth: int) -> list[str]:
+    lines: list[str] = []
+    for position, statement in enumerate(statements):
+        rendered = _format_statement(statement, depth)
+        if position < len(statements) - 1:
+            rendered[-1] = rendered[-1] + ";"
+        lines.extend(rendered)
+    return lines
+
+
+def format_function(function: Function) -> str:
+    """Render a single function in concrete syntax."""
+    header = f"{function.name}({', '.join(function.parameters)}) {{"
+    body = _format_block(function.body, 1)
+    return "\n".join([header, *body, "}"])
+
+
+def pretty_print(program: Program) -> str:
+    """Render a whole program in concrete syntax."""
+    return "\n\n".join(format_function(function) for function in program.functions) + "\n"

@@ -1,0 +1,75 @@
+"""Token definitions shared by the lexer and the parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenKind(str, Enum):
+    """Lexical categories of the guarded polynomial language."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "skip",
+        "if",
+        "then",
+        "else",
+        "fi",
+        "while",
+        "do",
+        "od",
+        "return",
+        "and",
+        "or",
+        "not",
+    }
+)
+
+# Multi-character symbols must come before their single-character prefixes.
+SYMBOLS = (
+    ":=",
+    "<=",
+    ">=",
+    "**",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ";",
+    "+",
+    "-",
+    "*",
+    "<",
+    ">",
+    "=",
+    "/",
+    "^",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_symbol(self, text: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.text!r}@{self.line}:{self.column}"

@@ -1,0 +1,128 @@
+"""Semantic validation of parsed programs (Appendix A assumptions).
+
+The paper assumes that:
+
+* each function is defined exactly once,
+* function headers do not contain duplicate parameters,
+* every call statement passes exactly as many arguments as the callee's
+  header declares,
+* no variable appears on both sides of a function-call statement,
+* every called function is defined somewhere in the program.
+
+In addition we check that reserved variable names (``ret_<f>`` and the
+"frozen parameter" names ``<v>_init``) are not used by the programmer, since
+the invariant engine introduces them internally (Section 2.2, "New
+Variables").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ValidationError
+from repro.lang.ast_nodes import (
+    Assign,
+    CallAssign,
+    Function,
+    IfStatement,
+    NondetIf,
+    Program,
+    Return,
+    Statement,
+    While,
+)
+
+RETURN_VARIABLE_PREFIX = "ret_"
+FROZEN_PARAMETER_SUFFIX = "_init"
+
+
+def return_variable(function_name: str) -> str:
+    """The name of the paper's ``ret_f`` variable for function ``f``."""
+    return f"{RETURN_VARIABLE_PREFIX}{function_name}"
+
+
+def frozen_parameter(parameter_name: str) -> str:
+    """The name of the paper's ``v-bar`` variable for parameter ``v``."""
+    return f"{parameter_name}{FROZEN_PARAMETER_SUFFIX}"
+
+
+def _walk(statements: Sequence[Statement]):
+    for statement in statements:
+        yield statement
+        if isinstance(statement, IfStatement):
+            yield from _walk(statement.then_branch)
+            yield from _walk(statement.else_branch)
+        elif isinstance(statement, NondetIf):
+            yield from _walk(statement.then_branch)
+            yield from _walk(statement.else_branch)
+        elif isinstance(statement, While):
+            yield from _walk(statement.body)
+
+
+def _check_reserved_names(function: Function) -> None:
+    for name in sorted(function.local_variables()):
+        if name.startswith(RETURN_VARIABLE_PREFIX):
+            raise ValidationError(
+                f"variable {name!r} in function {function.name!r} uses the reserved "
+                f"prefix {RETURN_VARIABLE_PREFIX!r}"
+            )
+        if name.endswith(FROZEN_PARAMETER_SUFFIX):
+            raise ValidationError(
+                f"variable {name!r} in function {function.name!r} uses the reserved "
+                f"suffix {FROZEN_PARAMETER_SUFFIX!r}"
+            )
+
+
+def _check_calls(program: Program, function: Function) -> None:
+    defined = {f.name: f for f in program.functions}
+    for statement in _walk(function.body):
+        if not isinstance(statement, CallAssign):
+            continue
+        if statement.callee not in defined:
+            raise ValidationError(
+                f"function {function.name!r} calls undefined function {statement.callee!r}"
+            )
+        callee = defined[statement.callee]
+        if len(statement.arguments) != len(callee.parameters):
+            raise ValidationError(
+                f"call to {statement.callee!r} in {function.name!r} passes "
+                f"{len(statement.arguments)} arguments but the header declares "
+                f"{len(callee.parameters)}"
+            )
+        if statement.target in statement.arguments:
+            raise ValidationError(
+                f"variable {statement.target!r} appears on both sides of the call to "
+                f"{statement.callee!r} in {function.name!r}"
+            )
+
+
+def ensure_trailing_return(function: Function) -> bool:
+    """Whether the last top-level statement of ``function`` is a return.
+
+    The paper's *Return Assumption* states that every execution of a function
+    ends with a return statement; the CFG builder adds an implicit
+    ``return 0`` when this check fails, so validation only reports the fact.
+    """
+    if not function.body:
+        return False
+    return isinstance(function.body[-1], Return)
+
+
+def validate_program(program: Program) -> None:
+    """Check the Appendix A syntactic assumptions, raising :class:`ValidationError`."""
+    seen: set[str] = set()
+    for function in program.functions:
+        if function.name in seen:
+            raise ValidationError(f"function {function.name!r} is defined more than once")
+        seen.add(function.name)
+
+        if len(set(function.parameters)) != len(function.parameters):
+            raise ValidationError(
+                f"function {function.name!r} has duplicate parameters: {function.parameters}"
+            )
+
+        _check_reserved_names(function)
+        _check_calls(program, function)
+
+    if program.main not in seen:
+        raise ValidationError(f"entry function {program.main!r} is not defined")

@@ -1,0 +1,208 @@
+"""Immutable power-product monomials.
+
+A :class:`Monomial` is a finite map from variable names to positive integer
+exponents, e.g. ``x**2 * y``.  The empty map is the constant monomial ``1``.
+Monomials are hashable and totally ordered (graded lexicographic by default)
+so they can be used as dictionary keys inside :class:`~repro.polynomial.polynomial.Polynomial`
+and sorted deterministically when printing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import PolynomialError
+
+
+class Monomial:
+    """A power product of variables, such as ``x**2 * y``.
+
+    Instances are immutable; all operations return new monomials.
+    """
+
+    __slots__ = ("_powers", "_hash")
+
+    def __init__(self, powers: Mapping[str, int] | Iterable[tuple[str, int]] = ()):
+        items = dict(powers)
+        cleaned: dict[str, int] = {}
+        for var, exp in items.items():
+            if not isinstance(var, str) or not var:
+                raise PolynomialError(f"variable names must be non-empty strings, got {var!r}")
+            if not isinstance(exp, int):
+                raise PolynomialError(f"exponent of {var!r} must be an int, got {exp!r}")
+            if exp < 0:
+                raise PolynomialError(f"negative exponent {exp} for variable {var!r}")
+            if exp > 0:
+                cleaned[var] = exp
+        self._powers: dict[str, int] = cleaned
+        self._hash = hash(frozenset(cleaned.items()))
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def one() -> "Monomial":
+        """The constant monomial ``1``."""
+        return _ONE
+
+    @staticmethod
+    def of(var: str, exponent: int = 1) -> "Monomial":
+        """The monomial ``var**exponent``."""
+        return Monomial({var: exponent})
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        return self._powers == other._powers
+
+    def __lt__(self, other: "Monomial") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Monomial") -> bool:
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Monomial") -> bool:
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Monomial") -> bool:
+        return self.sort_key() >= other.sort_key()
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._powers.items()))
+
+    def __contains__(self, var: str) -> bool:
+        return var in self._powers
+
+    def __bool__(self) -> bool:
+        """True for every monomial except the constant ``1``."""
+        return bool(self._powers)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def powers(self) -> dict[str, int]:
+        """A copy of the variable-to-exponent map."""
+        return dict(self._powers)
+
+    def exponent(self, var: str) -> int:
+        """The exponent of ``var`` in this monomial (0 when absent)."""
+        return self._powers.get(var, 0)
+
+    def degree(self) -> int:
+        """Total degree, i.e. the sum of all exponents."""
+        return sum(self._powers.values())
+
+    def variables(self) -> frozenset[str]:
+        """The set of variables occurring with a positive exponent."""
+        return frozenset(self._powers)
+
+    def is_constant(self) -> bool:
+        """Whether this is the constant monomial ``1``."""
+        return not self._powers
+
+    def is_univariate(self) -> bool:
+        """Whether at most one variable occurs."""
+        return len(self._powers) <= 1
+
+    def sort_key(self) -> tuple:
+        """Graded-lexicographic key: first by total degree, then lexicographically."""
+        return (self.degree(), tuple(sorted(self._powers.items())))
+
+    # -- algebra -------------------------------------------------------------
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        merged = dict(self._powers)
+        for var, exp in other._powers.items():
+            merged[var] = merged.get(var, 0) + exp
+        return Monomial(merged)
+
+    def __pow__(self, exponent: int) -> "Monomial":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise PolynomialError(f"monomial exponent must be a non-negative int, got {exponent!r}")
+        if exponent == 0:
+            return _ONE
+        return Monomial({var: exp * exponent for var, exp in self._powers.items()})
+
+    def divides(self, other: "Monomial") -> bool:
+        """Whether this monomial divides ``other`` exactly."""
+        return all(other.exponent(var) >= exp for var, exp in self._powers.items())
+
+    def divide(self, other: "Monomial") -> "Monomial":
+        """Exact division ``self / other``; raises if not divisible."""
+        if not other.divides(self):
+            raise PolynomialError(f"{other} does not divide {self}")
+        quotient = dict(self._powers)
+        for var, exp in other._powers.items():
+            remaining = quotient[var] - exp
+            if remaining:
+                quotient[var] = remaining
+            else:
+                del quotient[var]
+        return Monomial(quotient)
+
+    def gcd(self, other: "Monomial") -> "Monomial":
+        """Greatest common divisor (variable-wise minimum of exponents)."""
+        shared = {
+            var: min(exp, other.exponent(var))
+            for var, exp in self._powers.items()
+            if var in other
+        }
+        return Monomial(shared)
+
+    def lcm(self, other: "Monomial") -> "Monomial":
+        """Least common multiple (variable-wise maximum of exponents)."""
+        merged = dict(self._powers)
+        for var, exp in other._powers.items():
+            merged[var] = max(merged.get(var, 0), exp)
+        return Monomial(merged)
+
+    def restrict(self, variables: Iterable[str]) -> "Monomial":
+        """The part of this monomial involving only ``variables``."""
+        keep = set(variables)
+        return Monomial({var: exp for var, exp in self._powers.items() if var in keep})
+
+    def exclude(self, variables: Iterable[str]) -> "Monomial":
+        """The part of this monomial involving none of ``variables``."""
+        drop = set(variables)
+        return Monomial({var: exp for var, exp in self._powers.items() if var not in drop})
+
+    def evaluate(self, valuation: Mapping[str, float]) -> float:
+        """Numeric value of the monomial under a (complete) valuation."""
+        result = 1.0
+        for var, exp in self._powers.items():
+            try:
+                base = valuation[var]
+            except KeyError as exc:
+                raise PolynomialError(f"valuation is missing variable {var!r}") from exc
+            result *= base**exp
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "Monomial":
+        """Rename variables according to ``mapping`` (unlisted variables are kept)."""
+        renamed: dict[str, int] = {}
+        for var, exp in self._powers.items():
+            target = mapping.get(var, var)
+            renamed[target] = renamed.get(target, 0) + exp
+        return Monomial(renamed)
+
+    # -- display -------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self._powers:
+            return "1"
+        parts = []
+        for var, exp in sorted(self._powers.items()):
+            parts.append(var if exp == 1 else f"{var}^{exp}")
+        return "*".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Monomial({self._powers!r})"
+
+
+_ONE = Monomial()

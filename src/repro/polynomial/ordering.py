@@ -1,0 +1,113 @@
+"""Monomial orders and monomial enumeration.
+
+The paper's Step 1 and Step 3 both need "the set of all monomials of degree at
+most d over a variable set"; :func:`monomials_up_to_degree` provides that in a
+deterministic order.  The order functions are standard term orders used for
+deterministic printing and for the Groebner-free normal forms in tests.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.polynomial.monomial import Monomial
+
+
+class MonomialOrder(str, Enum):
+    """Supported term orders."""
+
+    LEX = "lex"
+    GRLEX = "grlex"
+    GREVLEX = "grevlex"
+
+
+def _exponent_vector(monomial: Monomial, variables: Sequence[str]) -> tuple[int, ...]:
+    return tuple(monomial.exponent(var) for var in variables)
+
+
+def lex_key(monomial: Monomial, variables: Sequence[str]) -> tuple:
+    """Lexicographic key with respect to the given variable order."""
+    return _exponent_vector(monomial, variables)
+
+
+def grlex_key(monomial: Monomial, variables: Sequence[str]) -> tuple:
+    """Graded lexicographic key: total degree first, then lex."""
+    return (monomial.degree(), _exponent_vector(monomial, variables))
+
+
+def grevlex_key(monomial: Monomial, variables: Sequence[str]) -> tuple:
+    """Graded reverse lexicographic key."""
+    exponents = _exponent_vector(monomial, variables)
+    return (monomial.degree(), tuple(-e for e in reversed(exponents)))
+
+
+_KEY_FUNCTIONS = {
+    MonomialOrder.LEX: lex_key,
+    MonomialOrder.GRLEX: grlex_key,
+    MonomialOrder.GREVLEX: grevlex_key,
+}
+
+
+def order_key(order: MonomialOrder, monomial: Monomial, variables: Sequence[str]) -> tuple:
+    """Key of ``monomial`` under ``order`` with the given variable sequence."""
+    return _KEY_FUNCTIONS[order](monomial, variables)
+
+
+def sort_monomials(
+    monomials: Iterable[Monomial],
+    variables: Sequence[str],
+    order: MonomialOrder = MonomialOrder.GRLEX,
+    reverse: bool = False,
+) -> list[Monomial]:
+    """Sort monomials under the given term order (ascending by default)."""
+    return sorted(monomials, key=lambda m: order_key(order, m, variables), reverse=reverse)
+
+
+def monomials_up_to_degree(variables: Sequence[str], degree: int) -> list[Monomial]:
+    """All monomials over ``variables`` of total degree at most ``degree``.
+
+    The result is sorted in graded lexicographic order and always contains the
+    constant monomial ``1`` first.  This is the paper's set ``M^f_d`` (Step 1)
+    and ``M_Upsilon`` (Step 3).
+    """
+    if degree < 0:
+        return []
+    ordered_vars = list(variables)
+    current: list[Monomial] = [Monomial.one()]
+    result: list[Monomial] = [Monomial.one()]
+    for _ in range(degree):
+        next_layer: list[Monomial] = []
+        seen: set[Monomial] = set()
+        for monomial in current:
+            for var in ordered_vars:
+                candidate = monomial * Monomial.of(var)
+                if candidate not in seen:
+                    seen.add(candidate)
+                    next_layer.append(candidate)
+        result.extend(next_layer)
+        current = next_layer
+    unique = list(dict.fromkeys(result))
+    return sort_monomials(unique, ordered_vars, MonomialOrder.GRLEX)
+
+
+def monomials_of_degree(variables: Sequence[str], degree: int) -> list[Monomial]:
+    """All monomials over ``variables`` of total degree exactly ``degree``."""
+    return [m for m in monomials_up_to_degree(variables, degree) if m.degree() == degree]
+
+
+def count_monomials_up_to_degree(num_variables: int, degree: int) -> int:
+    """Number of monomials of degree <= ``degree`` in ``num_variables`` variables.
+
+    This is the binomial coefficient C(num_variables + degree, degree); the
+    closed form is used by the benchmark harness to report predicted template
+    sizes without materialising the monomials.
+    """
+    if degree < 0 or num_variables < 0:
+        return 0
+    numerator = 1
+    denominator = 1
+    for i in range(1, degree + 1):
+        numerator *= num_variables + i
+        denominator *= i
+    return numerator // denominator

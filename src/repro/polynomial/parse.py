@@ -1,0 +1,161 @@
+"""A small recursive-descent parser for polynomial arithmetic expressions.
+
+This parser is intentionally independent of the full program parser in
+:mod:`repro.lang`: it is used wherever a bare polynomial (not a program) is
+convenient to write as text — pre-conditions, target invariants in the
+benchmark suite, and tests.
+
+Supported syntax::
+
+    expr    := term (('+' | '-') term)*
+    term    := factor (('*' factor) | factor_implicit)*
+    factor  := base ('^' INT | '**' INT)?
+    base    := NUMBER | IDENT | '(' expr ')' | '-' factor
+
+Numbers may be integers, decimals (``0.5``) or fractions (``1/2`` is parsed as
+division of constants).  Identifiers may contain letters, digits, ``_`` and a
+trailing ``'`` (primes are used for post-state variables in some call sites).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ParseError
+from repro.polynomial.polynomial import Polynomial
+
+_OPERATORS = {"+", "-", "*", "/", "^", "(", ")"}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char in "+-*/^()":
+            if char == "*" and i + 1 < length and text[i + 1] == "*":
+                tokens.append("^")
+                i += 2
+            else:
+                tokens.append(char)
+                i += 1
+            continue
+        if char.isdigit() or char == ".":
+            j = i
+            while j < length and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+            continue
+        if char.isalpha() or char in "_$":
+            # '$' admits the library's internal unknown names (e.g. "$s_f_1_0_0"),
+            # which is convenient in tests and diagnostics.
+            j = i
+            while j < length and (text[j].isalnum() or text[j] in "_'$"):
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+            continue
+        raise ParseError(f"unexpected character {char!r} in polynomial expression", column=i + 1)
+    return tokens
+
+
+class _ExpressionParser:
+    def __init__(self, tokens: list[str], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._position = 0
+
+    def _peek(self) -> str | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of polynomial expression: {self._source!r}")
+        self._position += 1
+        return token
+
+    def _expect(self, expected: str) -> None:
+        token = self._advance()
+        if token != expected:
+            raise ParseError(f"expected {expected!r} but found {token!r} in {self._source!r}")
+
+    def parse(self) -> Polynomial:
+        result = self._parse_expression()
+        if self._peek() is not None:
+            raise ParseError(f"trailing tokens after polynomial expression: {self._source!r}")
+        return result
+
+    def _parse_expression(self) -> Polynomial:
+        result = self._parse_term()
+        while self._peek() in {"+", "-"}:
+            operator = self._advance()
+            rhs = self._parse_term()
+            result = result + rhs if operator == "+" else result - rhs
+        return result
+
+    def _parse_term(self) -> Polynomial:
+        result = self._parse_factor()
+        while True:
+            token = self._peek()
+            if token == "*":
+                self._advance()
+                result = result * self._parse_factor()
+            elif token == "/":
+                self._advance()
+                divisor = self._parse_factor()
+                if not divisor.is_constant():
+                    raise ParseError(f"division by non-constant in {self._source!r}")
+                result = result / divisor.constant_value()
+            elif token is not None and token not in _OPERATORS:
+                # Implicit multiplication such as "2x" or ") (".
+                result = result * self._parse_factor()
+            elif token == "(":
+                result = result * self._parse_factor()
+            else:
+                return result
+
+    def _parse_factor(self) -> Polynomial:
+        base = self._parse_base()
+        if self._peek() == "^":
+            self._advance()
+            exponent_token = self._advance()
+            try:
+                exponent = int(exponent_token)
+            except ValueError as exc:
+                raise ParseError(f"exponent must be an integer, got {exponent_token!r}") from exc
+            base = base**exponent
+        return base
+
+    def _parse_base(self) -> Polynomial:
+        token = self._advance()
+        if token == "(":
+            inner = self._parse_expression()
+            self._expect(")")
+            return inner
+        if token == "-":
+            return -self._parse_factor()
+        if token == "+":
+            return self._parse_factor()
+        if token[0].isdigit() or token[0] == ".":
+            try:
+                value = Fraction(token)
+            except ValueError as exc:
+                raise ParseError(f"invalid numeric literal {token!r}") from exc
+            return Polynomial.constant(value)
+        return Polynomial.variable(token)
+
+
+def parse_polynomial(text: str) -> Polynomial:
+    """Parse ``text`` into a :class:`~repro.polynomial.polynomial.Polynomial`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty polynomial expression")
+    return _ExpressionParser(tokens, text).parse()

@@ -1,0 +1,356 @@
+"""Sparse multivariate polynomials with exact rational coefficients."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.errors import PolynomialError
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.ordering import MonomialOrder, order_key
+
+Scalar = Union[int, float, Fraction]
+PolynomialLike = Union["Polynomial", Monomial, Scalar]
+
+
+def _to_fraction(value: Scalar) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):
+        raise PolynomialError("booleans are not valid polynomial coefficients")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, Rational):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**12)
+    raise PolynomialError(f"cannot interpret {value!r} as a rational coefficient")
+
+
+class Polynomial:
+    """A multivariate polynomial with :class:`fractions.Fraction` coefficients.
+
+    Instances are immutable.  The representation is a sparse mapping from
+    :class:`~repro.polynomial.monomial.Monomial` to non-zero coefficients.
+    """
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[Monomial, Scalar] | Iterable[tuple[Monomial, Scalar]] = ()):
+        cleaned: dict[Monomial, Fraction] = {}
+        for monomial, coefficient in dict(terms).items():
+            if not isinstance(monomial, Monomial):
+                raise PolynomialError(f"term keys must be Monomial, got {monomial!r}")
+            value = _to_fraction(coefficient)
+            if value:
+                cleaned[monomial] = value
+        self._terms = cleaned
+        self._hash: int | None = None
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Polynomial":
+        """The zero polynomial."""
+        return _ZERO
+
+    @staticmethod
+    def one() -> "Polynomial":
+        """The constant polynomial 1."""
+        return _ONE
+
+    @staticmethod
+    def constant(value: Scalar) -> "Polynomial":
+        """The constant polynomial with the given value."""
+        return Polynomial({Monomial.one(): value})
+
+    @staticmethod
+    def variable(name: str) -> "Polynomial":
+        """The polynomial consisting of the single variable ``name``."""
+        return Polynomial({Monomial.of(name): 1})
+
+    @staticmethod
+    def from_monomial(monomial: Monomial, coefficient: Scalar = 1) -> "Polynomial":
+        """The polynomial ``coefficient * monomial``."""
+        return Polynomial({monomial: coefficient})
+
+    @staticmethod
+    def coerce(value: PolynomialLike) -> "Polynomial":
+        """Coerce a scalar, monomial or polynomial into a :class:`Polynomial`."""
+        if isinstance(value, Polynomial):
+            return value
+        if isinstance(value, Monomial):
+            return Polynomial({value: 1})
+        return Polynomial.constant(value)
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._terms.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float, Fraction)):
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def __len__(self) -> int:
+        """Number of (non-zero) terms."""
+        return len(self._terms)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def terms(self) -> dict[Monomial, Fraction]:
+        """A copy of the monomial-to-coefficient map."""
+        return dict(self._terms)
+
+    def coefficient(self, monomial: Monomial) -> Fraction:
+        """The coefficient of ``monomial`` (0 when absent)."""
+        return self._terms.get(monomial, Fraction(0))
+
+    def monomials(self) -> list[Monomial]:
+        """All monomials with a non-zero coefficient, sorted deterministically."""
+        return sorted(self._terms, key=lambda m: m.sort_key())
+
+    def variables(self) -> frozenset[str]:
+        """All variables occurring in the polynomial."""
+        names: set[str] = set()
+        for monomial in self._terms:
+            names.update(monomial.variables())
+        return frozenset(names)
+
+    def degree(self) -> int:
+        """Total degree (0 for constants; -1 for the zero polynomial by convention)."""
+        if not self._terms:
+            return -1
+        return max(monomial.degree() for monomial in self._terms)
+
+    def degree_in(self, var: str) -> int:
+        """Maximum exponent of ``var`` across all terms."""
+        if not self._terms:
+            return -1
+        return max(monomial.exponent(var) for monomial in self._terms)
+
+    def is_zero(self) -> bool:
+        """Whether this is the zero polynomial."""
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        """Whether this polynomial has no variables."""
+        return all(monomial.is_constant() for monomial in self._terms)
+
+    def constant_value(self) -> Fraction:
+        """The value of a constant polynomial; raises for non-constant ones."""
+        if not self.is_constant():
+            raise PolynomialError(f"{self} is not a constant polynomial")
+        return self.coefficient(Monomial.one())
+
+    def constant_term(self) -> Fraction:
+        """The coefficient of the constant monomial."""
+        return self.coefficient(Monomial.one())
+
+    def is_linear(self) -> bool:
+        """Whether the total degree is at most 1."""
+        return self.degree() <= 1
+
+    def is_quadratic(self) -> bool:
+        """Whether the total degree is at most 2."""
+        return self.degree() <= 2
+
+    def leading_term(
+        self, variables: Sequence[str] | None = None, order: MonomialOrder = MonomialOrder.GRLEX
+    ) -> tuple[Monomial, Fraction]:
+        """The leading (monomial, coefficient) pair under the given order."""
+        if not self._terms:
+            raise PolynomialError("the zero polynomial has no leading term")
+        ordered_vars = list(variables) if variables is not None else sorted(self.variables())
+        leading = max(self._terms, key=lambda m: order_key(order, m, ordered_vars))
+        return leading, self._terms[leading]
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: PolynomialLike) -> "Polynomial":
+        other_poly = Polynomial.coerce(other)
+        merged = dict(self._terms)
+        for monomial, coefficient in other_poly._terms.items():
+            merged[monomial] = merged.get(monomial, Fraction(0)) + coefficient
+        return Polynomial(merged)
+
+    def __radd__(self, other: PolynomialLike) -> "Polynomial":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({monomial: -coefficient for monomial, coefficient in self._terms.items()})
+
+    def __sub__(self, other: PolynomialLike) -> "Polynomial":
+        return self.__add__(-Polynomial.coerce(other))
+
+    def __rsub__(self, other: PolynomialLike) -> "Polynomial":
+        return Polynomial.coerce(other).__sub__(self)
+
+    def __mul__(self, other: PolynomialLike) -> "Polynomial":
+        other_poly = Polynomial.coerce(other)
+        if not self._terms or not other_poly._terms:
+            return _ZERO
+        product: dict[Monomial, Fraction] = {}
+        for mono_a, coeff_a in self._terms.items():
+            for mono_b, coeff_b in other_poly._terms.items():
+                key = mono_a * mono_b
+                product[key] = product.get(key, Fraction(0)) + coeff_a * coeff_b
+        return Polynomial(product)
+
+    def __rmul__(self, other: PolynomialLike) -> "Polynomial":
+        return self.__mul__(other)
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise PolynomialError(f"polynomial exponent must be a non-negative int, got {exponent!r}")
+        result = _ONE
+        base = self
+        power = exponent
+        while power:
+            if power & 1:
+                result = result * base
+            base = base * base
+            power >>= 1
+        return result
+
+    def __truediv__(self, other: Scalar) -> "Polynomial":
+        divisor = _to_fraction(other)
+        if divisor == 0:
+            raise PolynomialError("division of a polynomial by zero")
+        return Polynomial({m: c / divisor for m, c in self._terms.items()})
+
+    def scale(self, factor: Scalar) -> "Polynomial":
+        """Multiply every coefficient by ``factor``."""
+        return self.__mul__(Polynomial.constant(factor))
+
+    # -- evaluation and substitution ------------------------------------------
+
+    def evaluate(self, valuation: Mapping[str, Scalar]) -> Fraction:
+        """Exact value under a valuation; missing variables raise an error."""
+        total = Fraction(0)
+        for monomial, coefficient in self._terms.items():
+            term = coefficient
+            for var, exp in monomial:
+                if var not in valuation:
+                    raise PolynomialError(f"valuation is missing variable {var!r}")
+                term *= _to_fraction(valuation[var]) ** exp
+            total += term
+        return total
+
+    def evaluate_float(self, valuation: Mapping[str, float]) -> float:
+        """Floating-point value under a valuation (fast path for solvers)."""
+        total = 0.0
+        for monomial, coefficient in self._terms.items():
+            term = float(coefficient)
+            for var, exp in monomial:
+                term *= float(valuation[var]) ** exp
+            total += term
+        return total
+
+    def substitute(self, mapping: Mapping[str, PolynomialLike]) -> "Polynomial":
+        """Simultaneously substitute polynomials for variables.
+
+        Variables not listed in ``mapping`` are left untouched.  This is used
+        both for the paper's update-function composition (``g o alpha``) and
+        for the textual substitutions ``phi[x <- y]`` of Section 4.
+        """
+        if not mapping:
+            return self
+        replacements = {name: Polynomial.coerce(value) for name, value in mapping.items()}
+        result = _ZERO
+        for monomial, coefficient in self._terms.items():
+            term = Polynomial.constant(coefficient)
+            for var, exp in monomial:
+                factor = replacements.get(var, Polynomial.variable(var))
+                term = term * factor**exp
+            result = result + term
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
+        """Rename variables (a special case of :meth:`substitute` that stays sparse)."""
+        renamed: dict[Monomial, Fraction] = {}
+        for monomial, coefficient in self._terms.items():
+            key = monomial.rename(mapping)
+            renamed[key] = renamed.get(key, Fraction(0)) + coefficient
+        return Polynomial(renamed)
+
+    def collect(self, variables: Iterable[str]) -> dict[Monomial, "Polynomial"]:
+        """Group terms by their monomial over ``variables``.
+
+        Returns a map from monomials over ``variables`` to polynomials over
+        the *remaining* variables, such that
+        ``self == sum(mono * poly for mono, poly in result.items())``.
+        This is the "equate coefficients of corresponding monomials" operation
+        of Step 3 in the paper.
+        """
+        keep = set(variables)
+        grouped: dict[Monomial, dict[Monomial, Fraction]] = {}
+        for monomial, coefficient in self._terms.items():
+            outer = monomial.restrict(keep)
+            inner = monomial.exclude(keep)
+            bucket = grouped.setdefault(outer, {})
+            bucket[inner] = bucket.get(inner, Fraction(0)) + coefficient
+        return {outer: Polynomial(bucket) for outer, bucket in grouped.items()}
+
+    def partial_derivative(self, var: str) -> "Polynomial":
+        """Formal partial derivative with respect to ``var``."""
+        derived: dict[Monomial, Fraction] = {}
+        for monomial, coefficient in self._terms.items():
+            exp = monomial.exponent(var)
+            if exp == 0:
+                continue
+            lowered = monomial.divide(Monomial.of(var))
+            derived[lowered] = derived.get(lowered, Fraction(0)) + coefficient * exp
+        return Polynomial(derived)
+
+    def restrict_to(self, variables: Iterable[str]) -> "Polynomial":
+        """Terms involving only ``variables`` (other terms are dropped)."""
+        keep = set(variables)
+        return Polynomial(
+            {m: c for m, c in self._terms.items() if m.variables() <= keep}
+        )
+
+    # -- display --------------------------------------------------------------
+
+    def _format_coefficient(self, coefficient: Fraction) -> str:
+        if coefficient.denominator == 1:
+            return str(coefficient.numerator)
+        return f"{coefficient.numerator}/{coefficient.denominator}"
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts: list[str] = []
+        for monomial in sorted(self._terms, key=lambda m: m.sort_key(), reverse=True):
+            coefficient = self._terms[monomial]
+            sign = "-" if coefficient < 0 else "+"
+            magnitude = abs(coefficient)
+            if monomial.is_constant():
+                body = self._format_coefficient(magnitude)
+            elif magnitude == 1:
+                body = str(monomial)
+            else:
+                body = f"{self._format_coefficient(magnitude)}*{monomial}"
+            parts.append((sign, body))
+        first_sign, first_body = parts[0]
+        rendered = first_body if first_sign == "+" else f"-{first_body}"
+        for sign, body in parts[1:]:
+            rendered += f" {sign} {body}"
+        return rendered
+
+    def __repr__(self) -> str:
+        return f"Polynomial({str(self)})"
+
+
+_ZERO = Polynomial()
+_ONE = Polynomial({Monomial.one(): 1})

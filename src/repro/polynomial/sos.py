@@ -1,0 +1,194 @@
+"""Sum-of-squares (SOS) machinery: Gram matrices and Cholesky encodings.
+
+The paper (Section 3.1, Theorems 3.4 and 3.5) reduces "``h`` is a sum of
+squares" to the existence of a symmetric positive-semidefinite Gram matrix
+``Q`` with ``h = y^T Q y``, and then to the existence of a lower-triangular
+``L`` with non-negative diagonal such that ``Q = L L^T``.  This module builds
+that encoding symbolically (with fresh *l-variables*) and provides the inverse
+direction: reconstructing an explicit SOS decomposition from a numeric Gram
+matrix, which the certificate checker uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import PolynomialError
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.ordering import monomials_up_to_degree
+from repro.polynomial.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class GramEncoding:
+    """Symbolic encoding of "``h`` is a sum of squares of degree <= 2*half_degree".
+
+    Attributes
+    ----------
+    basis:
+        The vector ``y`` of monomials of degree at most ``half_degree``.
+    l_variable_names:
+        Names of the fresh entries of the lower-triangular matrix ``L``,
+        indexed ``[row][col]`` for ``col <= row``.
+    diagonal_names:
+        The names on the diagonal of ``L``; these must be constrained to be
+        non-negative (Theorem 3.5).
+    polynomial:
+        The expansion of ``y^T L L^T y`` as a :class:`Polynomial` over the
+        original variables *and* the l-variables.  It is quadratic in the
+        l-variables.
+    """
+
+    basis: tuple[Monomial, ...]
+    l_variable_names: tuple[tuple[str, ...], ...]
+    diagonal_names: tuple[str, ...]
+    polynomial: Polynomial = field(repr=False)
+
+    @property
+    def dimension(self) -> int:
+        """Size of the Gram matrix (length of the monomial basis)."""
+        return len(self.basis)
+
+    def all_l_names(self) -> list[str]:
+        """All l-variable names, row by row."""
+        return [name for row in self.l_variable_names for name in row]
+
+
+def sos_basis(variables: Sequence[str], max_degree: int) -> list[Monomial]:
+    """The monomial basis used for SOS polynomials of degree at most ``max_degree``.
+
+    A sum of squares has even degree; the basis therefore contains all
+    monomials of degree at most ``max_degree // 2``.
+    """
+    if max_degree < 0:
+        raise PolynomialError(f"SOS degree bound must be non-negative, got {max_degree}")
+    return monomials_up_to_degree(variables, max_degree // 2)
+
+
+def gram_matrix_encoding(
+    variables: Sequence[str], max_degree: int, prefix: str
+) -> GramEncoding:
+    """Build the Cholesky encoding of an unknown SOS polynomial.
+
+    Parameters
+    ----------
+    variables:
+        Program variables the SOS polynomial ranges over.
+    max_degree:
+        Upper bound on the degree of the SOS polynomial (the paper's
+        technical parameter Upsilon for the multiplier polynomials).
+    prefix:
+        Prefix used for the fresh l-variable names, e.g. ``"l_c3_h2"``.
+
+    Returns
+    -------
+    GramEncoding
+        The basis, the fresh variable names and the symbolic expansion of
+        ``y^T L L^T y``.
+    """
+    basis = sos_basis(variables, max_degree)
+    dimension = len(basis)
+    names: list[tuple[str, ...]] = []
+    for row in range(dimension):
+        row_names = tuple(f"{prefix}_{row}_{col}" for col in range(row + 1))
+        names.append(row_names)
+    diagonal = tuple(names[row][row] for row in range(dimension))
+
+    # Expand y^T L L^T y = sum_{j} (sum_{i >= j} l_{i,j} * y_i)^2 column by column,
+    # which keeps the intermediate polynomials small.
+    expansion = Polynomial.zero()
+    for col in range(dimension):
+        column_form = Polynomial.zero()
+        for row in range(col, dimension):
+            term = Polynomial.variable(names[row][col]) * Polynomial.from_monomial(basis[row])
+            column_form = column_form + term
+        expansion = expansion + column_form * column_form
+
+    return GramEncoding(
+        basis=tuple(basis),
+        l_variable_names=tuple(names),
+        diagonal_names=diagonal,
+        polynomial=expansion,
+    )
+
+
+def gram_polynomial(basis: Sequence[Monomial], gram: np.ndarray) -> Polynomial:
+    """The polynomial ``y^T Q y`` for a numeric symmetric matrix ``Q``."""
+    dimension = len(basis)
+    if gram.shape != (dimension, dimension):
+        raise PolynomialError(
+            f"Gram matrix shape {gram.shape} does not match basis of size {dimension}"
+        )
+    result = Polynomial.zero()
+    for i in range(dimension):
+        for j in range(dimension):
+            value = Fraction(float(gram[i, j])).limit_denominator(10**9)
+            if value:
+                result = result + Polynomial.from_monomial(basis[i] * basis[j], value)
+    return result
+
+
+def is_numerically_psd(matrix: np.ndarray, tolerance: float = 1e-8) -> bool:
+    """Whether a symmetric matrix is positive semidefinite up to ``tolerance``."""
+    if matrix.size == 0:
+        return True
+    symmetric = (matrix + matrix.T) / 2.0
+    eigenvalues = np.linalg.eigvalsh(symmetric)
+    return bool(eigenvalues.min() >= -tolerance)
+
+
+def project_to_psd(matrix: np.ndarray) -> np.ndarray:
+    """The nearest (Frobenius) positive-semidefinite matrix to ``matrix``."""
+    symmetric = (matrix + matrix.T) / 2.0
+    eigenvalues, eigenvectors = np.linalg.eigh(symmetric)
+    clipped = np.clip(eigenvalues, 0.0, None)
+    return (eigenvectors * clipped) @ eigenvectors.T
+
+
+def sos_from_gram(
+    basis: Sequence[Monomial], gram: np.ndarray, tolerance: float = 1e-8
+) -> list[Polynomial]:
+    """Extract an explicit SOS decomposition from a numeric Gram matrix.
+
+    Returns polynomials ``f_1 .. f_k`` (with float-derived rational
+    coefficients) such that ``sum f_j**2`` approximately equals
+    ``y^T Q y``.  Raises :class:`PolynomialError` when the matrix is not PSD
+    within ``tolerance``.
+    """
+    symmetric = (gram + gram.T) / 2.0
+    if symmetric.size == 0:
+        return []
+    eigenvalues, eigenvectors = np.linalg.eigh(symmetric)
+    if eigenvalues.min() < -tolerance:
+        raise PolynomialError(
+            f"Gram matrix is not positive semidefinite (min eigenvalue {eigenvalues.min():.3e})"
+        )
+    squares: list[Polynomial] = []
+    for value, vector in zip(eigenvalues, eigenvectors.T):
+        if value <= tolerance:
+            continue
+        scale = float(np.sqrt(value))
+        combination = Polynomial.zero()
+        for coefficient, monomial in zip(vector, basis):
+            weight = Fraction(scale * float(coefficient)).limit_denominator(10**9)
+            if weight:
+                combination = combination + Polynomial.from_monomial(monomial, weight)
+        if not combination.is_zero():
+            squares.append(combination)
+    return squares
+
+
+def evaluate_encoding(
+    encoding: GramEncoding, l_values: Mapping[str, float]
+) -> np.ndarray:
+    """Build the numeric Gram matrix ``L L^T`` from values of the l-variables."""
+    dimension = encoding.dimension
+    lower = np.zeros((dimension, dimension))
+    for row in range(dimension):
+        for col in range(row + 1):
+            lower[row, col] = float(l_values.get(encoding.l_variable_names[row][col], 0.0))
+    return lower @ lower.T

@@ -1,0 +1,29 @@
+"""Concrete semantics: a stack-machine interpreter for the paper's programs.
+
+The interpreter implements the run semantics of Section 2.2 — configurations
+are stacks of ``(function, label, valuation)`` stack elements — and is used by
+the dynamic invariant checker and the test suite to falsify candidate
+invariants by simulation.
+"""
+
+from repro.semantics.interpreter import ExecutionLimits, Interpreter, RunResult
+from repro.semantics.scheduler import (
+    AlternatingScheduler,
+    NondetScheduler,
+    RandomScheduler,
+    ScriptedScheduler,
+)
+from repro.semantics.traces import Configuration, StackElement, Trace
+
+__all__ = [
+    "AlternatingScheduler",
+    "Configuration",
+    "ExecutionLimits",
+    "Interpreter",
+    "NondetScheduler",
+    "RandomScheduler",
+    "RunResult",
+    "ScriptedScheduler",
+    "StackElement",
+    "Trace",
+]

@@ -1,0 +1,75 @@
+"""Resolution strategies for the program's non-deterministic choices.
+
+The interpreter delegates every ``if *`` decision to a scheduler, which makes
+it possible to explore runs randomly (for invariant falsification), replay a
+fixed decision sequence (for regression tests) or alternate deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.cfg.labels import Label
+from repro.cfg.transition import Transition
+
+
+class NondetScheduler(ABC):
+    """Strategy interface: pick one of the outgoing ``*`` transitions."""
+
+    @abstractmethod
+    def choose(self, label: Label, options: Sequence[Transition]) -> Transition:
+        """Select one transition out of ``options`` (never empty)."""
+
+    def reset(self) -> None:
+        """Reset any internal state before a fresh run (optional)."""
+
+
+class RandomScheduler(NondetScheduler):
+    """Choose uniformly at random, optionally with a fixed seed."""
+
+    def __init__(self, seed: int | None = None):
+        self._random = random.Random(seed)
+
+    def choose(self, label: Label, options: Sequence[Transition]) -> Transition:
+        return self._random.choice(list(options))
+
+
+class ScriptedScheduler(NondetScheduler):
+    """Replay a fixed sequence of branch indices (0 = first option).
+
+    Once the script is exhausted the scheduler keeps choosing the first
+    option, which makes scripted runs deterministic even when they are longer
+    than the script.
+    """
+
+    def __init__(self, choices: Sequence[int]):
+        self._choices = list(choices)
+        self._position = 0
+
+    def choose(self, label: Label, options: Sequence[Transition]) -> Transition:
+        if self._position < len(self._choices):
+            index = self._choices[self._position] % len(options)
+            self._position += 1
+        else:
+            index = 0
+        return options[index]
+
+    def reset(self) -> None:
+        self._position = 0
+
+
+class AlternatingScheduler(NondetScheduler):
+    """Alternate deterministically between the available options."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def choose(self, label: Label, options: Sequence[Transition]) -> Transition:
+        index = self._counter % len(options)
+        self._counter += 1
+        return options[index]
+
+    def reset(self) -> None:
+        self._counter = 0

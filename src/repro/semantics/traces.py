@@ -1,0 +1,89 @@
+"""Stack elements, configurations and execution traces (Section 2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterator, Mapping
+
+from repro.cfg.labels import Label
+
+
+@dataclass(frozen=True)
+class StackElement:
+    """A stack element ``(f, l, nu)``: a function, a label in it and a valuation."""
+
+    function: str
+    label: Label
+    valuation: Mapping[str, Fraction]
+
+    def value(self, variable: str) -> Fraction:
+        """The value of ``variable`` (0 when the valuation does not mention it)."""
+        return self.valuation.get(variable, Fraction(0))
+
+    def __str__(self) -> str:
+        values = ", ".join(f"{var}={float(val):g}" for var, val in sorted(self.valuation.items()))
+        return f"({self.function}, {self.label}, {{{values}}})"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A configuration: a finite stack of stack elements (possibly empty)."""
+
+    stack: tuple[StackElement, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.stack)
+
+    def __bool__(self) -> bool:
+        return bool(self.stack)
+
+    def top(self) -> StackElement:
+        """The last (innermost) stack element."""
+        if not self.stack:
+            raise IndexError("the empty configuration has no top element")
+        return self.stack[-1]
+
+    def push(self, element: StackElement) -> "Configuration":
+        """The configuration with ``element`` appended."""
+        return Configuration(stack=(*self.stack, element))
+
+    def pop(self, count: int = 1) -> "Configuration":
+        """The configuration with the last ``count`` elements removed."""
+        if count > len(self.stack):
+            raise IndexError(f"cannot pop {count} elements from a stack of {len(self.stack)}")
+        return Configuration(stack=self.stack[: len(self.stack) - count])
+
+    def replace_top(self, element: StackElement) -> "Configuration":
+        """The configuration with the top element replaced."""
+        return self.pop().push(element)
+
+    def __iter__(self) -> Iterator[StackElement]:
+        return iter(self.stack)
+
+
+@dataclass
+class Trace:
+    """A finite prefix of a run: the visited configurations in order."""
+
+    configurations: list[Configuration] = field(default_factory=list)
+
+    def append(self, configuration: Configuration) -> None:
+        self.configurations.append(configuration)
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+    def __iter__(self) -> Iterator[Configuration]:
+        return iter(self.configurations)
+
+    def visited_elements(self) -> Iterator[StackElement]:
+        """Every stack element appearing anywhere in the trace, in order."""
+        for configuration in self.configurations:
+            yield from configuration
+
+    def top_elements(self) -> Iterator[StackElement]:
+        """The top stack element of every non-empty configuration."""
+        for configuration in self.configurations:
+            if configuration:
+                yield configuration.top()

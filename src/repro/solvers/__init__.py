@@ -1,0 +1,42 @@
+"""Step-4 solvers: numeric back-ends for the quadratic systems of Step 3.
+
+The paper solves its systems with the commercial QCLP solver LOQO; this
+reproduction replaces it with SciPy-based solvers:
+
+* :class:`~repro.solvers.qclp.PenaltyQCLPSolver` — the default: an
+  exact-penalty / multi-restart nonlinear programming solver with analytic
+  gradients, optionally polished with SLSQP.
+* :class:`~repro.solvers.alternating.AlternatingSolver` — exploits the
+  bilinear structure of the systems (template coefficients vs. certificate
+  multipliers) by alternating linear least-squares steps with SOS
+  (positive-semidefinite) projections.
+* :mod:`repro.solvers.sdp` — sum-of-squares feasibility for *fixed* template
+  coefficients via alternating projections onto the PSD cone; used by the
+  certificate checker.
+* :class:`~repro.solvers.strong.RepresentativeEnumerator` — the practical
+  substitute for the Grigor'ev–Vorobjov procedure of Strong synthesis:
+  multi-start search plus solution clustering.
+* :mod:`repro.solvers.farkas` — the linear baseline in the spirit of
+  [Colón et al. 2003] used for comparison experiments.
+"""
+
+from repro.solvers.alternating import AlternatingSolver
+from repro.solvers.base import Solver, SolverOptions, SolverResult
+from repro.solvers.farkas import farkas_translate, linear_baseline_system
+from repro.solvers.qclp import PenaltyQCLPSolver
+from repro.solvers.sdp import SOSFeasibilityResult, check_putinar_certificate, solve_sos_feasibility
+from repro.solvers.strong import RepresentativeEnumerator
+
+__all__ = [
+    "AlternatingSolver",
+    "PenaltyQCLPSolver",
+    "RepresentativeEnumerator",
+    "SOSFeasibilityResult",
+    "Solver",
+    "SolverOptions",
+    "SolverResult",
+    "check_putinar_certificate",
+    "farkas_translate",
+    "linear_baseline_system",
+    "solve_sos_feasibility",
+]

@@ -1,0 +1,89 @@
+"""Common solver interface and result type."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.invariants.quadratic_system import QuadraticSystem
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Knobs shared by the numeric solvers.
+
+    Attributes
+    ----------
+    max_iterations:
+        Iteration budget per restart (meaning depends on the solver).
+    restarts:
+        Number of random restarts.
+    tolerance:
+        Feasibility tolerance: an assignment is accepted when the maximum
+        constraint violation is below this value.
+    seed:
+        Seed of the pseudo-random restart generator (for reproducibility).
+    strict_margin:
+        The margin used to turn strict inequalities ``p > 0`` into
+        ``p >= strict_margin`` for the numeric solvers.
+    verbose:
+        Whether to print progress information.
+    time_limit:
+        Soft wall-clock limit in seconds (checked between restarts).
+    stop_at_objective:
+        Stop restarting as soon as a feasible point with an objective value at
+        or below this threshold has been found (the objectives used for weak
+        synthesis are squared distances, so 0 means "target matched exactly").
+    """
+
+    max_iterations: int = 400
+    restarts: int = 3
+    tolerance: float = 1e-5
+    seed: int = 0
+    strict_margin: float = 1e-4
+    verbose: bool = False
+    time_limit: float | None = None
+    stop_at_objective: float = 1e-6
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a Step-4 solve."""
+
+    assignment: Mapping[str, float] | None
+    status: str
+    objective_value: float | None = None
+    max_violation: float | None = None
+    iterations: int = 0
+    restarts_used: int = 0
+    details: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the solver returned an assignment it considers feasible."""
+        return self.assignment is not None
+
+    def __str__(self) -> str:
+        pieces = [f"status={self.status}"]
+        if self.objective_value is not None:
+            pieces.append(f"objective={self.objective_value:.6g}")
+        if self.max_violation is not None:
+            pieces.append(f"max_violation={self.max_violation:.3g}")
+        pieces.append(f"iterations={self.iterations}")
+        return "SolverResult(" + ", ".join(pieces) + ")"
+
+
+class Solver(ABC):
+    """Interface of every Step-4 solver."""
+
+    def __init__(self, options: SolverOptions | None = None):
+        self.options = options if options is not None else SolverOptions()
+
+    @abstractmethod
+    def solve(self, system: QuadraticSystem) -> SolverResult:
+        """Find an assignment of the unknowns satisfying ``system`` (best effort)."""
+
+    def name(self) -> str:
+        """Short solver name used in reports."""
+        return type(self).__name__

@@ -1,0 +1,70 @@
+"""Linear-invariant baseline in the spirit of [Colón et al. 2003].
+
+The CAV 2003 approach generates *linear* invariants for *linear* programs by
+applying Farkas' lemma to every consecution condition, which yields bilinear
+constraints over the template coefficients and the Farkas multipliers.  In
+the vocabulary of this library that is exactly the Handelman translation with
+degree-1 templates and single-factor products (no polynomial products, no SOS
+matrices), so the baseline is a thin wrapper over the existing machinery.
+
+It is used in the comparison/ablation benchmarks to reproduce the paper's
+observation that linear-invariant generators cannot handle the benchmarks
+that need genuinely polynomial invariants (Remark 11).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cfg.graph import ProgramCFG
+from repro.invariants.constraints import ConstraintPair
+from repro.invariants.generation import generate_constraint_pairs
+from repro.invariants.handelman import handelman_translate
+from repro.invariants.quadratic_system import QuadraticSystem
+from repro.invariants.template import TemplateSet
+from repro.polynomial.polynomial import Polynomial
+from repro.spec.preconditions import Precondition
+
+
+def farkas_translate(
+    pairs: Sequence[ConstraintPair],
+    with_witness: bool = False,
+    objective: Polynomial | None = None,
+) -> QuadraticSystem:
+    """Farkas-style translation: one non-negative multiplier per assumption.
+
+    Equivalent to the Handelman translation restricted to single factors.
+    Sound for any degree, complete only for linear invariants of linear
+    programs (the [Colón et al. 2003] setting).
+    """
+    return handelman_translate(pairs, max_factors=1, with_witness=with_witness, objective=objective)
+
+
+def linear_baseline_system(
+    cfg: ProgramCFG,
+    precondition: Precondition,
+    conjuncts: int = 1,
+    objective: Polynomial | None = None,
+) -> tuple[TemplateSet, QuadraticSystem]:
+    """Build the full linear-baseline pipeline: degree-1 templates + Farkas translation.
+
+    Returns the templates (so callers can interpret solutions) and the
+    bilinear system.  The system is expected to be infeasible — or unable to
+    express the target — on the paper's polynomial benchmarks, which is the
+    comparison point of the ablation experiments.
+    """
+    templates = TemplateSet.build(cfg, degree=1, conjuncts=conjuncts)
+    pairs = generate_constraint_pairs(cfg, precondition, templates)
+    system = farkas_translate(pairs, objective=objective)
+    return templates, system
+
+
+def can_express_target(templates: TemplateSet, target: Polynomial, function: str, label_index: int) -> bool:
+    """Whether a degree-1 template can even represent the target invariant.
+
+    Linear baselines fail on the paper's benchmarks for one of two reasons:
+    the target needs quadratic monomials (this check), or no linear inductive
+    strengthening exists.  The ablation bench reports which of the two applied.
+    """
+    entry = templates.entry_for(function, label_index)
+    return all(monomial in entry.monomials for monomial in target.terms)

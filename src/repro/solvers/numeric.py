@@ -1,0 +1,225 @@
+"""Vectorised numeric view of a quadratic system.
+
+The Step-3 systems routinely contain thousands of constraints and unknowns;
+evaluating them constraint-by-constraint in Python is far too slow inside an
+optimisation loop.  :class:`VectorisedSystem` compiles a
+:class:`~repro.invariants.quadratic_system.QuadraticSystem` into flat numpy
+arrays once, after which constraint values, residuals and penalty gradients
+are all single vectorised expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.invariants.quadratic_system import ConstraintKind, QuadraticSystem
+from repro.polynomial.polynomial import Polynomial
+
+
+@dataclass
+class _QuadraticTerms:
+    """Flat triplet representation of all bilinear terms, tagged by constraint row."""
+
+    rows: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    coefficients: np.ndarray
+
+    @staticmethod
+    def empty() -> "_QuadraticTerms":
+        zero = np.zeros(0, dtype=np.int64)
+        return _QuadraticTerms(rows=zero, left=zero, right=zero, coefficients=np.zeros(0))
+
+    def values(self, point: np.ndarray, row_count: int) -> np.ndarray:
+        if self.rows.size == 0:
+            return np.zeros(row_count)
+        contributions = self.coefficients * point[self.left] * point[self.right]
+        return np.bincount(self.rows, weights=contributions, minlength=row_count)
+
+    def add_weighted_gradient(
+        self, point: np.ndarray, weights: np.ndarray, gradient: np.ndarray
+    ) -> None:
+        if self.rows.size == 0:
+            return
+        scale = weights[self.rows] * self.coefficients
+        np.add.at(gradient, self.left, scale * point[self.right])
+        np.add.at(gradient, self.right, scale * point[self.left])
+
+
+def _compile_rows(
+    polynomials: Sequence[Polynomial], index: Mapping[str, int], dimension: int
+) -> tuple[np.ndarray, sparse.csr_matrix, _QuadraticTerms]:
+    constants = np.zeros(len(polynomials))
+    linear_rows: list[int] = []
+    linear_cols: list[int] = []
+    linear_vals: list[float] = []
+    quad_rows: list[int] = []
+    quad_left: list[int] = []
+    quad_right: list[int] = []
+    quad_vals: list[float] = []
+
+    for row, polynomial in enumerate(polynomials):
+        for monomial, coefficient in polynomial.terms.items():
+            value = float(coefficient)
+            powers = list(monomial.powers.items())
+            degree = monomial.degree()
+            if degree == 0:
+                constants[row] += value
+            elif degree == 1:
+                linear_rows.append(row)
+                linear_cols.append(index[powers[0][0]])
+                linear_vals.append(value)
+            elif degree == 2:
+                if len(powers) == 1:
+                    column = index[powers[0][0]]
+                    quad_rows.append(row)
+                    quad_left.append(column)
+                    quad_right.append(column)
+                    quad_vals.append(value)
+                else:
+                    quad_rows.append(row)
+                    quad_left.append(index[powers[0][0]])
+                    quad_right.append(index[powers[1][0]])
+                    quad_vals.append(value)
+            else:
+                raise ValueError(f"polynomial of degree {degree} is not quadratic")
+
+    linear = sparse.csr_matrix(
+        (linear_vals, (linear_rows, linear_cols)), shape=(len(polynomials), dimension)
+    )
+    quadratic = _QuadraticTerms(
+        rows=np.asarray(quad_rows, dtype=np.int64),
+        left=np.asarray(quad_left, dtype=np.int64),
+        right=np.asarray(quad_right, dtype=np.int64),
+        coefficients=np.asarray(quad_vals),
+    )
+    return constants, linear, quadratic
+
+
+class VectorisedSystem:
+    """Numpy-compiled constraints, residuals and penalty gradients of a system."""
+
+    def __init__(self, system: QuadraticSystem, strict_margin: float = 1e-4):
+        self.system = system
+        self.variables: list[str] = system.variables()
+        self.index: dict[str, int] = {name: i for i, name in enumerate(self.variables)}
+        self.dimension = len(self.variables)
+        self.strict_margin = strict_margin
+
+        polynomials = [constraint.polynomial for constraint in system.constraints]
+        self.constants, self.linear, self.quadratic = _compile_rows(
+            polynomials, self.index, self.dimension
+        )
+        kinds = [constraint.kind for constraint in system.constraints]
+        self.equality_mask = np.array([kind is ConstraintKind.EQUALITY for kind in kinds])
+        self.nonneg_mask = np.array([kind is ConstraintKind.NONNEGATIVE for kind in kinds])
+        self.positive_mask = np.array([kind is ConstraintKind.POSITIVE for kind in kinds])
+        self.row_count = len(polynomials)
+
+        objective_constants, objective_linear, objective_quadratic = _compile_rows(
+            [system.objective], self.index, self.dimension
+        )
+        self.objective_constant = float(objective_constants[0]) if objective_constants.size else 0.0
+        self.objective_linear = objective_linear
+        self.objective_quadratic = objective_quadratic
+
+    # -- values ------------------------------------------------------------------
+
+    def constraint_values(self, point: np.ndarray) -> np.ndarray:
+        """The value of every constraint polynomial at ``point``."""
+        if self.row_count == 0:
+            return np.zeros(0)
+        values = self.constants + self.linear.dot(point)
+        values = values + self.quadratic.values(point, self.row_count)
+        return values
+
+    def residuals(self, point: np.ndarray) -> np.ndarray:
+        """Signed residuals: zero exactly when the corresponding constraint holds."""
+        values = self.constraint_values(point)
+        residuals = np.zeros_like(values)
+        residuals[self.equality_mask] = values[self.equality_mask]
+        nonneg = self.nonneg_mask
+        residuals[nonneg] = np.minimum(values[nonneg], 0.0)
+        positive = self.positive_mask
+        residuals[positive] = np.minimum(values[positive] - self.strict_margin, 0.0)
+        return residuals
+
+    def max_violation(self, point: np.ndarray) -> float:
+        """The largest absolute residual (0 when feasible)."""
+        residuals = self.residuals(point)
+        return float(np.max(np.abs(residuals))) if residuals.size else 0.0
+
+    def objective_value(self, point: np.ndarray) -> float:
+        """Value of the objective polynomial at ``point``."""
+        value = self.objective_constant + float(self.objective_linear.dot(point)[0])
+        value += float(self.objective_quadratic.values(point, 1)[0])
+        return value
+
+    def objective_gradient(self, point: np.ndarray) -> np.ndarray:
+        gradient = np.asarray(self.objective_linear.todense()).ravel().astype(float).copy()
+        self.objective_quadratic.add_weighted_gradient(point, np.ones(1), gradient)
+        return gradient
+
+    # -- penalty function -----------------------------------------------------------
+
+    def penalty(self, point: np.ndarray, rho: float, objective_weight: float = 1.0) -> float:
+        """The exact quadratic-penalty merit function."""
+        residuals = self.residuals(point)
+        return objective_weight * self.objective_value(point) + rho * float(residuals @ residuals)
+
+    def penalty_gradient(
+        self, point: np.ndarray, rho: float, objective_weight: float = 1.0
+    ) -> np.ndarray:
+        """Analytic gradient of :meth:`penalty`."""
+        values = self.constraint_values(point)
+        residuals = np.zeros_like(values)
+        residuals[self.equality_mask] = values[self.equality_mask]
+        nonneg = self.nonneg_mask
+        residuals[nonneg] = np.minimum(values[nonneg], 0.0)
+        positive = self.positive_mask
+        residuals[positive] = np.minimum(values[positive] - self.strict_margin, 0.0)
+
+        weights = 2.0 * rho * residuals
+        gradient = self.linear.T.dot(weights)
+        gradient = np.asarray(gradient).ravel()
+        self.quadratic.add_weighted_gradient(point, weights, gradient)
+        gradient += objective_weight * self.objective_gradient(point)
+        return gradient
+
+    def residual_jacobian(self, point: np.ndarray) -> sparse.csr_matrix:
+        """Sparse Jacobian of :meth:`residuals` (rows of inactive inequalities are zero)."""
+        values = self.constraint_values(point)
+        active = np.ones(self.row_count)
+        active[self.nonneg_mask] = (values[self.nonneg_mask] < 0.0).astype(float)
+        active[self.positive_mask] = (values[self.positive_mask] < self.strict_margin).astype(float)
+
+        jacobian = self.linear.tolil(copy=True)
+        if self.quadratic.rows.size:
+            rows = np.concatenate([self.quadratic.rows, self.quadratic.rows])
+            cols = np.concatenate([self.quadratic.left, self.quadratic.right])
+            vals = np.concatenate(
+                [
+                    self.quadratic.coefficients * point[self.quadratic.right],
+                    self.quadratic.coefficients * point[self.quadratic.left],
+                ]
+            )
+            quadratic_part = sparse.coo_matrix(
+                (vals, (rows, cols)), shape=(self.row_count, self.dimension)
+            )
+            jacobian = (jacobian.tocsr() + quadratic_part.tocsr()).tolil()
+        jacobian = sparse.diags(active).dot(jacobian.tocsr())
+        return jacobian.tocsr()
+
+    # -- conversions -------------------------------------------------------------------
+
+    def assignment(self, point: np.ndarray) -> dict[str, float]:
+        """Name-to-value view of a solution vector."""
+        return {name: float(value) for name, value in zip(self.variables, point)}
+
+    def vector(self, assignment: Mapping[str, float]) -> np.ndarray:
+        """Vector view of a name-to-value assignment (missing names default to 0)."""
+        return np.array([float(assignment.get(name, 0.0)) for name in self.variables])

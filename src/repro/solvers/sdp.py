@@ -1,0 +1,197 @@
+"""Sum-of-squares feasibility via alternating projections (POCS).
+
+When the template coefficients are *fixed* (for example when checking a
+candidate invariant, or inside the alternating Step-4 solver), each constraint
+pair reduces to an SOS feasibility problem::
+
+    g - eps  =  h_0 + sum_i h_i * g_i,      h_i sum-of-squares
+
+which is a semidefinite feasibility problem over the Gram matrices of the
+``h_i``.  Without an SDP solver in the environment we solve it by projecting
+alternately onto (a) the affine subspace defined by coefficient matching and
+(b) the product of positive-semidefinite cones.  Both are convex, so the
+iteration converges to a point of the intersection whenever one exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.invariants.constraints import ConstraintPair
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.ordering import monomials_up_to_degree
+from repro.polynomial.polynomial import Polynomial
+from repro.polynomial.sos import project_to_psd
+
+
+@dataclass
+class SOSFeasibilityResult:
+    """Outcome of one SOS feasibility solve."""
+
+    feasible: bool
+    epsilon: float
+    iterations: int
+    affine_residual: float
+    psd_residual: float
+    gram_matrices: list[np.ndarray] = field(default_factory=list)
+    basis: tuple[Monomial, ...] = ()
+
+    @property
+    def certificate_found(self) -> bool:
+        """Alias for :attr:`feasible` (readability at call sites)."""
+        return self.feasible
+
+
+def _gram_index(multiplier_count: int, basis_size: int) -> list[tuple[int, int, int]]:
+    """Flat index of the upper-triangular entries of every Gram matrix."""
+    entries: list[tuple[int, int, int]] = []
+    for which in range(multiplier_count):
+        for row in range(basis_size):
+            for col in range(row, basis_size):
+                entries.append((which, row, col))
+    return entries
+
+
+def _entry_polynomial(row_monomial: Monomial, col_monomial: Monomial, multiplier: Polynomial,
+                      off_diagonal: bool) -> Polynomial:
+    contribution = Polynomial.from_monomial(row_monomial * col_monomial)
+    if off_diagonal:
+        contribution = contribution.scale(2)
+    return contribution * multiplier
+
+
+def solve_sos_feasibility(
+    conclusion: Polynomial,
+    assumptions: Sequence[Polynomial],
+    variables: Sequence[str],
+    upsilon: int,
+    epsilon: float = 1e-6,
+    max_iterations: int = 6000,
+    tolerance: float = 1e-7,
+    feasibility_tolerance: float | None = None,
+) -> SOSFeasibilityResult:
+    """Search for a Putinar certificate of ``assumptions ==> conclusion > 0``.
+
+    All polynomials must be numeric (no template unknowns).  Returns the Gram
+    matrices of the multipliers ``h_0 .. h_m`` when a certificate is found.
+
+    Certificates that only exist on the boundary of the PSD cone (rank-deficient
+    Gram matrices, the common case for tight invariants) make alternating
+    projections converge linearly rather than finitely, so feasibility is
+    decided against ``feasibility_tolerance`` — by default a small fraction of
+    the conclusion's coefficient scale.  Infeasible instances converge to a
+    residual equal to the positivity gap, far above that threshold.
+    """
+    variables = [name for name in variables if name]
+    if feasibility_tolerance is None:
+        scale = max([1.0, *(abs(float(c)) for c in conclusion.terms.values())])
+        feasibility_tolerance = max(100 * tolerance, 2e-3 * scale)
+    multipliers = [Polynomial.one(), *assumptions]
+    basis = monomials_up_to_degree(variables, upsilon // 2) if variables else [Monomial.one()]
+    basis_size = len(basis)
+    entries = _gram_index(len(multipliers), basis_size)
+
+    # Target polynomial and the linear coefficient-matching system A x = b.
+    target = conclusion - Polynomial.constant(epsilon)
+    entry_polynomials: list[Polynomial] = []
+    for which, row, col in entries:
+        entry_polynomials.append(
+            _entry_polynomial(basis[row], basis[col], multipliers[which], off_diagonal=row != col)
+        )
+
+    monomial_index: dict[Monomial, int] = {}
+    for polynomial in (target, *entry_polynomials):
+        for monomial in polynomial.terms:
+            monomial_index.setdefault(monomial, len(monomial_index))
+
+    row_count = len(monomial_index)
+    column_count = len(entries)
+    matrix = np.zeros((row_count, column_count))
+    rhs = np.zeros(row_count)
+    for monomial, coefficient in target.terms.items():
+        rhs[monomial_index[monomial]] = float(coefficient)
+    for column, polynomial in enumerate(entry_polynomials):
+        for monomial, coefficient in polynomial.terms.items():
+            matrix[monomial_index[monomial], column] += float(coefficient)
+
+    if column_count == 0:
+        feasible = bool(np.all(np.abs(rhs) <= tolerance))
+        return SOSFeasibilityResult(
+            feasible=feasible, epsilon=epsilon, iterations=0,
+            affine_residual=float(np.max(np.abs(rhs), initial=0.0)), psd_residual=0.0,
+        )
+
+    gram = np.linalg.pinv(matrix @ matrix.T + 1e-12 * np.eye(row_count))
+
+    def project_affine(point: np.ndarray) -> np.ndarray:
+        correction = matrix.T @ (gram @ (matrix @ point - rhs))
+        return point - correction
+
+    def to_matrices(point: np.ndarray) -> list[np.ndarray]:
+        matrices = [np.zeros((basis_size, basis_size)) for _ in multipliers]
+        for value, (which, row, col) in zip(point, entries):
+            matrices[which][row, col] = value
+            matrices[which][col, row] = value
+        return matrices
+
+    def from_matrices(matrices: Sequence[np.ndarray]) -> np.ndarray:
+        point = np.zeros(column_count)
+        for position, (which, row, col) in enumerate(entries):
+            point[position] = matrices[which][row, col]
+        return point
+
+    point = np.zeros(column_count)
+    affine_residual = np.inf
+    psd_residual = np.inf
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        point = project_affine(point)
+        affine_residual = float(np.max(np.abs(matrix @ point - rhs), initial=0.0))
+        matrices = to_matrices(point)
+        projected = [project_to_psd(matrix_i) for matrix_i in matrices]
+        psd_residual = max(
+            float(np.max(np.abs(original - fixed), initial=0.0))
+            for original, fixed in zip(matrices, projected)
+        )
+        point = from_matrices(projected)
+        if affine_residual <= tolerance and psd_residual <= tolerance:
+            break
+
+    final_affine = float(np.max(np.abs(matrix @ point - rhs), initial=0.0))
+    feasible = final_affine <= feasibility_tolerance and psd_residual <= feasibility_tolerance
+    return SOSFeasibilityResult(
+        feasible=feasible,
+        epsilon=epsilon,
+        iterations=iterations,
+        affine_residual=final_affine,
+        psd_residual=psd_residual,
+        gram_matrices=to_matrices(point),
+        basis=tuple(basis),
+    )
+
+
+def check_putinar_certificate(
+    pair: ConstraintPair,
+    upsilon: int = 2,
+    epsilon: float = 1e-6,
+    max_iterations: int = 6000,
+    tolerance: float = 1e-7,
+) -> SOSFeasibilityResult:
+    """SOS-certificate check of a *numeric* constraint pair (no unknowns left)."""
+    if pair.unknowns():
+        raise ValueError(
+            f"constraint pair {pair.name!r} still contains template unknowns; "
+            "instantiate it before checking the certificate"
+        )
+    return solve_sos_feasibility(
+        conclusion=pair.conclusion,
+        assumptions=list(pair.assumptions),
+        variables=list(pair.relevant_program_variables()),
+        upsilon=upsilon,
+        epsilon=epsilon,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+    )

@@ -1,0 +1,33 @@
+"""Specifications: pre-conditions, post-conditions, objectives and the bounded-reals model."""
+
+from repro.spec.assertions import ConjunctiveAssertion, assertion_from_polynomials, parse_assertion
+from repro.spec.bounded import apply_bounded_reals_model, ball_constraint, box_constraints, satisfies_compactness
+from repro.spec.objectives import (
+    FeasibilityObjective,
+    LinearCoefficientObjective,
+    Objective,
+    TargetInvariantObjective,
+    TargetPostconditionObjective,
+)
+from repro.spec.postconditions import Postcondition, postcondition_vocabulary
+from repro.spec.preconditions import Precondition, augment_entry_preconditions, entry_assumptions
+
+__all__ = [
+    "ConjunctiveAssertion",
+    "FeasibilityObjective",
+    "LinearCoefficientObjective",
+    "Objective",
+    "Postcondition",
+    "Precondition",
+    "TargetInvariantObjective",
+    "TargetPostconditionObjective",
+    "apply_bounded_reals_model",
+    "assertion_from_polynomials",
+    "augment_entry_preconditions",
+    "ball_constraint",
+    "box_constraints",
+    "entry_assumptions",
+    "parse_assertion",
+    "postcondition_vocabulary",
+    "satisfies_compactness",
+]

@@ -1,0 +1,155 @@
+"""Conjunctive polynomial assertions.
+
+A :class:`ConjunctiveAssertion` is the paper's ``/\\_i (e_i >= 0)`` (or with
+strict inequalities): the building block of pre-conditions, post-conditions
+and synthesized invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.cfg.dnf import AtomicInequality, to_dnf
+from repro.errors import SpecificationError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import _Parser
+from repro.polynomial.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class ConjunctiveAssertion:
+    """A finite conjunction of atomic polynomial inequalities."""
+
+    atoms: tuple[AtomicInequality, ...] = ()
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def true() -> "ConjunctiveAssertion":
+        """The trivially-true assertion (empty conjunction)."""
+        return _TRUE
+
+    @staticmethod
+    def of(*atoms: AtomicInequality) -> "ConjunctiveAssertion":
+        """An assertion from explicit atoms."""
+        return ConjunctiveAssertion(atoms=tuple(atoms))
+
+    @staticmethod
+    def nonneg(polynomial: Polynomial) -> "ConjunctiveAssertion":
+        """The single-atom assertion ``polynomial >= 0``."""
+        return ConjunctiveAssertion(atoms=(AtomicInequality(polynomial, strict=False),))
+
+    @staticmethod
+    def positive(polynomial: Polynomial) -> "ConjunctiveAssertion":
+        """The single-atom assertion ``polynomial > 0``."""
+        return ConjunctiveAssertion(atoms=(AtomicInequality(polynomial, strict=True),))
+
+    @staticmethod
+    def equals(polynomial: Polynomial) -> "ConjunctiveAssertion":
+        """The assertion ``polynomial = 0`` encoded as two non-strict inequalities."""
+        return ConjunctiveAssertion(
+            atoms=(
+                AtomicInequality(polynomial, strict=False),
+                AtomicInequality(-polynomial, strict=False),
+            )
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def is_true(self) -> bool:
+        """Whether this is the empty (trivially true) conjunction."""
+        return not self.atoms
+
+    def __iter__(self) -> Iterator[AtomicInequality]:
+        return iter(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def variables(self) -> frozenset[str]:
+        """All variables mentioned by any atom."""
+        names: set[str] = set()
+        for atom in self.atoms:
+            names.update(atom.polynomial.variables())
+        return frozenset(names)
+
+    def holds(self, valuation: Mapping[str, float]) -> bool:
+        """Evaluate the conjunction on a concrete valuation."""
+        return all(atom.holds(valuation) for atom in self.atoms)
+
+    def max_degree(self) -> int:
+        """The maximum degree of any atom (0 for the true assertion)."""
+        if not self.atoms:
+            return 0
+        return max(atom.polynomial.degree() for atom in self.atoms)
+
+    # -- algebra ------------------------------------------------------------------
+
+    def conjoin(self, other: "ConjunctiveAssertion") -> "ConjunctiveAssertion":
+        """The conjunction of two assertions (duplicates removed, order kept)."""
+        seen = set()
+        merged: list[AtomicInequality] = []
+        for atom in (*self.atoms, *other.atoms):
+            key = (atom.polynomial, atom.strict)
+            if key not in seen:
+                seen.add(key)
+                merged.append(atom)
+        return ConjunctiveAssertion(atoms=tuple(merged))
+
+    def add(self, atom: AtomicInequality) -> "ConjunctiveAssertion":
+        """The conjunction of this assertion with one more atom."""
+        return self.conjoin(ConjunctiveAssertion(atoms=(atom,)))
+
+    def substitute(self, mapping: Mapping[str, Polynomial]) -> "ConjunctiveAssertion":
+        """Apply a substitution to every atom."""
+        return ConjunctiveAssertion(atoms=tuple(atom.substitute(mapping) for atom in self.atoms))
+
+    def relaxed(self) -> "ConjunctiveAssertion":
+        """All atoms relaxed to non-strict inequalities."""
+        return ConjunctiveAssertion(atoms=tuple(atom.relaxed() for atom in self.atoms))
+
+    def polynomials(self) -> list[Polynomial]:
+        """The polynomials ``e_i`` of all atoms, in order."""
+        return [atom.polynomial for atom in self.atoms]
+
+    # -- display -------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.atoms:
+            return "true"
+        return " and ".join(str(atom) for atom in self.atoms)
+
+
+_TRUE = ConjunctiveAssertion()
+
+
+def parse_assertion(text: str) -> ConjunctiveAssertion:
+    """Parse a conjunction of comparisons, e.g. ``"n >= 0 and x - y > 0"``.
+
+    The text must be purely conjunctive (no ``or`` / ``not`` that would
+    introduce disjunction after normal-form conversion).
+    """
+    text = text.strip()
+    if not text or text.lower() == "true":
+        return ConjunctiveAssertion.true()
+    parser = _Parser(tokenize(text))
+    predicate = parser._parse_predicate()
+    remaining = parser._peek()
+    if remaining.kind.value != "eof":
+        raise SpecificationError(f"trailing tokens in assertion {text!r}: {remaining.text!r}")
+    clauses = to_dnf(predicate)
+    if len(clauses) != 1:
+        raise SpecificationError(
+            f"assertion {text!r} is not conjunctive (it has {len(clauses)} DNF clauses)"
+        )
+    return ConjunctiveAssertion(atoms=clauses[0])
+
+
+def assertion_from_polynomials(
+    polynomials: Iterable[Polynomial], strict: bool = False
+) -> ConjunctiveAssertion:
+    """Build an assertion ``/\\ (p >= 0)`` (or ``> 0``) from raw polynomials."""
+    return ConjunctiveAssertion(
+        atoms=tuple(AtomicInequality(polynomial, strict=strict) for polynomial in polynomials)
+    )

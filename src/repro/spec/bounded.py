@@ -1,0 +1,110 @@
+"""The bounded-reals model of computation (Section 2.3 and Remark 5).
+
+In the bounded-reals model every variable value lies in ``[-c, c]`` and every
+label's pre-condition additionally contains the ball constraint
+``c^2 * |V^f| - (v_1^2 + ... + v_n^2) >= 0``.  The ball constraint makes the
+semi-algebraic set described by the pre-condition compact, which is exactly
+the condition Putinar's Positivstellensatz (and hence the paper's
+semi-completeness result, Lemma 3.7) needs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.cfg.graph import FunctionCFG, ProgramCFG
+from repro.polynomial.polynomial import Polynomial
+from repro.spec.assertions import ConjunctiveAssertion
+from repro.spec.preconditions import Precondition
+
+
+def box_constraints(function_cfg: FunctionCFG, bound: Fraction | int) -> ConjunctiveAssertion:
+    """The per-variable interval constraints ``-c <= v <= c`` for all of ``V^f``."""
+    bound = Fraction(bound)
+    assertion = ConjunctiveAssertion.true()
+    for name in function_cfg.variables:
+        variable = Polynomial.variable(name)
+        assertion = assertion.conjoin(ConjunctiveAssertion.nonneg(Polynomial.constant(bound) - variable))
+        assertion = assertion.conjoin(ConjunctiveAssertion.nonneg(variable + Polynomial.constant(bound)))
+    return assertion
+
+
+def ball_constraint(function_cfg: FunctionCFG, bound: Fraction | int) -> ConjunctiveAssertion:
+    """The compactness witness ``c^2*|V^f| - sum v_i^2 >= 0`` of Remark 5."""
+    bound = Fraction(bound)
+    total = Polynomial.constant(bound * bound * len(function_cfg.variables))
+    for name in function_cfg.variables:
+        variable = Polynomial.variable(name)
+        total = total - variable * variable
+    return ConjunctiveAssertion.nonneg(total)
+
+
+def apply_bounded_reals_model(
+    cfg: ProgramCFG,
+    precondition: Precondition,
+    bound: Fraction | int = 10**6,
+    include_boxes: bool = False,
+) -> Precondition:
+    """Strengthen a pre-condition with the bounded-reals constraints.
+
+    Parameters
+    ----------
+    cfg:
+        The program CFG.
+    precondition:
+        The user-supplied pre-condition (not modified).
+    bound:
+        The paper's constant ``c`` — the largest representable magnitude.
+    include_boxes:
+        Whether to also add the per-variable interval constraints.  The ball
+        constraint alone is sufficient for compactness and keeps the
+        constraint pairs smaller, so boxes are off by default.
+
+    Returns
+    -------
+    Precondition
+        A strengthened copy whose every label satisfies the compactness
+        condition of Theorem 3.1.
+    """
+    strengthened = precondition.copy()
+    for function_cfg in cfg:
+        ball = ball_constraint(function_cfg, bound)
+        boxes = box_constraints(function_cfg, bound) if include_boxes else ConjunctiveAssertion.true()
+        for label in function_cfg.labels:
+            strengthened.strengthen(label, ball)
+            if include_boxes:
+                strengthened.strengthen(label, boxes)
+    return strengthened
+
+
+def satisfies_compactness(precondition: Precondition, cfg: ProgramCFG) -> bool:
+    """Heuristic check of the compactness condition of Lemma 3.7.
+
+    We look for an atom at every label whose polynomial has the shape
+    ``constant - sum of even powers`` (a ball-like constraint); the bounded
+    reals transformation always produces one.  This is a sufficient, not a
+    necessary, syntactic check — it is used to warn users, not to reject
+    inputs.
+    """
+    for function_cfg in cfg:
+        for label in function_cfg.labels:
+            assertion = precondition.at(label)
+            if not any(_looks_like_ball(atom.polynomial) for atom in assertion):
+                return False
+    return True
+
+
+def _looks_like_ball(polynomial: Polynomial) -> bool:
+    constant = polynomial.constant_term()
+    if constant <= 0:
+        return False
+    for monomial, coefficient in polynomial.terms.items():
+        if monomial.is_constant():
+            continue
+        exponents = monomial.powers
+        if len(exponents) != 1:
+            return False
+        exponent = next(iter(exponents.values()))
+        if exponent % 2 != 0 or coefficient > 0:
+            return False
+    return True

@@ -1,0 +1,158 @@
+"""Objective functions for the Weak Invariant Synthesis problem.
+
+The paper (Remark 9) optimises a linear or quadratic function of the template
+coefficients (the *s-variables*).  The most common use is to ask for the
+invariant at one particular label to be as close as possible to a desired
+target assertion; :class:`TargetInvariantObjective` implements exactly that
+(it is the objective used in Example 9 and in the experimental section).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import SpecificationError
+from repro.polynomial.polynomial import Polynomial
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.invariants.template import TemplateSet
+
+
+class Objective(ABC):
+    """An objective over template coefficients, to be *minimised* by Step 4."""
+
+    @abstractmethod
+    def polynomial(self, template: "TemplateSet") -> Polynomial:
+        """The objective as a polynomial over the template's s-variables."""
+
+    def evaluate(self, template: "TemplateSet", assignment: Mapping[str, float]) -> float:
+        """Numeric value of the objective under an assignment of the unknowns."""
+        expression = self.polynomial(template)
+        valuation = {name: float(assignment.get(name, 0.0)) for name in expression.variables()}
+        return expression.evaluate_float(valuation)
+
+
+@dataclass(frozen=True)
+class FeasibilityObjective(Objective):
+    """The constant-zero objective: any solution of the system is acceptable."""
+
+    def polynomial(self, template: "TemplateSet") -> Polynomial:
+        return Polynomial.zero()
+
+
+@dataclass(frozen=True)
+class TargetInvariantObjective(Objective):
+    """Squared distance between one template conjunct and a target polynomial.
+
+    Attributes
+    ----------
+    function, label_index:
+        The label whose invariant should match the target (1-based index, as
+        printed in the paper's listings).
+    target:
+        The desired polynomial ``g`` for the assertion ``g > 0``.
+    conjunct:
+        Which conjunct of the template at that label to aim at (0-based).
+    normalise:
+        When true the target coefficients are divided by the largest absolute
+        coefficient, which keeps the objective well-scaled for the numeric
+        solvers.
+    """
+
+    function: str
+    label_index: int
+    target: Polynomial
+    conjunct: int = 0
+    normalise: bool = False
+
+    def polynomial(self, template: "TemplateSet") -> Polynomial:
+        entry = template.entry_for(self.function, self.label_index)
+        if self.conjunct >= entry.conjuncts:
+            raise SpecificationError(
+                f"template at {self.function}:{self.label_index} has {entry.conjuncts} conjuncts; "
+                f"conjunct {self.conjunct} was requested"
+            )
+        target = self.target
+        if self.normalise:
+            scale = max((abs(c) for c in target.terms.values()), default=1)
+            if scale:
+                target = target / scale
+
+        target_by_monomial = target.terms
+        allowed = set(entry.monomials)
+        unsupported = [m for m in target_by_monomial if m not in allowed]
+        if unsupported:
+            raise SpecificationError(
+                f"target invariant uses monomials {sorted(map(str, unsupported))} outside the "
+                f"degree-{entry.degree} template at {self.function}:{self.label_index}"
+            )
+
+        objective = Polynomial.zero()
+        for monomial in entry.monomials:
+            coefficient_variable = Polynomial.variable(
+                entry.coefficient_name(self.conjunct, monomial)
+            )
+            desired = target_by_monomial.get(monomial, 0)
+            difference = coefficient_variable - Polynomial.constant(desired)
+            objective = objective + difference * difference
+        return objective
+
+
+@dataclass(frozen=True)
+class TargetPostconditionObjective(Objective):
+    """Squared distance between a function's post-condition template and a target.
+
+    This is the recursive analogue of :class:`TargetInvariantObjective`: the
+    paper's recursive benchmarks specify the desired fact as a post-condition
+    ``g(ret_f, v_init, ...) > 0`` of the analysed function.
+    """
+
+    function: str
+    target: Polynomial
+    conjunct: int = 0
+
+    def polynomial(self, template: "TemplateSet") -> Polynomial:
+        entry = template.post_entry_for(self.function)
+        if self.conjunct >= entry.conjuncts:
+            raise SpecificationError(
+                f"post-condition template of {self.function!r} has {entry.conjuncts} conjuncts; "
+                f"conjunct {self.conjunct} was requested"
+            )
+        target_by_monomial = self.target.terms
+        allowed = set(entry.monomials)
+        unsupported = [m for m in target_by_monomial if m not in allowed]
+        if unsupported:
+            raise SpecificationError(
+                f"target post-condition uses monomials {sorted(map(str, unsupported))} outside the "
+                f"degree-{entry.degree} template of {self.function!r}"
+            )
+        objective = Polynomial.zero()
+        for monomial in entry.monomials:
+            coefficient_variable = Polynomial.variable(entry.coefficient_name(self.conjunct, monomial))
+            desired = target_by_monomial.get(monomial, 0)
+            difference = coefficient_variable - Polynomial.constant(desired)
+            objective = objective + difference * difference
+        return objective
+
+
+@dataclass(frozen=True)
+class LinearCoefficientObjective(Objective):
+    """A linear objective ``sum w_j * s_j`` over named template coefficients.
+
+    ``weights`` maps fully-qualified s-variable names (as produced by the
+    template) to weights.  This mirrors the paper's statement that any linear
+    objective over the s-variables is admissible.
+    """
+
+    weights: Mapping[str, float]
+
+    def polynomial(self, template: "TemplateSet") -> Polynomial:
+        known = set(template.coefficient_names())
+        objective = Polynomial.zero()
+        for name, weight in self.weights.items():
+            if name not in known:
+                raise SpecificationError(f"unknown template coefficient {name!r} in objective")
+            objective = objective + Polynomial.variable(name).scale(weight)
+        return objective

@@ -1,0 +1,72 @@
+"""Post-conditions: one conjunctive assertion per function over its return value.
+
+A post-condition (Section 2.3) characterises the return value ``ret_f`` of a
+function ``f`` in terms of the frozen parameter copies ``v_init``.  Its atoms
+are *strict* inequalities (Remark 1), matching Putinar's characterisation of
+strictly positive polynomials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cfg.graph import FunctionCFG, ProgramCFG
+from repro.errors import SpecificationError
+from repro.spec.assertions import ConjunctiveAssertion, parse_assertion
+
+
+@dataclass
+class Postcondition:
+    """A mapping from function names to conjunctive assertions (default ``true``)."""
+
+    assertions: dict[str, ConjunctiveAssertion] = field(default_factory=dict)
+
+    @staticmethod
+    def trivial() -> "Postcondition":
+        """The post-condition that is ``true`` for every function."""
+        return Postcondition()
+
+    @staticmethod
+    def from_spec(cfg: ProgramCFG, spec: Mapping[str, str]) -> "Postcondition":
+        """Build a post-condition from textual assertions keyed by function name."""
+        postcondition = Postcondition()
+        for function_name, text in spec.items():
+            function_cfg = cfg.function(function_name)
+            postcondition.set(function_cfg, parse_assertion(text))
+        return postcondition
+
+    def set(self, function_cfg: FunctionCFG, assertion: ConjunctiveAssertion) -> None:
+        """Set (replace) the assertion for a function, checking its vocabulary."""
+        allowed = {function_cfg.return_variable, *function_cfg.frozen_parameters.values()}
+        used = assertion.variables()
+        extraneous = used - allowed
+        if extraneous:
+            raise SpecificationError(
+                f"post-condition of {function_cfg.name!r} mentions {sorted(extraneous)}; "
+                f"only {sorted(allowed)} are allowed"
+            )
+        self.assertions[function_cfg.name] = assertion
+
+    def of(self, function_name: str) -> ConjunctiveAssertion:
+        """The assertion for ``function_name`` (``true`` when unspecified)."""
+        return self.assertions.get(function_name, ConjunctiveAssertion.true())
+
+    def functions(self) -> list[str]:
+        """Functions that carry a non-trivial post-condition."""
+        return [name for name, assertion in self.assertions.items() if not assertion.is_true()]
+
+    def holds_for(self, function_name: str, valuation: Mapping[str, float]) -> bool:
+        """Evaluate the assertion of ``function_name`` on a concrete valuation."""
+        return self.of(function_name).holds(valuation)
+
+    def __str__(self) -> str:
+        if not self.assertions:
+            return "true for every function"
+        return "\n".join(f"{name}: {assertion}" for name, assertion in sorted(self.assertions.items()))
+
+
+def postcondition_vocabulary(cfg: ProgramCFG, function_name: str) -> list[str]:
+    """The variables a post-condition of ``function_name`` may mention."""
+    function_cfg = cfg.function(function_name)
+    return sorted({function_cfg.return_variable, *function_cfg.frozen_parameters.values()})

@@ -1,0 +1,136 @@
+"""Pre-conditions: a conjunctive assertion at every program label.
+
+The paper (Section 2.3) defines a pre-condition as a map from labels to
+conjunctions of non-strict polynomial inequalities; labels without an
+explicit assertion default to ``true``.  The entry label of every function is
+additionally assumed (footnote in Section 2.3) to constrain all non-parameter
+variables to zero and to tie each parameter ``v`` to its frozen copy ``v_init``;
+:func:`augment_entry_preconditions` makes that assumption explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cfg.graph import FunctionCFG, ProgramCFG
+from repro.cfg.labels import Label
+from repro.errors import SpecificationError
+from repro.polynomial.polynomial import Polynomial
+from repro.spec.assertions import ConjunctiveAssertion, parse_assertion
+
+
+@dataclass
+class Precondition:
+    """A mapping from labels to conjunctive assertions, defaulting to ``true``."""
+
+    assertions: dict[Label, ConjunctiveAssertion] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------------
+
+    @staticmethod
+    def trivial() -> "Precondition":
+        """The pre-condition that is ``true`` at every label."""
+        return Precondition()
+
+    @staticmethod
+    def from_spec(cfg: ProgramCFG, spec: Mapping[str, Mapping[int, str]]) -> "Precondition":
+        """Build a pre-condition from textual assertions.
+
+        ``spec`` maps a function name to a map from 1-based label indices to
+        assertion strings, e.g. ``{"sum": {1: "n >= 0"}}``.
+        """
+        precondition = Precondition()
+        for function_name, per_label in spec.items():
+            function_cfg = cfg.function(function_name)
+            for index, text in per_label.items():
+                label = function_cfg.label_by_index(index)
+                precondition.set(label, parse_assertion(text))
+        return precondition
+
+    @staticmethod
+    def at_entry(cfg: ProgramCFG, entry_assertions: Mapping[str, str]) -> "Precondition":
+        """Pre-condition with one textual assertion at the entry label of each listed function."""
+        precondition = Precondition()
+        for function_name, text in entry_assertions.items():
+            function_cfg = cfg.function(function_name)
+            precondition.set(function_cfg.entry, parse_assertion(text))
+        return precondition
+
+    # -- mutation ----------------------------------------------------------------
+
+    def set(self, label: Label, assertion: ConjunctiveAssertion) -> None:
+        """Set (replace) the assertion at ``label``."""
+        for atom in assertion:
+            if atom.strict:
+                raise SpecificationError(
+                    f"pre-conditions must use non-strict inequalities, got {atom} at {label}"
+                )
+        self.assertions[label] = assertion
+
+    def strengthen(self, label: Label, assertion: ConjunctiveAssertion) -> None:
+        """Conjoin ``assertion`` with whatever is already required at ``label``."""
+        current = self.at(label)
+        merged = current.conjoin(assertion)
+        self.assertions[label] = merged
+
+    # -- queries -------------------------------------------------------------------
+
+    def at(self, label: Label) -> ConjunctiveAssertion:
+        """The assertion at ``label`` (``true`` when unspecified)."""
+        return self.assertions.get(label, ConjunctiveAssertion.true())
+
+    def labels(self) -> list[Label]:
+        """Labels that carry a non-trivial assertion."""
+        return [label for label, assertion in self.assertions.items() if not assertion.is_true()]
+
+    def copy(self) -> "Precondition":
+        """An independent copy."""
+        return Precondition(assertions=dict(self.assertions))
+
+    def holds_at(self, label: Label, valuation: Mapping[str, float]) -> bool:
+        """Evaluate the assertion at ``label`` on a concrete valuation."""
+        return self.at(label).holds(valuation)
+
+    def __str__(self) -> str:
+        if not self.assertions:
+            return "true everywhere"
+        lines = [
+            f"{label}: {assertion}"
+            for label, assertion in sorted(self.assertions.items(), key=lambda kv: str(kv[0]))
+            if not assertion.is_true()
+        ]
+        return "\n".join(lines) if lines else "true everywhere"
+
+
+def entry_assumptions(function_cfg: FunctionCFG) -> ConjunctiveAssertion:
+    """The implicit entry-label assumptions of Section 2.3.
+
+    At ``l^f_in`` every variable outside ``V^f_*`` is zero and each parameter
+    equals its frozen copy; both facts are expressed as pairs of non-strict
+    inequalities so that they fit the pre-condition format.
+    """
+    assertion = ConjunctiveAssertion.true()
+    special = {
+        function_cfg.return_variable,
+        *function_cfg.parameters,
+        *function_cfg.frozen_parameters.values(),
+    }
+    for name in function_cfg.variables:
+        if name in special and name not in (function_cfg.return_variable,):
+            continue
+        # ret_f and every local variable start at zero.
+        assertion = assertion.conjoin(ConjunctiveAssertion.equals(Polynomial.variable(name)))
+    for parameter in function_cfg.parameters:
+        frozen = function_cfg.frozen_parameters[parameter]
+        difference = Polynomial.variable(parameter) - Polynomial.variable(frozen)
+        assertion = assertion.conjoin(ConjunctiveAssertion.equals(difference))
+    return assertion
+
+
+def augment_entry_preconditions(cfg: ProgramCFG, precondition: Precondition) -> Precondition:
+    """Return a copy of ``precondition`` strengthened with the entry assumptions."""
+    augmented = precondition.copy()
+    for function_cfg in cfg:
+        augmented.strengthen(function_cfg.entry, entry_assumptions(function_cfg))
+    return augmented

@@ -1,0 +1,29 @@
+"""The benchmark suite of the paper's evaluation (Tables 2 and 3).
+
+* :mod:`repro.suite.running_example` — the ``sum`` program of Figure 2.
+* :mod:`repro.suite.nonrecursive` — the 19 Rodríguez-Carbonell benchmarks of
+  Table 2, rewritten in the paper's guarded polynomial language.
+* :mod:`repro.suite.recursive` — the five classical recursive benchmarks of
+  Table 3 / Appendix B.2.
+* :mod:`repro.suite.reinforcement` — polynomial-dynamics models standing in
+  for the three reinforcement-learning benchmarks of [Zhu et al. 2019]
+  (see DESIGN.md for the substitution rationale).
+* :mod:`repro.suite.registry` — lookup helpers over the whole suite.
+"""
+
+from repro.suite.base import Benchmark, PaperReference
+from repro.suite.registry import (
+    all_benchmarks,
+    benchmark_names,
+    benchmarks_by_category,
+    get_benchmark,
+)
+
+__all__ = [
+    "Benchmark",
+    "PaperReference",
+    "all_benchmarks",
+    "benchmark_names",
+    "benchmarks_by_category",
+    "get_benchmark",
+]

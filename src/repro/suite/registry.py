@@ -1,0 +1,46 @@
+"""Lookup helpers over the whole benchmark suite."""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+from repro.suite.base import Benchmark
+from repro.suite.nonrecursive import NONRECURSIVE_BENCHMARKS
+from repro.suite.recursive import RECURSIVE_BENCHMARKS
+from repro.suite.reinforcement import REINFORCEMENT_BENCHMARKS
+from repro.suite.running_example import RUNNING_EXAMPLE_BENCHMARKS
+
+_ALL: list[Benchmark] = [
+    *RUNNING_EXAMPLE_BENCHMARKS,
+    *NONRECURSIVE_BENCHMARKS,
+    *REINFORCEMENT_BENCHMARKS,
+    *RECURSIVE_BENCHMARKS,
+]
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """Every benchmark in the suite (running example, Table 2, Table 3)."""
+    return list(_ALL)
+
+
+def benchmark_names() -> list[str]:
+    """The names of every benchmark, in suite order."""
+    return [benchmark.name for benchmark in _ALL]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look a benchmark up by name (raises :class:`SpecificationError` when unknown)."""
+    for benchmark in _ALL:
+        if benchmark.name == name:
+            return benchmark
+    raise SpecificationError(
+        f"unknown benchmark {name!r}; known benchmarks: {', '.join(benchmark_names())}"
+    )
+
+
+def benchmarks_by_category(category: str) -> list[Benchmark]:
+    """All benchmarks of one category (``nonrecursive``, ``recursive``, ``reinforcement``, ``running-example``)."""
+    matching = [benchmark for benchmark in _ALL if benchmark.category == category]
+    if not matching:
+        known = sorted({benchmark.category for benchmark in _ALL})
+        raise SpecificationError(f"unknown category {category!r}; known categories: {', '.join(known)}")
+    return matching

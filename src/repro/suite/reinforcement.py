@@ -1,0 +1,153 @@
+"""Table 3 (reinforcement learning): polynomial-dynamics stand-ins for [Zhu et al. 2019].
+
+The original benchmarks are safety-verification programs extracted from
+learned neural controllers for cyber-physical systems (Segway-style inverted
+pendulum and an oscillator).  Those artifacts are not available offline, so —
+following the substitution rule of DESIGN.md — each benchmark is modelled as a
+bounded-horizon simulation loop with
+
+* the same number of program variables (7) as reported in Table 3,
+* polynomial dynamics of degree up to 4 (the paper notes the programs contain
+  polynomial assignments and conditions of degree 4),
+* a *linear* desired safety invariant, exactly the situation the paper uses
+  to argue that linear invariant generation cannot handle these programs
+  (the linear target is only inductive relative to non-linear facts).
+
+The controller output is abstracted by non-determinism over a bounded action,
+which over-approximates any concrete learned policy.
+"""
+
+from __future__ import annotations
+
+from repro.suite.base import Benchmark, PaperReference
+
+INVERTED_PENDULUM_SOURCE = """
+inverted_pendulum(x, v, th, om) {
+    t := 0;
+    a := 0;
+    e := 0;
+    while t <= 100 and x*x + v*v + th*th*th*th <= 4 do
+        if * then
+            a := 1
+        else
+            a := 0 - 1
+        fi;
+        x := x + 0.02*v;
+        v := v + 0.02*a;
+        th := th + 0.02*om;
+        om := om + 0.02*th - 0.003*th*th*th + 0.02*a;
+        e := th*th + 0.1*om*om;
+        t := t + 1
+    od;
+    return x
+}
+"""
+
+STRICT_INVERTED_PENDULUM_SOURCE = """
+strict_inverted_pendulum(x, v, th, om) {
+    t := 0;
+    a := 0;
+    e := 0;
+    while t <= 100 do
+        if * then
+            a := 0.5
+        else
+            a := 0 - 0.5
+        fi;
+        x := x + 0.01*v;
+        v := v + 0.01*a - 0.001*v*v*v;
+        th := th + 0.01*om;
+        om := om + 0.01*th - 0.0016*th*th*th + 0.01*a;
+        e := x*x + v*v + th*th + om*om;
+        t := t + 1
+    od;
+    return e
+}
+"""
+
+OSCILLATOR_SOURCE = """
+oscillator(x, y) {
+    t := 0;
+    a := 0;
+    e := 0;
+    vx := 0;
+    vy := 0;
+    while t <= 100 do
+        if * then
+            a := 0.1
+        else
+            a := 0 - 0.1
+        fi;
+        vx := y;
+        vy := 0 - x + y - x*x*y + a;
+        x := x + 0.05*vx;
+        y := y + 0.05*vy;
+        e := x*x + y*y;
+        t := t + 1
+    od;
+    return e
+}
+"""
+
+
+REINFORCEMENT_BENCHMARKS = [
+    Benchmark(
+        name="inverted-pendulum",
+        category="reinforcement",
+        description="Inverted pendulum with a non-deterministic bang-bang controller (degree-4 guard).",
+        source=INVERTED_PENDULUM_SOURCE,
+        precondition={
+            "inverted_pendulum": {
+                1: "x >= 0 - 1 and 1 - x >= 0 and v >= 0 - 1 and 1 - v >= 0 and "
+                   "th >= 0 - 1 and 1 - th >= 0 and om >= 0 - 1 and 1 - om >= 0"
+            }
+        },
+        target_function="inverted_pendulum",
+        target_label=4,
+        target="9 - x",
+        degree=3,
+        conjuncts=1,
+        upsilon=2,
+        paper=PaperReference(conjuncts=1, degree=3, variables=7, system_size=9951, runtime_seconds=496.093),
+        notes="Substituted model: same variable count and degree structure as [Zhu et al. 2019]; linear safety target 9 - x > 0 at the loop head.",
+    ),
+    Benchmark(
+        name="strict-inverted-pendulum",
+        category="reinforcement",
+        description="Inverted pendulum with a four-conjunct invariant template (strict safety envelope).",
+        source=STRICT_INVERTED_PENDULUM_SOURCE,
+        precondition={
+            "strict_inverted_pendulum": {
+                1: "x >= 0 - 1 and 1 - x >= 0 and v >= 0 - 1 and 1 - v >= 0 and "
+                   "th >= 0 - 1 and 1 - th >= 0 and om >= 0 - 1 and 1 - om >= 0"
+            }
+        },
+        target_function="strict_inverted_pendulum",
+        target_label=4,
+        target="25 - x",
+        degree=2,
+        conjuncts=4,
+        upsilon=2,
+        paper=PaperReference(conjuncts=4, degree=2, variables=7, system_size=14390, runtime_seconds=587.783),
+        notes="Substituted model; the four conjuncts mirror the paper's n = 4 row.",
+    ),
+    Benchmark(
+        name="oscillator",
+        category="reinforcement",
+        description="Van-der-Pol-style oscillator with a non-deterministic disturbance.",
+        source=OSCILLATOR_SOURCE,
+        precondition={
+            "oscillator": {
+                1: "x >= 0 - 1 and 1 - x >= 0 and y >= 0 - 1 and 1 - y >= 0"
+            }
+        },
+        target_function="oscillator",
+        target_label=6,
+        target="100 - x",
+        degree=2,
+        conjuncts=1,
+        upsilon=2,
+        paper=PaperReference(conjuncts=1, degree=2, variables=7, system_size=3552, runtime_seconds=39.749),
+        notes="Substituted model with cubic dynamics (x*x*y term) and a linear safety target.",
+    ),
+]

@@ -1,0 +1,45 @@
+"""The paper's running example: the non-deterministic summation program (Figure 2).
+
+The goal (Example 1 / Example 9) is to prove that the return value of ``sum``
+is always less than ``0.5*n^2 + 0.5*n + 1``, i.e. that
+``0.5*n_init^2 + 0.5*n_init + 1 - ret_sum > 0`` holds at the endpoint label 9.
+"""
+
+from __future__ import annotations
+
+from repro.suite.base import Benchmark
+
+SUM_SOURCE = """
+sum(n) {
+    i := 1;
+    s := 0;
+    while i <= n do
+        if * then
+            s := s + i
+        else
+            skip
+        fi;
+        i := i + 1
+    od;
+    return s
+}
+"""
+
+RUNNING_EXAMPLE = Benchmark(
+    name="sum",
+    category="running-example",
+    description=(
+        "Non-deterministic summation (Figure 2): sums an arbitrary subset of 1..n; "
+        "the desired invariant bounds the return value by 0.5*n^2 + 0.5*n + 1."
+    ),
+    source=SUM_SOURCE,
+    precondition={"sum": {1: "n >= 1"}},
+    target_function="sum",
+    target_label=9,
+    target="0.5*n_init^2 + 0.5*n_init + 1 - ret_sum",
+    degree=2,
+    conjuncts=1,
+    upsilon=2,
+)
+
+RUNNING_EXAMPLE_BENCHMARKS = [RUNNING_EXAMPLE]

@@ -1,0 +1,115 @@
+"""Property-based tests for predicates, DNF conversion and the interpreter."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.dnf import predicate_holds, to_dnf
+from repro.lang.ast_nodes import BinaryPredicate, Comparison, NegatedPredicate
+from repro.polynomial.polynomial import Polynomial
+from repro.semantics.interpreter import Interpreter
+from repro.semantics.scheduler import ScriptedScheduler
+
+VARIABLES = ["x", "y"]
+
+
+def _polynomials():
+    terms = st.dictionaries(
+        st.sampled_from(VARIABLES), st.integers(min_value=1, max_value=2), max_size=2
+    )
+    coefficient = st.integers(min_value=-3, max_value=3)
+    return st.tuples(terms, coefficient).map(
+        lambda pair: sum(
+            (Polynomial.variable(var) ** exp for var, exp in pair[0].items()),
+            start=Polynomial.constant(pair[1]),
+        )
+    )
+
+
+def _comparisons():
+    return st.tuples(_polynomials(), st.sampled_from(["<", "<=", ">=", ">"]), _polynomials()).map(
+        lambda triple: Comparison(triple[0], triple[1], triple[2])
+    )
+
+
+def _predicates(depth=2):
+    if depth == 0:
+        return _comparisons()
+    smaller = _predicates(depth - 1)
+    return st.one_of(
+        _comparisons(),
+        smaller.map(lambda p: NegatedPredicate(p)),
+        st.tuples(st.sampled_from(["and", "or"]), smaller, smaller).map(
+            lambda t: BinaryPredicate(t[0], t[1], t[2])
+        ),
+    )
+
+
+_valuations = st.fixed_dictionaries(
+    {name: st.integers(min_value=-4, max_value=4).map(float) for name in VARIABLES}
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_predicates(), _valuations)
+def test_dnf_preserves_semantics(predicate, valuation):
+    """A predicate and its DNF agree on every valuation (away from strictness boundaries)."""
+    assert predicate_holds(predicate, valuation) == predicate.holds(valuation)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_predicates(), _valuations)
+def test_negation_dnf_is_complement(predicate, valuation):
+    """On integer valuations (no boundary ties for strict/non-strict mixups), the DNF of the
+    negation accepts exactly the points the DNF of the predicate rejects, unless the point
+    lies exactly on an atom boundary (where both can hold due to relaxation)."""
+    direct = predicate_holds(predicate, valuation)
+    negated = any(
+        all(atom.holds(valuation) for atom in clause) for clause in to_dnf(predicate, negate=True)
+    )
+    boundary = _touches_boundary(predicate, valuation)
+    if not boundary:
+        assert direct != negated
+
+
+def _touches_boundary(predicate, valuation) -> bool:
+    if isinstance(predicate, Comparison):
+        return (predicate.left - predicate.right).evaluate_float(valuation) == 0
+    if isinstance(predicate, NegatedPredicate):
+        return _touches_boundary(predicate.operand, valuation)
+    return _touches_boundary(predicate.left, valuation) or _touches_boundary(predicate.right, valuation)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=12), st.lists(st.integers(min_value=0, max_value=1), max_size=40))
+def test_sum_program_never_exceeds_gauss_bound(sum_cfg, n, choices):
+    """Every resolution of the non-determinism keeps the result within [0, n*(n+1)/2]."""
+    interpreter = Interpreter(sum_cfg, scheduler=ScriptedScheduler(choices))
+    result = interpreter.run({"n": n})
+    assert result.completed
+    assert 0 <= result.return_value <= n * (n + 1) // 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10), st.lists(st.integers(min_value=0, max_value=1), max_size=40))
+def test_recursive_sum_matches_chosen_subset(recursive_sum_cfg, n, choices):
+    """The recursive program returns exactly the sum of the accepted indices."""
+    interpreter = Interpreter(recursive_sum_cfg, scheduler=ScriptedScheduler(choices))
+    result = interpreter.run({"n": n})
+    assert result.completed
+    # The nondeterministic branches execute while the recursion unwinds, so the k-th
+    # choice (0-based) decides whether the value k+1 is added (then-branch = add).
+    expected = 0
+    for offset in range(n):
+        value = offset + 1
+        take = choices[offset] if offset < len(choices) else 0
+        if take == 0:
+            expected += value
+    assert result.return_value == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=30))
+def test_paper_bound_holds_for_running_example(sum_cfg, n):
+    """The desired invariant of Example 1: ret_sum < 0.5*n^2 + 0.5*n + 1."""
+    interpreter = Interpreter(sum_cfg)
+    result = interpreter.run({"n": n})
+    assert float(result.return_value) < 0.5 * n * n + 0.5 * n + 1

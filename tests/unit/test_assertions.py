@@ -1,0 +1,93 @@
+"""Unit tests for repro.spec.assertions."""
+
+import pytest
+
+from repro.cfg.dnf import AtomicInequality
+from repro.errors import SpecificationError
+from repro.polynomial.parse import parse_polynomial
+from repro.spec.assertions import ConjunctiveAssertion, assertion_from_polynomials, parse_assertion
+
+
+def test_true_assertion():
+    assertion = ConjunctiveAssertion.true()
+    assert assertion.is_true()
+    assert assertion.holds({})
+    assert str(assertion) == "true"
+    assert len(assertion) == 0
+
+
+def test_nonneg_positive_and_equals_constructors():
+    p = parse_polynomial("x - 1")
+    assert not ConjunctiveAssertion.nonneg(p).atoms[0].strict
+    assert ConjunctiveAssertion.positive(p).atoms[0].strict
+    equality = ConjunctiveAssertion.equals(p)
+    assert len(equality) == 2
+    assert equality.holds({"x": 1.0})
+    assert not equality.holds({"x": 2.0})
+
+
+def test_holds_conjunction():
+    assertion = parse_assertion("x >= 0 and y > 1")
+    assert assertion.holds({"x": 0.0, "y": 2.0})
+    assert not assertion.holds({"x": 0.0, "y": 1.0})
+    assert not assertion.holds({"x": -1.0, "y": 2.0})
+
+
+def test_parse_assertion_true_spellings():
+    assert parse_assertion("").is_true()
+    assert parse_assertion("true").is_true()
+
+
+def test_parse_assertion_rejects_disjunction():
+    with pytest.raises(SpecificationError):
+        parse_assertion("x >= 0 or y >= 0")
+
+
+def test_parse_assertion_rejects_trailing_garbage():
+    with pytest.raises(SpecificationError):
+        parse_assertion("x >= 0 (")
+
+
+def test_conjoin_deduplicates():
+    a = parse_assertion("x >= 0 and y >= 0")
+    b = parse_assertion("y >= 0 and z > 0")
+    merged = a.conjoin(b)
+    assert len(merged) == 3
+
+
+def test_add_atom():
+    assertion = ConjunctiveAssertion.true().add(AtomicInequality(parse_polynomial("x"), strict=True))
+    assert len(assertion) == 1
+    assert assertion.atoms[0].strict
+
+
+def test_substitute():
+    assertion = parse_assertion("x - y >= 0")
+    substituted = assertion.substitute({"x": parse_polynomial("y + 3")})
+    assert substituted.holds({"y": 0.0})
+    assert substituted.atoms[0].polynomial == parse_polynomial("3")
+
+
+def test_relaxed():
+    assertion = ConjunctiveAssertion.positive(parse_polynomial("x"))
+    assert all(not atom.strict for atom in assertion.relaxed())
+
+
+def test_variables_and_degree():
+    assertion = parse_assertion("x*x - y >= 0 and z > 0")
+    assert assertion.variables() == frozenset({"x", "y", "z"})
+    assert assertion.max_degree() == 2
+    assert ConjunctiveAssertion.true().max_degree() == 0
+
+
+def test_polynomials_order_preserved():
+    assertion = parse_assertion("x >= 0 and y >= 1")
+    polys = assertion.polynomials()
+    assert polys[0] == parse_polynomial("x")
+    assert polys[1] == parse_polynomial("y - 1")
+
+
+def test_assertion_from_polynomials():
+    assertion = assertion_from_polynomials([parse_polynomial("x"), parse_polynomial("y")], strict=True)
+    assert len(assertion) == 2
+    assert all(atom.strict for atom in assertion)

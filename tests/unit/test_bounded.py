@@ -1,0 +1,57 @@
+"""Unit tests for repro.spec.bounded (the bounded-reals model)."""
+
+from repro.spec.bounded import (
+    apply_bounded_reals_model,
+    ball_constraint,
+    box_constraints,
+    satisfies_compactness,
+)
+from repro.spec.preconditions import Precondition
+
+
+def test_ball_constraint_shape(sum_cfg):
+    function = sum_cfg.function("sum")
+    ball = ball_constraint(function, 10)
+    assert len(ball) == 1
+    polynomial = ball.atoms[0].polynomial
+    # constant term c^2 * |V^f| and one -v^2 term per variable
+    assert polynomial.constant_term() == 100 * len(function.variables)
+    assert polynomial.degree() == 2
+
+
+def test_ball_constraint_holds_inside_box(sum_cfg):
+    function = sum_cfg.function("sum")
+    ball = ball_constraint(function, 10)
+    inside = {name: 1.0 for name in function.variables}
+    outside = {name: 100.0 for name in function.variables}
+    assert ball.holds(inside)
+    assert not ball.holds(outside)
+
+
+def test_box_constraints_two_per_variable(sum_cfg):
+    function = sum_cfg.function("sum")
+    boxes = box_constraints(function, 5)
+    assert len(boxes) == 2 * len(function.variables)
+    assert boxes.holds({name: 5.0 for name in function.variables})
+    assert not boxes.holds({name: 6.0 for name in function.variables})
+
+
+def test_apply_bounded_reals_model_adds_ball_everywhere(sum_cfg, sum_precondition):
+    bounded = apply_bounded_reals_model(sum_cfg, sum_precondition, bound=10)
+    for label in sum_cfg.function("sum").labels:
+        assert len(bounded.at(label)) >= 1
+    # The original pre-condition is untouched.
+    assert len(sum_precondition.at(sum_cfg.function("sum").label_by_index(5))) == 0
+
+
+def test_apply_bounded_reals_model_with_boxes(sum_cfg):
+    bounded = apply_bounded_reals_model(sum_cfg, Precondition.trivial(), bound=10, include_boxes=True)
+    label = sum_cfg.function("sum").label_by_index(3)
+    function = sum_cfg.function("sum")
+    assert len(bounded.at(label)) == 1 + 2 * len(function.variables)
+
+
+def test_satisfies_compactness(sum_cfg, sum_precondition):
+    assert not satisfies_compactness(sum_precondition, sum_cfg)
+    bounded = apply_bounded_reals_model(sum_cfg, sum_precondition, bound=10)
+    assert satisfies_compactness(bounded, sum_cfg)

@@ -1,0 +1,126 @@
+"""Unit tests for repro.cfg.builder and repro.cfg.graph."""
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.labels import LabelKind
+from repro.cfg.transition import TransitionKind
+from repro.lang.parser import parse_program
+from repro.polynomial.parse import parse_polynomial
+
+
+def test_running_example_label_numbering_matches_paper(sum_cfg):
+    """The sum program of Figure 2 has labels 1..9 with the kinds shown in the paper."""
+    function = sum_cfg.function("sum")
+    kinds = {label.index: label.kind for label in function.labels}
+    assert kinds == {
+        1: LabelKind.ASSIGN,
+        2: LabelKind.ASSIGN,
+        3: LabelKind.BRANCH,
+        4: LabelKind.NONDET,
+        5: LabelKind.ASSIGN,
+        6: LabelKind.ASSIGN,
+        7: LabelKind.ASSIGN,
+        8: LabelKind.ASSIGN,
+        9: LabelKind.END,
+    }
+
+
+def test_running_example_transitions_match_figure_3(sum_cfg):
+    function = sum_cfg.function("sum")
+    edges = {(t.source.index, t.target.index) for t in function.transitions}
+    assert edges == {(1, 2), (2, 3), (3, 4), (3, 8), (4, 5), (4, 6), (5, 7), (6, 7), (7, 3), (8, 9)}
+
+
+def test_return_updates_return_variable(sum_cfg):
+    function = sum_cfg.function("sum")
+    return_transition = [t for t in function.transitions if t.source.index == 8][0]
+    assert return_transition.kind is TransitionKind.UPDATE
+    assert return_transition.update == {"ret_sum": parse_polynomial("s")}
+    assert return_transition.target == function.exit
+
+
+def test_new_variables_added(sum_cfg):
+    function = sum_cfg.function("sum")
+    assert function.return_variable == "ret_sum"
+    assert function.frozen_parameters == {"n": "n_init"}
+    assert set(function.variables) == {"n", "n_init", "i", "s", "ret_sum"}
+
+
+def test_variable_count_excludes_synthetic(sum_cfg):
+    assert sum_cfg.variable_count() == 3  # n, i, s
+
+
+def test_implicit_return_zero_added():
+    cfg = build_cfg(parse_program("f(x) { y := x }"))
+    function = cfg.function("f")
+    # labels: 1 assignment, 2 implicit return, 3 endpoint
+    assert [label.kind for label in function.labels] == [
+        LabelKind.ASSIGN,
+        LabelKind.ASSIGN,
+        LabelKind.END,
+    ]
+    implicit = function.outgoing(function.label_by_index(2))[0]
+    assert implicit.update == {"ret_f": parse_polynomial("0")}
+
+
+def test_while_loop_back_edge():
+    cfg = build_cfg(parse_program("f(n) { i := 0; while i <= n do i := i + 1 od; return i }"))
+    function = cfg.function("f")
+    loop_label = function.label_by_index(2)
+    assert loop_label.kind is LabelKind.BRANCH
+    back_edges = [t for t in function.transitions if t.target == loop_label]
+    assert len(back_edges) == 2  # initial entry and the loop body's back edge
+
+
+def test_if_produces_guard_and_negated_guard():
+    cfg = build_cfg(parse_program("f(x) { if x >= 0 then y := 1 else y := 2 fi; return y }"))
+    function = cfg.function("f")
+    guards = [t for t in function.transitions if t.kind is TransitionKind.GUARD]
+    assert len(guards) == 2
+    sources = {t.source.index for t in guards}
+    assert sources == {1}
+
+
+def test_call_transition_payload(recursive_sum_cfg):
+    function = recursive_sum_cfg.function("recursive_sum")
+    calls = [t for t in function.transitions if t.kind is TransitionKind.CALL]
+    assert len(calls) == 1
+    call = calls[0].call
+    assert call.callee == "recursive_sum"
+    assert call.target == "s"
+    assert call.arguments == ("m",)
+
+
+def test_endpoint_has_no_outgoing(sum_cfg):
+    function = sum_cfg.function("sum")
+    assert function.outgoing(function.exit) == []
+    assert function.exit.is_endpoint
+
+
+def test_incoming(sum_cfg):
+    function = sum_cfg.function("sum")
+    loop_head = function.label_by_index(3)
+    assert {t.source.index for t in function.incoming(loop_head)} == {2, 7}
+
+
+def test_label_lookup_errors(sum_cfg):
+    function = sum_cfg.function("sum")
+    with pytest.raises(KeyError):
+        function.label_by_index(99)
+    from repro.errors import SemanticsError
+
+    with pytest.raises(SemanticsError):
+        sum_cfg.function("nope")
+
+
+def test_program_cfg_aggregates(recursive_sum_cfg):
+    assert recursive_sum_cfg.label_count() == len(recursive_sum_cfg.all_labels())
+    assert len(recursive_sum_cfg.all_transitions()) >= 9
+    assert recursive_sum_cfg.main.name == "recursive_sum"
+
+
+def test_labels_of_kind(sum_cfg):
+    function = sum_cfg.function("sum")
+    assert len(function.labels_of_kind(LabelKind.ASSIGN)) == 6
+    assert len(function.labels_of_kind(LabelKind.NONDET)) == 1

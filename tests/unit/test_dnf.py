@@ -1,0 +1,106 @@
+"""Unit tests for repro.cfg.dnf."""
+
+import pytest
+
+from repro.cfg.dnf import AtomicInequality, normalize_comparison, predicate_holds, to_dnf
+from repro.lang.ast_nodes import BinaryPredicate, Comparison, NegatedPredicate
+from repro.polynomial.parse import parse_polynomial
+from repro.polynomial.polynomial import Polynomial
+
+
+def comparison(text_left, op, text_right):
+    return Comparison(parse_polynomial(text_left), op, parse_polynomial(text_right))
+
+
+def test_normalize_le():
+    atom = normalize_comparison(comparison("x", "<=", "n"))
+    assert atom.polynomial == parse_polynomial("n - x")
+    assert not atom.strict
+
+
+def test_normalize_lt_is_strict():
+    atom = normalize_comparison(comparison("x", "<", "n"))
+    assert atom.strict
+
+
+def test_normalize_negation_flips():
+    atom = normalize_comparison(comparison("x", "<=", "n"), negate=True)
+    assert atom.polynomial == parse_polynomial("x - n")
+    assert atom.strict
+
+
+def test_atomic_inequality_holds():
+    atom = AtomicInequality(parse_polynomial("x - 1"), strict=False)
+    assert atom.holds({"x": 1.0})
+    assert not atom.holds({"x": 0.5})
+    strict = AtomicInequality(parse_polynomial("x - 1"), strict=True)
+    assert not strict.holds({"x": 1.0})
+
+
+def test_atomic_inequality_relaxed_and_negated():
+    atom = AtomicInequality(parse_polynomial("x"), strict=True)
+    assert not atom.relaxed().strict
+    negated = atom.negated()
+    assert negated.polynomial == -parse_polynomial("x")
+    assert not negated.strict
+
+
+def test_atomic_inequality_substitute():
+    atom = AtomicInequality(parse_polynomial("x - y"), strict=False)
+    substituted = atom.substitute({"x": parse_polynomial("y + 1")})
+    assert substituted.polynomial == Polynomial.one()
+
+
+def test_to_dnf_single_comparison():
+    clauses = to_dnf(comparison("i", "<=", "n"))
+    assert len(clauses) == 1
+    assert len(clauses[0]) == 1
+
+
+def test_to_dnf_conjunction_stays_single_clause():
+    predicate = BinaryPredicate("and", comparison("x", ">=", "0"), comparison("y", ">", "1"))
+    clauses = to_dnf(predicate)
+    assert len(clauses) == 1
+    assert len(clauses[0]) == 2
+
+
+def test_to_dnf_disjunction_splits():
+    predicate = BinaryPredicate("or", comparison("x", ">=", "0"), comparison("y", ">", "1"))
+    assert len(to_dnf(predicate)) == 2
+
+
+def test_to_dnf_negation_de_morgan():
+    inner = BinaryPredicate("and", comparison("x", ">=", "0"), comparison("y", ">=", "0"))
+    clauses = to_dnf(NegatedPredicate(inner))
+    # not (a and b) == (not a) or (not b): two clauses of one atom each.
+    assert len(clauses) == 2
+    assert all(len(clause) == 1 for clause in clauses)
+    assert all(atom.strict for clause in clauses for atom in clause)
+
+
+def test_to_dnf_distribution():
+    # (a or b) and c  ->  (a and c) or (b and c)
+    predicate = BinaryPredicate(
+        "and",
+        BinaryPredicate("or", comparison("x", ">", "0"), comparison("y", ">", "0")),
+        comparison("z", ">=", "0"),
+    )
+    clauses = to_dnf(predicate)
+    assert len(clauses) == 2
+    assert all(len(clause) == 2 for clause in clauses)
+
+
+def test_to_dnf_deduplicates_atoms():
+    predicate = BinaryPredicate("and", comparison("x", ">=", "0"), comparison("x", ">=", "0"))
+    clauses = to_dnf(predicate)
+    assert len(clauses[0]) == 1
+
+
+@pytest.mark.parametrize(
+    "valuation, expected",
+    [({"x": 3.0, "y": 0.0}, True), ({"x": -1.0, "y": 5.0}, True), ({"x": -1.0, "y": 0.0}, False)],
+)
+def test_predicate_holds_matches_semantics(valuation, expected):
+    predicate = BinaryPredicate("or", comparison("x", ">=", "0"), comparison("y", ">", "1"))
+    assert predicate_holds(predicate, valuation) is expected
+    assert predicate.holds(valuation) is expected

@@ -1,0 +1,150 @@
+"""Unit tests for repro.invariants.generation (Step 2 / 2.a / 2.b) and constraints."""
+
+import pytest
+
+from repro.invariants.constraints import ConstraintPair
+from repro.invariants.generation import constraint_pair_statistics, generate_constraint_pairs
+from repro.invariants.template import TemplateSet
+from repro.polynomial.parse import parse_polynomial
+from repro.spec.preconditions import Precondition, augment_entry_preconditions
+
+
+@pytest.fixture()
+def sum_pairs(sum_cfg, sum_precondition):
+    templates = TemplateSet.build(sum_cfg, degree=2)
+    precondition = augment_entry_preconditions(sum_cfg, sum_precondition)
+    return generate_constraint_pairs(sum_cfg, precondition, templates)
+
+
+def test_one_initiation_pair_per_function(sum_pairs):
+    initiation = [pair for pair in sum_pairs if pair.name.startswith("init:")]
+    assert len(initiation) == 1
+
+
+def test_one_pair_per_transition_and_clause(sum_cfg, sum_pairs):
+    # 10 transitions, single-clause guards, 1 conjunct: 10 consecution pairs + 1 initiation.
+    assert len(sum_pairs) == 11
+
+
+def test_guard_pairs_include_guard_polynomial(sum_pairs):
+    guard_pairs = [pair for pair in sum_pairs if pair.name.startswith("guard:sum:3")]
+    assert len(guard_pairs) == 2
+    taken = next(pair for pair in guard_pairs if "->sum:4" in pair.name)
+    assert any(p == parse_polynomial("n - i") for p in taken.assumptions)
+    not_taken = next(pair for pair in guard_pairs if "->sum:8" in pair.name)
+    assert any(p == parse_polynomial("i - n") for p in not_taken.assumptions)
+
+
+def test_assignment_pair_composes_update(sum_cfg, sum_precondition):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    pairs = generate_constraint_pairs(sum_cfg, sum_precondition, templates)
+    step_1_2 = next(pair for pair in pairs if pair.name.startswith("step:sum:1"))
+    # The conclusion is eta(2) composed with [i <- 1]: no i monomial left.
+    assert "i" not in {v for v in step_1_2.conclusion.variables() if not v.startswith("$")}
+
+
+def test_nondet_pairs_present(sum_pairs):
+    nondet = [pair for pair in sum_pairs if pair.name.startswith("nondet:")]
+    assert len(nondet) == 2
+
+
+def test_conjuncts_multiply_conclusions(sum_cfg, sum_precondition):
+    templates = TemplateSet.build(sum_cfg, degree=1, conjuncts=2)
+    pairs = generate_constraint_pairs(sum_cfg, sum_precondition, templates)
+    # Every consecution/initiation location now produces two pairs (one per conjunct).
+    assert len(pairs) == 22
+
+
+def test_recursive_program_has_call_and_post_pairs(recursive_sum_cfg):
+    templates = TemplateSet.build(recursive_sum_cfg, degree=2)
+    precondition = augment_entry_preconditions(
+        recursive_sum_cfg,
+        Precondition.from_spec(recursive_sum_cfg, {"recursive_sum": {1: "n >= 0"}}),
+    )
+    pairs = generate_constraint_pairs(recursive_sum_cfg, precondition, templates)
+    kinds = {pair.name.split(":", 1)[0] for pair in pairs}
+    assert {"init", "step", "guard", "nondet", "call", "post"} <= kinds
+
+
+def test_call_pair_introduces_fresh_return_variable(recursive_sum_cfg):
+    templates = TemplateSet.build(recursive_sum_cfg, degree=2)
+    precondition = Precondition.from_spec(recursive_sum_cfg, {"recursive_sum": {1: "n >= 0"}})
+    pairs = generate_constraint_pairs(recursive_sum_cfg, precondition, templates)
+    call_pair = next(pair for pair in pairs if pair.name.startswith("call:"))
+    fresh = [name for name in call_pair.program_variables if "__ret" in name]
+    assert len(fresh) == 1
+    # The fresh variable appears in the conclusion (eta(l')[v0 <- v0*]).
+    assert fresh[0] in call_pair.conclusion.variables()
+
+
+def test_post_pairs_target_postcondition_template(recursive_sum_cfg):
+    templates = TemplateSet.build(recursive_sum_cfg, degree=2)
+    precondition = Precondition.trivial()
+    pairs = generate_constraint_pairs(recursive_sum_cfg, precondition, templates)
+    post_pairs = [pair for pair in pairs if pair.name.startswith("post:")]
+    # Two explicit return statements of Figure 4 plus the implicit trailing "return 0"
+    # added by the Return Assumption.
+    assert len(post_pairs) == 3
+    for pair in post_pairs:
+        unknowns = pair.conclusion.variables()
+        assert any("post_recursive_sum" in name for name in unknowns)
+
+
+def test_statistics(sum_pairs):
+    stats = constraint_pair_statistics(sum_pairs)
+    assert stats["total"] == len(sum_pairs)
+    assert stats["kind_init"] == 1
+    assert stats["max_assumptions"] >= 2
+
+
+# -- ConstraintPair behaviour ---------------------------------------------------------
+
+
+def test_relevant_program_variables_filters_unused():
+    pair = ConstraintPair(
+        name="t",
+        assumptions=(parse_polynomial("x"),),
+        conclusion=parse_polynomial("x + 1"),
+        program_variables=("x", "y", "z"),
+    )
+    assert pair.relevant_program_variables() == ("x",)
+
+
+def test_holds_numerically_vacuous_and_direct():
+    pair = ConstraintPair(
+        name="t",
+        assumptions=(parse_polynomial("x"),),
+        conclusion=parse_polynomial("x + 1"),
+        program_variables=("x",),
+    )
+    assert pair.holds_numerically({"x": 2.0})      # 2 >= 0 and 3 > 0
+    assert pair.holds_numerically({"x": -5.0})     # vacuous: assumption fails
+    failing = ConstraintPair(
+        name="t2",
+        assumptions=(parse_polynomial("x"),),
+        conclusion=parse_polynomial("x - 1"),
+        program_variables=("x",),
+    )
+    assert not failing.holds_numerically({"x": 0.5})
+
+
+def test_instantiate_replaces_unknowns():
+    pair = ConstraintPair(
+        name="t",
+        assumptions=(parse_polynomial("x"),),
+        conclusion=parse_polynomial("x") * parse_polynomial("$s_f_1_0_0") + 1,
+        program_variables=("x",),
+    )
+    concrete = pair.instantiate({"$s_f_1_0_0": 2.0})
+    assert concrete.conclusion == parse_polynomial("2*x + 1")
+    assert not concrete.unknowns()
+
+
+def test_max_degree_counts_program_variables_only():
+    pair = ConstraintPair(
+        name="t",
+        assumptions=(parse_polynomial("x*x"),),
+        conclusion=parse_polynomial("$s_f_1_0_0") * parse_polynomial("x"),
+        program_variables=("x",),
+    )
+    assert pair.max_degree() == 2

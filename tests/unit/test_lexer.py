@@ -1,0 +1,67 @@
+"""Unit tests for repro.lang.lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+def test_empty_source_gives_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("while whilex do dodo")
+    assert tokens[0].kind is TokenKind.KEYWORD
+    assert tokens[1].kind is TokenKind.IDENT
+    assert tokens[2].kind is TokenKind.KEYWORD
+    assert tokens[3].kind is TokenKind.IDENT
+
+
+def test_numbers_including_decimals():
+    assert texts("3 0.5 42.25") == ["3", "0.5", "42.25"]
+    assert all(kind is TokenKind.NUMBER for kind in kinds("3 0.5 42.25")[:-1])
+
+
+def test_assignment_and_comparison_symbols():
+    assert texts("x := y <= z >= w") == ["x", ":=", "y", "<=", "z", ">=", "w"]
+
+
+def test_double_star_lexes_as_power():
+    assert "**" in texts("x ** 2") or "^" in texts("x ** 2")
+
+
+def test_comments_are_skipped():
+    assert texts("x := 1 // trailing comment\n y := 2") == ["x", ":=", "1", "y", ":=", "2"]
+    assert texts("# full line\nskip") == ["skip"]
+
+
+def test_positions_are_tracked():
+    tokens = tokenize("x :=\n  y")
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[2].line == 2 and tokens[2].column == 3
+
+
+def test_unknown_character_raises_with_position():
+    with pytest.raises(ParseError) as info:
+        tokenize("x ? y")
+    assert "line 1" in str(info.value)
+
+
+def test_underscore_identifiers():
+    assert texts("ret_sum n_init _tmp") == ["ret_sum", "n_init", "_tmp"]
+
+
+def test_star_symbol():
+    assert texts("if * then") == ["if", "*", "then"]

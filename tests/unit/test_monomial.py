@@ -1,0 +1,121 @@
+"""Unit tests for repro.polynomial.monomial."""
+
+import pytest
+
+from repro.errors import PolynomialError
+from repro.polynomial.monomial import Monomial
+
+
+def test_one_is_constant():
+    assert Monomial.one().is_constant()
+    assert Monomial.one().degree() == 0
+    assert str(Monomial.one()) == "1"
+
+
+def test_zero_exponents_are_dropped():
+    assert Monomial({"x": 0, "y": 2}) == Monomial({"y": 2})
+
+
+def test_negative_exponent_rejected():
+    with pytest.raises(PolynomialError):
+        Monomial({"x": -1})
+
+
+def test_non_integer_exponent_rejected():
+    with pytest.raises(PolynomialError):
+        Monomial({"x": 1.5})
+
+
+def test_empty_variable_name_rejected():
+    with pytest.raises(PolynomialError):
+        Monomial({"": 2})
+
+
+def test_of_builds_single_variable():
+    m = Monomial.of("x", 3)
+    assert m.exponent("x") == 3
+    assert m.exponent("y") == 0
+    assert m.degree() == 3
+
+
+def test_multiplication_adds_exponents():
+    product = Monomial.of("x", 2) * Monomial({"x": 1, "y": 1})
+    assert product == Monomial({"x": 3, "y": 1})
+
+
+def test_power():
+    assert Monomial({"x": 1, "y": 2}) ** 3 == Monomial({"x": 3, "y": 6})
+    assert Monomial.of("x") ** 0 == Monomial.one()
+
+
+def test_power_negative_rejected():
+    with pytest.raises(PolynomialError):
+        Monomial.of("x") ** -1
+
+
+def test_divides_and_divide():
+    big = Monomial({"x": 3, "y": 1})
+    small = Monomial({"x": 1})
+    assert small.divides(big)
+    assert not big.divides(small)
+    assert big.divide(small) == Monomial({"x": 2, "y": 1})
+
+
+def test_divide_not_divisible_raises():
+    with pytest.raises(PolynomialError):
+        Monomial.of("x").divide(Monomial.of("y"))
+
+
+def test_gcd_and_lcm():
+    a = Monomial({"x": 2, "y": 1})
+    b = Monomial({"x": 1, "z": 3})
+    assert a.gcd(b) == Monomial({"x": 1})
+    assert a.lcm(b) == Monomial({"x": 2, "y": 1, "z": 3})
+
+
+def test_restrict_and_exclude_partition():
+    m = Monomial({"x": 2, "y": 1, "z": 4})
+    assert m.restrict(["x", "z"]) * m.exclude(["x", "z"]) == m
+    assert m.restrict([]) == Monomial.one()
+    assert m.exclude(["x", "y", "z"]) == Monomial.one()
+
+
+def test_evaluate():
+    m = Monomial({"x": 2, "y": 1})
+    assert m.evaluate({"x": 3.0, "y": 2.0}) == 18.0
+
+
+def test_evaluate_missing_variable_raises():
+    with pytest.raises(PolynomialError):
+        Monomial.of("x").evaluate({"y": 1.0})
+
+
+def test_rename_merges_collisions():
+    m = Monomial({"x": 2, "y": 1})
+    assert m.rename({"y": "x"}) == Monomial({"x": 3})
+
+
+def test_ordering_is_graded():
+    assert Monomial.of("x") < Monomial({"x": 1, "y": 1})
+    assert Monomial({"z": 1}) > Monomial.one()
+
+
+def test_hash_and_equality():
+    assert hash(Monomial({"x": 1, "y": 2})) == hash(Monomial({"y": 2, "x": 1}))
+    assert Monomial({"x": 1}) != Monomial({"x": 2})
+
+
+def test_str_formats_exponents():
+    assert str(Monomial({"b": 1, "a": 2})) == "a^2*b"
+
+
+def test_contains_and_bool():
+    m = Monomial({"x": 1})
+    assert "x" in m
+    assert "y" not in m
+    assert m
+    assert not Monomial.one()
+
+
+def test_variables():
+    assert Monomial({"x": 1, "y": 2}).variables() == frozenset({"x", "y"})

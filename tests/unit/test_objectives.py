@@ -1,0 +1,98 @@
+"""Unit tests for repro.spec.objectives."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.invariants.template import TemplateSet
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.parse import parse_polynomial
+from repro.spec.objectives import (
+    FeasibilityObjective,
+    LinearCoefficientObjective,
+    TargetInvariantObjective,
+    TargetPostconditionObjective,
+)
+
+
+def test_feasibility_objective_is_zero(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    assert FeasibilityObjective().polynomial(templates).is_zero()
+
+
+def test_target_invariant_objective_quadratic_distance(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=2)
+    target = parse_polynomial("0.5*n_init^2 + 0.5*n_init + 1 - ret_sum")
+    objective = TargetInvariantObjective(function="sum", label_index=9, target=target)
+    polynomial = objective.polynomial(templates)
+    assert polynomial.degree() == 2
+    # Zero exactly when every coefficient matches the target.
+    entry = templates.entry_for("sum", 9)
+    perfect = {}
+    for monomial in entry.monomials:
+        perfect[entry.coefficient_name(0, monomial)] = float(target.terms.get(monomial, 0))
+    assert objective.evaluate(templates, perfect) == pytest.approx(0.0)
+    assert objective.evaluate(templates, {}) > 0
+
+
+def test_target_invariant_objective_rejects_unsupported_monomials(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    target = parse_polynomial("n_init^2")  # needs degree 2
+    objective = TargetInvariantObjective(function="sum", label_index=9, target=target)
+    with pytest.raises(SpecificationError):
+        objective.polynomial(templates)
+
+
+def test_target_invariant_objective_rejects_bad_conjunct(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1, conjuncts=1)
+    objective = TargetInvariantObjective(
+        function="sum", label_index=9, target=parse_polynomial("ret_sum"), conjunct=3
+    )
+    with pytest.raises(SpecificationError):
+        objective.polynomial(templates)
+
+
+def test_target_invariant_objective_normalisation(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    target = parse_polynomial("4*ret_sum + 2")
+    normalised = TargetInvariantObjective(
+        function="sum", label_index=9, target=target, normalise=True
+    ).polynomial(templates)
+    entry = templates.entry_for("sum", 9)
+    ret_name = entry.coefficient_name(0, Monomial.of("ret_sum"))
+    # After normalisation the desired ret coefficient is 1, so the minimum of the
+    # (s - 1)^2 term sits at 1, not 4.
+    assert normalised.substitute({ret_name: parse_polynomial("1")}).restrict_to([]) is not None
+
+
+def test_target_postcondition_objective(recursive_sum_cfg):
+    templates = TemplateSet.build(recursive_sum_cfg, degree=2)
+    target = parse_polynomial("0.5*n_init^2 + 0.5*n_init + 1 - ret_recursive_sum")
+    objective = TargetPostconditionObjective(function="recursive_sum", target=target)
+    polynomial = objective.polynomial(templates)
+    assert polynomial.degree() == 2
+    assert all(name.startswith("$s_post_") for name in polynomial.variables())
+
+
+def test_target_postcondition_objective_monomial_check(recursive_sum_cfg):
+    templates = TemplateSet.build(recursive_sum_cfg, degree=1)
+    objective = TargetPostconditionObjective(
+        function="recursive_sum", target=parse_polynomial("n_init^2")
+    )
+    with pytest.raises(SpecificationError):
+        objective.polynomial(templates)
+
+
+def test_linear_coefficient_objective(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    entry = templates.entry_for("sum", 9)
+    name = entry.coefficient_name(0, Monomial.of("ret_sum"))
+    objective = LinearCoefficientObjective(weights={name: -1.0})
+    polynomial = objective.polynomial(templates)
+    assert polynomial.degree() == 1
+    assert objective.evaluate(templates, {name: 2.0}) == pytest.approx(-2.0)
+
+
+def test_linear_coefficient_objective_unknown_name(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    with pytest.raises(SpecificationError):
+        LinearCoefficientObjective(weights={"$s_nope": 1.0}).polynomial(templates)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.polynomial.ordering."""
+
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.ordering import (
+    MonomialOrder,
+    count_monomials_up_to_degree,
+    grevlex_key,
+    grlex_key,
+    lex_key,
+    monomials_of_degree,
+    monomials_up_to_degree,
+    sort_monomials,
+)
+
+
+def test_monomials_up_to_degree_counts():
+    # C(n + d, d) monomials of degree <= d over n variables.
+    assert len(monomials_up_to_degree(["x"], 3)) == 4
+    assert len(monomials_up_to_degree(["x", "y"], 2)) == 6
+    assert len(monomials_up_to_degree(["x", "y", "z"], 2)) == 10
+
+
+def test_monomials_up_to_degree_contains_one_first():
+    monomials = monomials_up_to_degree(["x", "y"], 2)
+    assert monomials[0] == Monomial.one()
+
+
+def test_monomials_up_to_degree_zero_and_negative():
+    assert monomials_up_to_degree(["x", "y"], 0) == [Monomial.one()]
+    assert monomials_up_to_degree(["x"], -1) == []
+
+
+def test_monomials_are_unique():
+    monomials = monomials_up_to_degree(["x", "y", "z"], 3)
+    assert len(monomials) == len(set(monomials))
+
+
+def test_monomials_of_degree():
+    exact = monomials_of_degree(["x", "y"], 2)
+    assert set(exact) == {Monomial({"x": 2}), Monomial({"x": 1, "y": 1}), Monomial({"y": 2})}
+
+
+def test_count_matches_enumeration():
+    for variables, degree in [(1, 4), (2, 3), (3, 2), (5, 2)]:
+        names = [f"v{i}" for i in range(variables)]
+        assert count_monomials_up_to_degree(variables, degree) == len(
+            monomials_up_to_degree(names, degree)
+        )
+
+
+def test_count_edge_cases():
+    assert count_monomials_up_to_degree(0, 3) == 1
+    assert count_monomials_up_to_degree(3, 0) == 1
+    assert count_monomials_up_to_degree(-1, 2) == 0
+
+
+def test_lex_vs_grlex_disagree():
+    variables = ["x", "y"]
+    x3 = Monomial({"x": 3})
+    xy = Monomial({"x": 1, "y": 1})
+    # lex puts x^3 above x*y, grlex puts x^3 (degree 3) above x*y (degree 2) too,
+    # but x*y vs y^3 flips between the two orders.
+    y3 = Monomial({"y": 3})
+    assert lex_key(xy, variables) > lex_key(y3, variables)
+    assert grlex_key(xy, variables) < grlex_key(y3, variables)
+    assert grlex_key(x3, variables) > grlex_key(xy, variables)
+
+
+def test_grevlex_key_orders_by_degree_first():
+    variables = ["x", "y", "z"]
+    assert grevlex_key(Monomial({"z": 2}), variables) > grevlex_key(Monomial({"x": 1}), variables)
+
+
+def test_sort_monomials_deterministic():
+    variables = ["x", "y"]
+    monomials = [Monomial({"y": 1}), Monomial.one(), Monomial({"x": 1})]
+    ordered = sort_monomials(monomials, variables, MonomialOrder.GRLEX)
+    assert ordered[0] == Monomial.one()
+    assert ordered == sort_monomials(list(reversed(monomials)), variables, MonomialOrder.GRLEX)

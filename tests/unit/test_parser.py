@@ -1,0 +1,155 @@
+"""Unit tests for repro.lang.parser."""
+
+import pytest
+
+from repro.errors import ParseError, ValidationError
+from repro.lang.ast_nodes import (
+    Assign,
+    BinaryPredicate,
+    CallAssign,
+    Comparison,
+    IfStatement,
+    NondetIf,
+    Return,
+    Skip,
+    While,
+)
+from repro.lang.parser import parse_program
+from repro.polynomial.parse import parse_polynomial
+
+
+def test_parse_minimal_function():
+    program = parse_program("f(x) { return x }")
+    assert program.main == "f"
+    function = program.function("f")
+    assert function.parameters == ("x",)
+    assert isinstance(function.body[0], Return)
+
+
+def test_parse_assignment_expression():
+    program = parse_program("f(x) { y := x*x + 2*x - 1; return y }")
+    assign = program.function("f").body[0]
+    assert isinstance(assign, Assign)
+    assert assign.expression == parse_polynomial("x^2 + 2*x - 1")
+
+
+def test_parse_skip_and_sequencing():
+    program = parse_program("f(x) { skip; skip; return 0 }")
+    body = program.function("f").body
+    assert isinstance(body[0], Skip)
+    assert isinstance(body[1], Skip)
+    assert len(body) == 3
+
+
+def test_parse_if_with_else():
+    program = parse_program("f(x) { if x >= 0 then y := 1 else y := 2 fi; return y }")
+    branch = program.function("f").body[0]
+    assert isinstance(branch, IfStatement)
+    assert isinstance(branch.condition, Comparison)
+    assert isinstance(branch.then_branch[0], Assign)
+    assert isinstance(branch.else_branch[0], Assign)
+
+
+def test_parse_nondeterministic_if():
+    program = parse_program("f(x) { if * then y := 1 else skip fi; return y }")
+    assert isinstance(program.function("f").body[0], NondetIf)
+
+
+def test_parse_while_loop():
+    program = parse_program("f(n) { i := 0; while i <= n do i := i + 1 od; return i }")
+    loop = program.function("f").body[1]
+    assert isinstance(loop, While)
+    assert isinstance(loop.body[0], Assign)
+
+
+def test_parse_boolean_connectives():
+    program = parse_program("f(x, y) { if x >= 0 and y >= 0 or x >= y then skip else skip fi; return 0 }")
+    condition = program.function("f").body[0].condition
+    assert isinstance(condition, BinaryPredicate)
+    assert condition.op == "or"
+
+
+def test_parse_parenthesised_predicate():
+    program = parse_program("f(x, y) { if (x >= 0) and (y > 1) then skip else skip fi; return 0 }")
+    condition = program.function("f").body[0].condition
+    assert isinstance(condition, BinaryPredicate)
+    assert condition.op == "and"
+
+
+def test_parse_call_assignment():
+    source = """
+    g(a) { return a }
+    f(x) { y := g(x); return y }
+    """
+    program = parse_program(source)
+    call = program.function("f").body[0]
+    assert isinstance(call, CallAssign)
+    assert call.callee == "g"
+    assert call.arguments == ("x",)
+
+
+def test_parse_multiple_functions_and_main():
+    program = parse_program("f(x) { return x } g(y) { return y }")
+    assert program.function_names() == ["f", "g"]
+    assert program.main_function.name == "f"
+
+
+def test_parse_power_sugar():
+    program = parse_program("f(x) { y := x^3; return y }")
+    assert program.function("f").body[0].expression == parse_polynomial("x*x*x")
+
+
+def test_parse_constant_division_sugar():
+    program = parse_program("f(x) { y := x/2; return y }")
+    assert program.function("f").body[0].expression == parse_polynomial("0.5*x")
+
+
+def test_trailing_semicolon_tolerated():
+    program = parse_program("f(x) { y := 1; return y; }")
+    assert len(program.function("f").body) == 2
+
+
+def test_equality_guard_rejected():
+    with pytest.raises(ParseError):
+        parse_program("f(x) { if x = 0 then skip else skip fi; return 0 }")
+
+
+def test_missing_fi_rejected():
+    with pytest.raises(ParseError):
+        parse_program("f(x) { if x >= 0 then skip else skip ; return 0 }")
+
+
+def test_division_by_variable_rejected():
+    with pytest.raises(ParseError):
+        parse_program("f(x) { y := 1/x; return y }")
+
+
+def test_garbage_statement_rejected():
+    with pytest.raises(ParseError):
+        parse_program("f(x) { 42; return x }")
+
+
+def test_call_with_wrong_arity_rejected_by_validation():
+    source = """
+    g(a, b) { return a }
+    f(x) { y := g(x); return y }
+    """
+    with pytest.raises(ValidationError):
+        parse_program(source)
+
+
+def test_validation_can_be_disabled():
+    source = """
+    f(x) { y := g(x); return y }
+    """
+    program = parse_program(source, validate=False)
+    assert isinstance(program.function("f").body[0], CallAssign)
+
+
+def test_program_is_recursive_detection():
+    simple = parse_program("f(x) { return x }")
+    assert not simple.is_recursive()
+    recursive = parse_program("f(x) { y := f(x); return y }", validate=False)
+    assert recursive.is_recursive()
+    two_functions = parse_program("f(x) { return x } g(y) { return y }")
+    assert two_functions.is_recursive()

@@ -1,0 +1,79 @@
+"""Unit tests for repro.polynomial.parse."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParseError
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.parse import parse_polynomial
+from repro.polynomial.polynomial import Polynomial
+
+
+def test_parse_constant():
+    assert parse_polynomial("5") == Polynomial.constant(5)
+    assert parse_polynomial("0.5") == Polynomial.constant(Fraction(1, 2))
+
+
+def test_parse_variable():
+    assert parse_polynomial("x") == Polynomial.variable("x")
+    assert parse_polynomial("ret_sum") == Polynomial.variable("ret_sum")
+
+
+def test_parse_sum_and_difference():
+    p = parse_polynomial("x + 2*y - 3")
+    assert p.coefficient(Monomial({"x": 1})) == 1
+    assert p.coefficient(Monomial({"y": 1})) == 2
+    assert p.constant_term() == -3
+
+
+def test_parse_powers_both_spellings():
+    assert parse_polynomial("x^2") == parse_polynomial("x**2")
+    assert parse_polynomial("x^3").degree() == 3
+
+
+def test_parse_parentheses_and_precedence():
+    assert parse_polynomial("(x + 1)*(x - 1)") == parse_polynomial("x^2 - 1")
+    assert parse_polynomial("x + 2*y^2") == Polynomial.variable("x") + 2 * Polynomial.variable("y") ** 2
+
+
+def test_parse_unary_minus():
+    assert parse_polynomial("-x + 1") == Polynomial.one() - Polynomial.variable("x")
+    assert parse_polynomial("-(x + y)") == -(Polynomial.variable("x") + Polynomial.variable("y"))
+
+
+def test_parse_division_by_constant():
+    assert parse_polynomial("x/2") == Polynomial.variable("x") / 2
+
+
+def test_parse_division_by_variable_rejected():
+    with pytest.raises(ParseError):
+        parse_polynomial("1/x")
+
+
+def test_parse_decimal_coefficients_are_exact():
+    p = parse_polynomial("0.5*n^2 + 0.5*n + 1")
+    assert p.coefficient(Monomial({"n": 2})) == Fraction(1, 2)
+
+
+def test_parse_implicit_multiplication():
+    assert parse_polynomial("2x") == 2 * Polynomial.variable("x")
+    assert parse_polynomial("2(x + 1)") == 2 * Polynomial.variable("x") + 2
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_polynomial("")
+    with pytest.raises(ParseError):
+        parse_polynomial("x +")
+    with pytest.raises(ParseError):
+        parse_polynomial("x ^ y")
+    with pytest.raises(ParseError):
+        parse_polynomial("(x + 1")
+    with pytest.raises(ParseError):
+        parse_polynomial("x @ y")
+
+
+def test_roundtrip_through_str():
+    p = parse_polynomial("3*x^2*y - 0.25*y + 7")
+    assert parse_polynomial(str(p)) == p

@@ -1,0 +1,107 @@
+"""Unit tests for repro.spec.preconditions and repro.spec.postconditions."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.spec.assertions import ConjunctiveAssertion, parse_assertion
+from repro.spec.postconditions import Postcondition, postcondition_vocabulary
+from repro.spec.preconditions import Precondition, augment_entry_preconditions, entry_assumptions
+
+
+def test_trivial_precondition_defaults_to_true(sum_cfg):
+    precondition = Precondition.trivial()
+    for label in sum_cfg.function("sum").labels:
+        assert precondition.at(label).is_true()
+
+
+def test_from_spec_sets_label(sum_cfg, sum_precondition):
+    entry = sum_cfg.function("sum").entry
+    assert not sum_precondition.at(entry).is_true()
+    assert sum_precondition.holds_at(entry, {"n": 1.0})
+    assert not sum_precondition.holds_at(entry, {"n": 0.0})
+
+
+def test_strict_inequalities_rejected(sum_cfg):
+    precondition = Precondition.trivial()
+    entry = sum_cfg.function("sum").entry
+    with pytest.raises(SpecificationError):
+        precondition.set(entry, parse_assertion("n > 0"))
+
+
+def test_strengthen_conjoins(sum_cfg):
+    precondition = Precondition.trivial()
+    entry = sum_cfg.function("sum").entry
+    precondition.strengthen(entry, parse_assertion("n >= 0"))
+    precondition.strengthen(entry, parse_assertion("n >= 1"))
+    assert len(precondition.at(entry)) == 2
+
+
+def test_at_entry_constructor(sum_cfg):
+    precondition = Precondition.at_entry(sum_cfg, {"sum": "n >= 3"})
+    assert precondition.holds_at(sum_cfg.function("sum").entry, {"n": 3.0})
+
+
+def test_copy_is_independent(sum_cfg, sum_precondition):
+    copy = sum_precondition.copy()
+    entry = sum_cfg.function("sum").entry
+    copy.strengthen(entry, parse_assertion("n >= 100"))
+    assert len(sum_precondition.at(entry)) == 1
+
+
+def test_entry_assumptions_tie_parameters_and_zero_locals(sum_cfg):
+    assumptions = entry_assumptions(sum_cfg.function("sum"))
+    # i = 0, s = 0, ret_sum = 0, n = n_init: each equality is two inequalities.
+    assert assumptions.holds({"n": 5.0, "n_init": 5.0, "i": 0.0, "s": 0.0, "ret_sum": 0.0})
+    assert not assumptions.holds({"n": 5.0, "n_init": 4.0, "i": 0.0, "s": 0.0, "ret_sum": 0.0})
+    assert not assumptions.holds({"n": 5.0, "n_init": 5.0, "i": 1.0, "s": 0.0, "ret_sum": 0.0})
+
+
+def test_augment_entry_preconditions(sum_cfg, sum_precondition):
+    augmented = augment_entry_preconditions(sum_cfg, sum_precondition)
+    entry = sum_cfg.function("sum").entry
+    assert len(augmented.at(entry)) > len(sum_precondition.at(entry))
+    # Non-entry labels are unchanged.
+    other = sum_cfg.function("sum").label_by_index(5)
+    assert augmented.at(other).is_true()
+
+
+def test_precondition_str(sum_precondition):
+    assert "sum:1" in str(sum_precondition)
+    assert str(Precondition.trivial()) == "true everywhere"
+
+
+def test_labels_lists_only_nontrivial(sum_cfg, sum_precondition):
+    assert len(sum_precondition.labels()) == 1
+
+
+# -- post-conditions -----------------------------------------------------------------
+
+
+def test_postcondition_vocabulary(recursive_sum_cfg):
+    vocabulary = postcondition_vocabulary(recursive_sum_cfg, "recursive_sum")
+    assert set(vocabulary) == {"ret_recursive_sum", "n_init"}
+
+
+def test_postcondition_from_spec(recursive_sum_cfg):
+    postcondition = Postcondition.from_spec(
+        recursive_sum_cfg, {"recursive_sum": "n_init*n_init + n_init + 1 - ret_recursive_sum > 0"}
+    )
+    assert not postcondition.of("recursive_sum").is_true()
+    assert postcondition.holds_for("recursive_sum", {"n_init": 2.0, "ret_recursive_sum": 3.0})
+    assert postcondition.of("unknown").is_true()
+
+
+def test_postcondition_rejects_program_variables(recursive_sum_cfg):
+    with pytest.raises(SpecificationError):
+        Postcondition.from_spec(recursive_sum_cfg, {"recursive_sum": "s > 0"})
+
+
+def test_postcondition_trivial_and_str(recursive_sum_cfg):
+    trivial = Postcondition.trivial()
+    assert trivial.functions() == []
+    assert "every function" in str(trivial)
+    postcondition = Postcondition.from_spec(
+        recursive_sum_cfg, {"recursive_sum": "ret_recursive_sum + 1 > 0"}
+    )
+    assert postcondition.functions() == ["recursive_sum"]
+    assert "recursive_sum" in str(postcondition)

@@ -1,0 +1,45 @@
+"""Unit tests for repro.lang.pretty (round-trip property included)."""
+
+import pytest
+
+from repro.lang.ast_nodes import Comparison
+from repro.lang.parser import parse_program
+from repro.lang.pretty import format_function, format_predicate, pretty_print
+from repro.polynomial.parse import parse_polynomial
+
+SOURCES = [
+    "f(x) { return x }",
+    "f(x) { y := x*x + 1; return y }",
+    "f(x) { if x >= 0 then y := 1 else y := 2 fi; return y }",
+    "f(x) { if * then skip else y := x fi; return y }",
+    "f(n) { i := 0; s := 0; while i <= n do s := s + i; i := i + 1 od; return s }",
+    "g(a) { return a } f(x) { y := g(x); return y }",
+    "f(x, y) { if x >= 0 and y > 1 or x > y then skip else skip fi; return 0 }",
+]
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_pretty_print_round_trips(source):
+    program = parse_program(source)
+    rendered = pretty_print(program)
+    reparsed = parse_program(rendered)
+    assert pretty_print(reparsed) == rendered
+
+
+def test_format_predicate_comparison():
+    predicate = Comparison(parse_polynomial("x"), "<=", parse_polynomial("n"))
+    assert format_predicate(predicate) == "x <= n"
+
+
+def test_format_function_contains_header_and_body(sum_program):
+    rendered = format_function(sum_program.function("sum"))
+    assert rendered.startswith("sum(n) {")
+    assert "while" in rendered
+    assert rendered.rstrip().endswith("}")
+
+
+def test_pretty_print_running_example_reparses(sum_program):
+    rendered = pretty_print(sum_program)
+    reparsed = parse_program(rendered)
+    assert reparsed.function("sum").parameters == ("n",)
+    assert len(reparsed.function("sum").body) == len(sum_program.function("sum").body)

@@ -1,0 +1,173 @@
+"""Unit tests for repro.invariants.putinar, handelman and quadratic_system (Step 3)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.invariants.constraints import ConstraintPair
+from repro.invariants.handelman import handelman_translate
+from repro.invariants.putinar import putinar_translate
+from repro.invariants.quadratic_system import (
+    ConstraintKind,
+    QuadraticConstraint,
+    QuadraticSystem,
+    VariableRole,
+    classify_unknown,
+)
+from repro.polynomial.parse import parse_polynomial
+from repro.polynomial.polynomial import Polynomial
+
+
+def simple_pair():
+    """x >= 0  ==>  s*x + 1 > 0 with one template unknown."""
+    return ConstraintPair(
+        name="pair",
+        assumptions=(parse_polynomial("x"),),
+        conclusion=parse_polynomial("$s_f_1_0_0") * parse_polynomial("x") + 1,
+        program_variables=("x",),
+    )
+
+
+def test_putinar_constraints_are_quadratic():
+    system = putinar_translate([simple_pair()], upsilon=2)
+    assert system.size > 0
+    for constraint in system:
+        assert constraint.polynomial.degree() <= 2
+
+
+def test_putinar_introduces_all_variable_roles():
+    system = putinar_translate([simple_pair()], upsilon=2)
+    roles = system.variables_by_role()
+    assert roles[VariableRole.TEMPLATE]
+    assert roles[VariableRole.MULTIPLIER]
+    assert roles[VariableRole.CHOLESKY]
+    assert roles[VariableRole.WITNESS]
+
+
+def test_putinar_witness_optional():
+    with_witness = putinar_translate([simple_pair()], upsilon=2, with_witness=True)
+    without = putinar_translate([simple_pair()], upsilon=2, with_witness=False)
+    assert without.size < with_witness.size
+    assert not without.variables_by_role()[VariableRole.WITNESS]
+
+
+def test_putinar_without_sos_encoding_is_smaller():
+    full = putinar_translate([simple_pair()], upsilon=2)
+    relaxed = putinar_translate([simple_pair()], upsilon=2, encode_sos=False)
+    assert relaxed.size < full.size
+    assert not relaxed.variables_by_role()[VariableRole.CHOLESKY]
+
+
+def test_putinar_size_grows_with_upsilon():
+    small = putinar_translate([simple_pair()], upsilon=1)
+    large = putinar_translate([simple_pair()], upsilon=4)
+    assert large.size > small.size
+
+
+def test_putinar_objective_attached():
+    objective = parse_polynomial("$s_f_1_0_0") ** 2
+    system = putinar_translate([simple_pair()], upsilon=2, objective=objective)
+    assert system.objective == objective
+
+
+def test_putinar_coefficient_matching_on_known_certificate():
+    """For the concrete pair x >= 0 ==> x + 1 > 0, the values eps=1, h_0=0, h_1=1
+    satisfy every generated equality (the certificate x + 1 = 1 + 0 + 1*x)."""
+    pair = ConstraintPair(
+        name="concrete",
+        assumptions=(parse_polynomial("x"),),
+        conclusion=parse_polynomial("x + 1"),
+        program_variables=("x",),
+    )
+    system = putinar_translate([pair], upsilon=2)
+    assignment = {name: 0.0 for name in system.variables()}
+    assignment["$eps_c0"] = 1.0
+    # h_1 must equal the constant 1: its t-coefficient of the monomial 1 is t_c0_1_0,
+    # and its Gram matrix is L = diag(1, 0) so the (0,0) Cholesky entry is 1.
+    assignment["$t_c0_1_0"] = 1.0
+    assignment["$l_c0_1_0_0"] = 1.0
+    assert system.satisfied(assignment, tolerance=1e-9)
+
+
+def test_handelman_translation_no_gram_matrices():
+    system = handelman_translate([simple_pair()], max_factors=2)
+    roles = system.variables_by_role()
+    assert not roles[VariableRole.CHOLESKY]
+    assert roles[VariableRole.MULTIPLIER]
+    for constraint in system:
+        assert constraint.polynomial.degree() <= 2
+
+
+def test_handelman_smaller_than_putinar():
+    pair = simple_pair()
+    assert handelman_translate([pair]).size < putinar_translate([pair], upsilon=2).size
+
+
+# -- QuadraticSystem ------------------------------------------------------------------
+
+
+def test_quadratic_constraint_rejects_cubic():
+    with pytest.raises(SynthesisError):
+        QuadraticConstraint(polynomial=parse_polynomial("x*y*z"), kind=ConstraintKind.EQUALITY)
+
+
+def test_system_add_helpers_skip_trivial_and_detect_inconsistent():
+    system = QuadraticSystem()
+    system.add_equality(Polynomial.zero())
+    assert system.size == 0
+    with pytest.raises(SynthesisError):
+        system.add_equality(Polynomial.constant(3), origin="bad")
+
+
+def test_violation_and_satisfaction():
+    system = QuadraticSystem()
+    system.add_equality(parse_polynomial("a - 2"))
+    system.add_nonnegative(parse_polynomial("b"))
+    system.add_positive(parse_polynomial("c"))
+    good = {"a": 2.0, "b": 0.0, "c": 1.0}
+    bad = {"a": 3.0, "b": -1.0, "c": 0.0}
+    assert system.satisfied(good)
+    assert not system.satisfied(bad)
+    assert system.max_violation(good) == pytest.approx(0.0, abs=1e-9)
+    assert system.max_violation(bad) >= 1.0
+    assert len(system.violated_constraints(bad)) >= 2
+
+
+def test_counts_and_variables():
+    system = QuadraticSystem()
+    system.add_equality(parse_polynomial("$s_f_1_0_0 - $t_c0_0_0"))
+    system.add_nonnegative(parse_polynomial("$l_c0_0_0_0"))
+    counts = system.counts()
+    assert counts["constraints"] == 2
+    assert counts["equalities"] == 1
+    assert counts["inequalities"] == 1
+    assert counts["template_variables"] == 1
+    assert counts["cholesky_variables"] == 1
+
+
+def test_classify_unknown():
+    assert classify_unknown("$s_f_1_0_0") is VariableRole.TEMPLATE
+    assert classify_unknown("$t_c0_1_2") is VariableRole.MULTIPLIER
+    assert classify_unknown("$l_c0_1_0_0") is VariableRole.CHOLESKY
+    assert classify_unknown("$eps_c0") is VariableRole.WITNESS
+    assert classify_unknown("x") is VariableRole.OTHER
+
+
+def test_compiled_system_roundtrip():
+    system = QuadraticSystem()
+    system.add_equality(parse_polynomial("$s_a_1_0_0 * $t_c0_0_0 - 1"))
+    system.objective = parse_polynomial("$s_a_1_0_0 ** 2")
+    compiled = system.compile()
+    assignment = {"$s_a_1_0_0": 2.0, "$t_c0_0_0": 0.5}
+    vector = compiled.vector_from_assignment(assignment)
+    assert compiled.assignment_from_vector(vector) == assignment
+    assert compiled.constraints[0].value(vector) == pytest.approx(0.0)
+    assert compiled.objective.value(vector) == pytest.approx(4.0)
+
+
+def test_merge_systems():
+    first = QuadraticSystem()
+    first.add_nonnegative(parse_polynomial("$t_a_0_0"))
+    second = QuadraticSystem()
+    second.add_nonnegative(parse_polynomial("$t_b_0_0"))
+    first.merge(second)
+    assert first.size == 2

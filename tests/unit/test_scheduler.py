@@ -1,0 +1,83 @@
+"""Unit tests for repro.semantics.scheduler and traces."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cfg.labels import Label, LabelKind
+from repro.cfg.transition import Transition, TransitionKind
+from repro.semantics.scheduler import AlternatingScheduler, RandomScheduler, ScriptedScheduler
+from repro.semantics.traces import Configuration, StackElement, Trace
+
+
+def _options():
+    source = Label("f", 1, LabelKind.NONDET)
+    return source, [
+        Transition(source=source, target=Label("f", 2, LabelKind.ASSIGN), kind=TransitionKind.NONDET),
+        Transition(source=source, target=Label("f", 3, LabelKind.ASSIGN), kind=TransitionKind.NONDET),
+    ]
+
+
+def test_scripted_scheduler_follows_script_then_defaults():
+    label, options = _options()
+    scheduler = ScriptedScheduler([1, 0, 1])
+    picks = [scheduler.choose(label, options).target.index for _ in range(5)]
+    assert picks == [3, 2, 3, 2, 2]
+
+
+def test_scripted_scheduler_reset():
+    label, options = _options()
+    scheduler = ScriptedScheduler([1])
+    assert scheduler.choose(label, options).target.index == 3
+    scheduler.reset()
+    assert scheduler.choose(label, options).target.index == 3
+
+
+def test_random_scheduler_deterministic_with_seed():
+    label, options = _options()
+    first = [RandomScheduler(seed=5).choose(label, options).target.index for _ in range(10)]
+    second = [RandomScheduler(seed=5).choose(label, options).target.index for _ in range(10)]
+    assert first == second
+
+
+def test_alternating_scheduler_cycles():
+    label, options = _options()
+    scheduler = AlternatingScheduler()
+    picks = [scheduler.choose(label, options).target.index for _ in range(4)]
+    assert picks == [2, 3, 2, 3]
+
+
+def test_stack_element_default_zero():
+    element = StackElement("f", Label("f", 1, LabelKind.ASSIGN), {"x": Fraction(2)})
+    assert element.value("x") == 2
+    assert element.value("missing") == 0
+
+
+def test_configuration_push_pop_top():
+    element = StackElement("f", Label("f", 1, LabelKind.ASSIGN), {})
+    configuration = Configuration().push(element)
+    assert len(configuration) == 1
+    assert configuration.top() is element
+    assert len(configuration.pop()) == 0
+    with pytest.raises(IndexError):
+        Configuration().top()
+    with pytest.raises(IndexError):
+        Configuration().pop()
+
+
+def test_configuration_replace_top():
+    first = StackElement("f", Label("f", 1, LabelKind.ASSIGN), {})
+    second = StackElement("f", Label("f", 2, LabelKind.ASSIGN), {})
+    configuration = Configuration().push(first).replace_top(second)
+    assert configuration.top() is second
+    assert len(configuration) == 1
+
+
+def test_trace_iteration_helpers():
+    element = StackElement("f", Label("f", 1, LabelKind.ASSIGN), {})
+    trace = Trace()
+    trace.append(Configuration().push(element))
+    trace.append(Configuration())
+    assert len(trace) == 2
+    assert list(trace.top_elements()) == [element]
+    assert list(trace.visited_elements()) == [element]

@@ -1,0 +1,147 @@
+"""Unit tests for the Step-4 solvers on small hand-written systems."""
+
+import numpy as np
+import pytest
+
+from repro.invariants.quadratic_system import QuadraticSystem
+from repro.polynomial.parse import parse_polynomial
+from repro.solvers.alternating import AlternatingSolver
+from repro.solvers.base import SolverOptions
+from repro.solvers.numeric import VectorisedSystem
+from repro.solvers.qclp import PenaltyQCLPSolver
+from repro.solvers.strong import RepresentativeEnumerator
+
+
+def bilinear_system():
+    """A tiny bilinear feasibility problem: s*t = 1, t >= 0, s >= 0."""
+    system = QuadraticSystem()
+    system.add_equality(parse_polynomial("$s_f_1_0_0 * $t_c0_0_0 - 1"))
+    system.add_nonnegative(parse_polynomial("$t_c0_0_0"))
+    system.add_nonnegative(parse_polynomial("$s_f_1_0_0"))
+    return system
+
+
+def objective_system():
+    """Feasible region s >= 2 with objective (s - 3)^2."""
+    system = QuadraticSystem()
+    system.add_nonnegative(parse_polynomial("$s_f_1_0_0 - 2"))
+    system.objective = parse_polynomial("($s_f_1_0_0 - 3)^2")
+    return system
+
+
+# -- VectorisedSystem -----------------------------------------------------------------
+
+
+def test_vectorised_values_and_residuals():
+    system = bilinear_system()
+    vectorised = VectorisedSystem(system)
+    point = vectorised.vector({"$s_f_1_0_0": 2.0, "$t_c0_0_0": 0.5})
+    assert vectorised.max_violation(point) == pytest.approx(0.0, abs=1e-12)
+    bad = vectorised.vector({"$s_f_1_0_0": 2.0, "$t_c0_0_0": -1.0})
+    assert vectorised.max_violation(bad) > 1.0
+
+
+def test_vectorised_penalty_gradient_matches_finite_difference():
+    system = bilinear_system()
+    vectorised = VectorisedSystem(system)
+    rng = np.random.default_rng(0)
+    point = rng.normal(size=vectorised.dimension)
+    analytic = vectorised.penalty_gradient(point, rho=10.0)
+    numeric = np.zeros_like(point)
+    step = 1e-6
+    for i in range(point.size):
+        forward = point.copy()
+        forward[i] += step
+        backward = point.copy()
+        backward[i] -= step
+        numeric[i] = (vectorised.penalty(forward, 10.0) - vectorised.penalty(backward, 10.0)) / (2 * step)
+    assert np.allclose(analytic, numeric, rtol=1e-4, atol=1e-5)
+
+
+def test_vectorised_objective():
+    system = objective_system()
+    vectorised = VectorisedSystem(system)
+    point = vectorised.vector({"$s_f_1_0_0": 3.0})
+    assert vectorised.objective_value(point) == pytest.approx(0.0)
+    assert vectorised.objective_value(vectorised.vector({"$s_f_1_0_0": 5.0})) == pytest.approx(4.0)
+
+
+def test_vectorised_residual_jacobian_masks_inactive_inequalities():
+    system = objective_system()
+    vectorised = VectorisedSystem(system)
+    satisfied = vectorised.vector({"$s_f_1_0_0": 5.0})
+    jacobian = vectorised.residual_jacobian(satisfied)
+    assert jacobian.nnz == 0  # inequality inactive: row is zeroed
+
+
+# -- PenaltyQCLPSolver -----------------------------------------------------------------
+
+
+def test_penalty_solver_finds_bilinear_solution():
+    solver = PenaltyQCLPSolver(SolverOptions(restarts=3, max_iterations=200))
+    result = solver.solve(bilinear_system())
+    assert result.feasible
+    assignment = result.assignment
+    assert assignment["$s_f_1_0_0"] * assignment["$t_c0_0_0"] == pytest.approx(1.0, abs=1e-4)
+
+
+def test_penalty_solver_tracks_objective():
+    solver = PenaltyQCLPSolver(SolverOptions(restarts=2, max_iterations=200))
+    result = solver.solve(objective_system())
+    assert result.feasible
+    assert result.assignment["$s_f_1_0_0"] == pytest.approx(3.0, abs=1e-2)
+
+
+def test_penalty_solver_reports_infeasible_best_effort():
+    system = QuadraticSystem()
+    system.add_equality(parse_polynomial("$s_a_0_0_0 * $s_a_0_0_0 + 1"))  # s^2 = -1: infeasible
+    solver = PenaltyQCLPSolver(SolverOptions(restarts=2, max_iterations=100))
+    result = solver.solve(system)
+    assert not result.feasible
+    assert result.status == "infeasible-best-effort"
+    assert result.max_violation is not None and result.max_violation > 0.1
+
+
+def test_penalty_solver_trivial_system():
+    result = PenaltyQCLPSolver().solve(QuadraticSystem())
+    assert result.feasible
+    assert result.status == "trivial"
+
+
+# -- AlternatingSolver ------------------------------------------------------------------
+
+
+def test_alternating_solver_on_bilinear_system():
+    solver = AlternatingSolver(SolverOptions(restarts=2, max_iterations=150), sweeps=3)
+    result = solver.solve(bilinear_system())
+    assert result.feasible
+    product = result.assignment["$s_f_1_0_0"] * result.assignment["$t_c0_0_0"]
+    assert product == pytest.approx(1.0, abs=1e-3)
+
+
+def test_alternating_solver_trivial_system():
+    result = AlternatingSolver().solve(QuadraticSystem())
+    assert result.status == "trivial"
+
+
+# -- RepresentativeEnumerator --------------------------------------------------------------
+
+
+def test_enumerator_finds_multiple_components():
+    # (s - 1)*(s + 1) = 0 has two connected components {1} and {-1}.
+    system = QuadraticSystem()
+    system.add_equality(parse_polynomial("$s_f_1_0_0^2 - 1"))
+    enumerator = RepresentativeEnumerator(attempts=8, options=SolverOptions(max_iterations=150, seed=1))
+    result = enumerator.enumerate(system)
+    assert result.feasible_attempts >= 2
+    values = sorted(round(rep["$s_f_1_0_0"]) for rep in result.representatives)
+    assert -1 in values and 1 in values
+
+
+def test_enumerator_reports_attempts():
+    system = QuadraticSystem()
+    system.add_equality(parse_polynomial("$s_f_1_0_0 - 2"))
+    enumerator = RepresentativeEnumerator(attempts=3, options=SolverOptions(max_iterations=50))
+    result = enumerator.enumerate(system)
+    assert result.attempts == 3
+    assert result.count >= 1

@@ -1,0 +1,117 @@
+"""Unit tests for repro.invariants.template (Step 1 / 1.a)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.invariants.template import TemplateSet, UNKNOWN_PREFIX
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.ordering import count_monomials_up_to_degree
+
+
+def test_template_monomial_count_matches_formula(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=2)
+    entry = templates.entry_for("sum", 1)
+    # V^sum has 5 variables (n, n_init, i, s, ret_sum); degree-2 monomials: C(7,2) = 21.
+    assert len(entry.monomials) == count_monomials_up_to_degree(5, 2) == 21
+
+
+def test_template_example_6_size(sum_cfg):
+    """Example 6 of the paper: the degree-2 template at each label has 21 terms."""
+    templates = TemplateSet.build(sum_cfg, degree=2, conjuncts=1)
+    for entry in templates:
+        assert len(entry.coefficient_names()) == 21
+
+
+def test_coefficient_names_are_prefixed_and_unique(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1, conjuncts=2)
+    names = templates.coefficient_names()
+    assert len(names) == len(set(names))
+    assert all(name.startswith(UNKNOWN_PREFIX) for name in names)
+    # 9 labels x 2 conjuncts x 6 monomials (1, n, n_init, i, s, ret_sum)
+    assert templates.coefficient_count() == 9 * 2 * 6
+
+
+def test_conjunct_polynomial_contains_every_monomial(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    entry = templates.entry_for("sum", 3)
+    polynomial = entry.conjunct_polynomial(0)
+    program_monomials = {m.exclude([v for v in m.variables() if v.startswith(UNKNOWN_PREFIX)])
+                         for m in polynomial.terms}
+    assert Monomial.of("i") in program_monomials
+    assert Monomial.one() in program_monomials
+
+
+def test_instantiate_assigns_coefficients(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    entry = templates.entry_for("sum", 9)
+    name = entry.coefficient_name(0, Monomial.of("ret_sum"))
+    concrete = entry.instantiate(0, {name: 2.5})
+    assert concrete.coefficient(Monomial.of("ret_sum")) == 2.5
+    assert concrete.coefficient(Monomial.of("i")) == 0
+
+
+def test_instantiate_assertion_is_strict(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    entry = templates.entry_for("sum", 9)
+    assertion = entry.instantiate_assertion({})
+    assert all(atom.strict for atom in assertion)
+
+
+def test_unknown_monomial_rejected(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    entry = templates.entry_for("sum", 1)
+    with pytest.raises(SynthesisError):
+        entry.coefficient_name(0, Monomial({"i": 5}))
+
+
+def test_bad_parameters_rejected(sum_cfg):
+    with pytest.raises(SynthesisError):
+        TemplateSet.build(sum_cfg, degree=0)
+    with pytest.raises(SynthesisError):
+        TemplateSet.build(sum_cfg, degree=1, conjuncts=0)
+
+
+def test_conjunct_out_of_range(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1, conjuncts=1)
+    entry = templates.entry_for("sum", 1)
+    with pytest.raises(SynthesisError):
+        entry.conjunct_polynomial(1)
+
+
+def test_lookup_errors(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1)
+    with pytest.raises(SynthesisError):
+        templates.entry_for("sum", 42)
+    with pytest.raises(SynthesisError):
+        templates.post_entry_for("sum")  # non-recursive: no post templates by default
+
+
+def test_non_recursive_program_has_no_post_templates(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=2)
+    assert not templates.has_postconditions()
+
+
+def test_recursive_program_gets_post_templates(recursive_sum_cfg):
+    templates = TemplateSet.build(recursive_sum_cfg, degree=2)
+    assert templates.has_postconditions()
+    post = templates.post_entry_for("recursive_sum")
+    # Example 11: the post-condition template ranges over n_init and ret only:
+    # monomials 1, n_init, ret, n_init^2, n_init*ret, ret^2.
+    assert set(post.variables) == {"n_init", "ret_recursive_sum"}
+    assert len(post.monomials) == 6
+
+
+def test_forced_post_templates_for_non_recursive(sum_cfg):
+    templates = TemplateSet.build(sum_cfg, degree=1, with_postconditions=True)
+    assert templates.has_postconditions()
+    assert set(templates.post_entry_for("sum").variables) == {"n_init", "ret_sum"}
+
+
+def test_post_entry_instantiate(recursive_sum_cfg):
+    templates = TemplateSet.build(recursive_sum_cfg, degree=2)
+    post = templates.post_entry_for("recursive_sum")
+    name = post.coefficient_name(0, Monomial.one())
+    polynomial = post.instantiate(0, {name: 3})
+    assert polynomial.constant_term() == 3
+    assertion = post.instantiate_assertion({name: 3})
+    assert assertion.holds({"n_init": 0.0, "ret_recursive_sum": 0.0})

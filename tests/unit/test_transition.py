@@ -1,0 +1,81 @@
+"""Unit tests for repro.cfg.transition."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cfg.labels import Label, LabelKind
+from repro.cfg.transition import CallSite, Transition, TransitionKind
+from repro.errors import SemanticsError
+from repro.polynomial.parse import parse_polynomial
+
+
+def _labels():
+    source = Label("f", 1, LabelKind.ASSIGN)
+    target = Label("f", 2, LabelKind.ASSIGN)
+    return source, target
+
+
+def test_update_transition_applies_to_valuation():
+    source, target = _labels()
+    transition = Transition(
+        source=source, target=target, kind=TransitionKind.UPDATE,
+        update={"x": parse_polynomial("x + 1"), "y": parse_polynomial("x*x")},
+    )
+    updated = transition.apply_update({"x": Fraction(3), "y": Fraction(0)})
+    assert updated["x"] == 4
+    assert updated["y"] == 9
+
+
+def test_update_transition_identity_for_unmentioned_variables():
+    source, target = _labels()
+    transition = Transition(source=source, target=target, kind=TransitionKind.UPDATE, update={})
+    updated = transition.apply_update({"x": Fraction(7)})
+    assert updated == {"x": Fraction(7)}
+
+
+def test_compose_substitutes_updates():
+    source, target = _labels()
+    transition = Transition(
+        source=source, target=target, kind=TransitionKind.UPDATE,
+        update={"x": parse_polynomial("x + 1")},
+    )
+    composed = transition.compose(parse_polynomial("x*x"))
+    assert composed == parse_polynomial("(x+1)^2")
+
+
+def test_missing_payload_rejected():
+    source, target = _labels()
+    with pytest.raises(SemanticsError):
+        Transition(source=source, target=target, kind=TransitionKind.UPDATE)
+    with pytest.raises(SemanticsError):
+        Transition(source=source, target=target, kind=TransitionKind.GUARD)
+    with pytest.raises(SemanticsError):
+        Transition(source=source, target=target, kind=TransitionKind.CALL)
+
+
+def test_nondet_transition_needs_no_payload():
+    source, target = _labels()
+    transition = Transition(source=source, target=target, kind=TransitionKind.NONDET)
+    assert transition.describe() == "*"
+
+
+def test_compose_on_guard_transition_rejected():
+    source, target = _labels()
+    transition = Transition(
+        source=source, target=target, kind=TransitionKind.NONDET,
+    )
+    with pytest.raises(SemanticsError):
+        transition.compose(parse_polynomial("x"))
+    with pytest.raises(SemanticsError):
+        transition.apply_update({"x": 1})
+
+
+def test_describe_and_str():
+    source, target = _labels()
+    call = Transition(
+        source=source, target=target, kind=TransitionKind.CALL,
+        call=CallSite(target="y", callee="g", arguments=("x",)),
+    )
+    assert "g(x)" in call.describe()
+    assert str(source) in str(call)

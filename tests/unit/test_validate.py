@@ -1,0 +1,80 @@
+"""Unit tests for repro.lang.validate."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.lang.parser import parse_program
+from repro.lang.validate import ensure_trailing_return, frozen_parameter, return_variable, validate_program
+
+
+def test_return_variable_and_frozen_parameter_names():
+    assert return_variable("sum") == "ret_sum"
+    assert frozen_parameter("n") == "n_init"
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(ValidationError):
+        parse_program("f(x) { return x } f(y) { return y }")
+
+
+def test_duplicate_parameters_rejected():
+    with pytest.raises(ValidationError):
+        parse_program("f(x, x) { return x }")
+
+
+def test_undefined_callee_rejected():
+    with pytest.raises(ValidationError):
+        parse_program("f(x) { y := g(x); return y }")
+
+
+def test_arity_mismatch_rejected():
+    source = "g(a) { return a } f(x, y) { z := g(x, y); return z }"
+    with pytest.raises(ValidationError):
+        parse_program(source)
+
+
+def test_variable_on_both_sides_of_call_rejected():
+    source = "g(a) { return a } f(x) { x := g(x); return x }"
+    with pytest.raises(ValidationError):
+        parse_program(source)
+
+
+def test_reserved_return_prefix_rejected():
+    with pytest.raises(ValidationError):
+        parse_program("f(x) { ret_f := 1; return ret_f }")
+
+
+def test_reserved_frozen_suffix_rejected():
+    with pytest.raises(ValidationError):
+        parse_program("f(x) { y_init := 1; return y_init }")
+
+
+def test_missing_main_rejected():
+    program = parse_program("f(x) { return x }")
+    broken = type(program)(functions=program.functions, main="nope")
+    with pytest.raises(ValidationError):
+        validate_program(broken)
+
+
+def test_ensure_trailing_return():
+    with_return = parse_program("f(x) { return x }")
+    assert ensure_trailing_return(with_return.function("f"))
+    without_return = parse_program("f(x) { y := 1 }")
+    assert not ensure_trailing_return(without_return.function("f"))
+
+
+def test_valid_recursive_program_passes():
+    source = """
+    fact(n) {
+        if n <= 1 then
+            return 1
+        else
+            m := n - 1;
+            r := fact(m);
+            return n*r
+        fi
+    }
+    """
+    program = parse_program(source)
+    validate_program(program)  # should not raise
+    assert program.is_recursive()
