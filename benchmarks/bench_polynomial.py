@@ -1,0 +1,104 @@
+"""Microbenchmarks of the polynomial hot path: add, mul, pow and substitute.
+
+Every stage of the synthesis pipeline (template construction, constraint-pair
+generation, the Putinar/Handelman translations) bottoms out in
+``Polynomial``/``Monomial`` arithmetic, so this script tracks the cost of the
+four core operations on representative degree-2 and degree-4 template
+polynomials.  It emits machine-readable JSON so future PRs can compare against
+recorded numbers::
+
+    python benchmarks/bench_polynomial.py                  # JSON to stdout
+    python benchmarks/bench_polynomial.py --output out.json
+
+The workloads mirror what Steps 1-3 actually do: dense templates over a
+handful of program variables with small rational coefficients, multiplied by
+multiplier polynomials and composed with update functions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import timeit
+from fractions import Fraction
+
+import _bench_config  # noqa: F401  (sys.path setup)
+
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.ordering import monomials_up_to_degree
+from repro.polynomial.polynomial import Polynomial
+
+VARIABLES = ["x", "y", "z", "w", "u", "v"]
+
+
+def template(degree: int, seed: int = 1) -> Polynomial:
+    """A dense degree-``degree`` template over :data:`VARIABLES` with rational coefficients."""
+    terms = {}
+    value = seed
+    for monomial in monomials_up_to_degree(VARIABLES, degree):
+        value = (value * 37 + 11) % 101
+        terms[monomial] = Fraction(value - 50, 7)
+    return Polynomial(terms)
+
+
+def _workloads() -> dict[str, tuple]:
+    deg2_a = template(2, seed=1)
+    deg2_b = template(2, seed=2)
+    deg4_a = template(4, seed=3)
+    deg4_b = template(4, seed=4)
+    update = {
+        "x": Polynomial.variable("x") + Polynomial.variable("y") + 1,
+        "y": Polynomial.variable("y") * Fraction(1, 2) - 3,
+    }
+    linear = Polynomial.variable("x") + Polynomial.variable("y") + Polynomial.variable("z") + 1
+    return {
+        "add_deg2": (lambda: deg2_a + deg2_b,),
+        "add_deg4": (lambda: deg4_a + deg4_b,),
+        "mul_deg2": (lambda: deg2_a * deg2_b,),
+        "mul_deg4_deg2": (lambda: deg4_a * deg2_b,),
+        "pow_linear_4": (lambda: linear**4,),
+        "substitute_deg2": (lambda: deg2_a.substitute(update),),
+        "substitute_deg4": (lambda: deg4_a.substitute(update),),
+    }
+
+
+def _time(function, repeat: int) -> dict[str, float]:
+    timer = timeit.Timer(function)
+    number, _ = timer.autorange()
+    best = min(timer.repeat(repeat=repeat, number=number)) / number
+    return {"seconds_per_op": best, "ops_per_second": (1.0 / best) if best else float("inf")}
+
+
+def run(repeat: int = 5) -> dict:
+    results = {name: _time(fn, repeat) for name, (fn,) in _workloads().items()}
+    interned = getattr(Monomial, "interned_count", None)
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "repeat": repeat,
+            "variables": len(VARIABLES),
+            "interned_monomials": interned() if callable(interned) else None,
+        },
+        "benchmarks": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=5, help="timing repetitions (best is kept)")
+    parser.add_argument("--output", help="also write the JSON report to this file")
+    args = parser.parse_args(argv)
+
+    report = run(repeat=args.repeat)
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

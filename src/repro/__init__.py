@@ -59,6 +59,7 @@ from repro.invariants import (
     weak_inv_synth,
 )
 from repro.lang import parse_program, pretty_print
+from repro.pipeline import SynthesisJob, SynthesisPipeline, TaskCache, job_from_benchmark
 from repro.polynomial import Monomial, Polynomial, parse_polynomial
 from repro.semantics import Interpreter
 from repro.spec import (
@@ -95,9 +96,12 @@ __all__ = [
     "SolverError",
     "SpecificationError",
     "SynthesisError",
+    "SynthesisJob",
     "SynthesisOptions",
+    "SynthesisPipeline",
     "SynthesisResult",
     "SynthesisTask",
+    "TaskCache",
     "TargetInvariantObjective",
     "TemplateSet",
     "ValidationError",
@@ -105,6 +109,7 @@ __all__ = [
     "build_task",
     "check_invariant",
     "generate_constraint_pairs",
+    "job_from_benchmark",
     "parse_assertion",
     "parse_polynomial",
     "parse_program",

@@ -7,18 +7,29 @@ Use the command line entry point::
     python -m repro.bench table1            # Table 1 (literature summary)
     python -m repro.bench ablation          # Putinar vs Handelman vs Farkas
     python -m repro.bench all --quick       # everything, small parameter preset
+    python -m repro.bench table2 --solve --workers 8   # parallel Step-4 solves
 
 or the programmatic API in :mod:`repro.bench.runner` and
-:mod:`repro.bench.tables`.
+:mod:`repro.bench.tables`.  The runner is a thin measurement layer over
+:class:`repro.pipeline.SynthesisPipeline`, so whole tables share Step 1-3
+reductions and can fan their solves out across a process pool.
 """
 
-from repro.bench.runner import Measurement, measure_benchmark, measure_many
+from repro.bench.runner import (
+    Measurement,
+    default_bench_solver,
+    measure_benchmark,
+    measure_many,
+    measurement_from_outcome,
+)
 from repro.bench.tables import render_measurements, render_table1, table_rows
 
 __all__ = [
     "Measurement",
+    "default_bench_solver",
     "measure_benchmark",
     "measure_many",
+    "measurement_from_outcome",
     "render_measurements",
     "render_table1",
     "table_rows",

@@ -26,7 +26,13 @@ def _run_table(category: str, title: str, args: argparse.Namespace) -> str:
     benchmarks = _select(args.names, category)
     if args.quick:
         benchmarks = quick_subset(benchmarks)
-    measurements = measure_many(benchmarks, solve=args.solve, quick=args.quick, verbose=not args.no_progress)
+    measurements = measure_many(
+        benchmarks,
+        solve=args.solve,
+        quick=args.quick,
+        verbose=not args.no_progress,
+        workers=args.workers,
+    )
     return render_measurements(measurements, title)
 
 
@@ -38,7 +44,13 @@ def _run_table3(args: argparse.Namespace) -> str:
         benchmarks = [get_benchmark(name.strip()) for name in args.names.split(",") if name.strip()]
     if args.quick:
         benchmarks = quick_subset(benchmarks)
-    measurements = measure_many(benchmarks, solve=args.solve, quick=args.quick, verbose=not args.no_progress)
+    measurements = measure_many(
+        benchmarks,
+        solve=args.solve,
+        quick=args.quick,
+        verbose=not args.no_progress,
+        workers=args.workers,
+    )
     return render_measurements(measurements, "Table 3 - recursive and reinforcement-learning benchmarks")
 
 
@@ -75,6 +87,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--names", help="comma-separated benchmark names to restrict to")
     parser.add_argument("--quick", action="store_true", help="small parameter preset (Upsilon=1, small benchmarks)")
     parser.add_argument("--solve", action="store_true", help="also run the Step-4 solver per benchmark")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan Step-4 solves out across this many worker processes (0 = sequential)",
+    )
     parser.add_argument("--no-progress", action="store_true", help="suppress per-benchmark progress lines")
     parser.add_argument("--output", help="write the rendered tables to this file as well")
     args = parser.parse_args(argv)

@@ -1,12 +1,20 @@
-"""Measurement runner: execute the reduction (and optionally a solve) per benchmark."""
+"""Measurement runner: execute the reduction (and optionally a solve) per benchmark.
+
+Since the batch-pipeline refactor this module is a thin measurement layer on
+top of :class:`~repro.pipeline.SynthesisPipeline`: benchmarks become
+:class:`~repro.pipeline.jobs.SynthesisJob` values, reductions are deduplicated
+through the pipeline's task cache, and with ``workers > 1`` the Step-4 solves
+of a whole table run concurrently across a process pool.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.invariants.synthesis import SynthesisOptions, build_task, weak_inv_synth
+from repro.invariants.synthesis import SynthesisOptions
+from repro.pipeline.jobs import SynthesisJob, job_from_benchmark
+from repro.pipeline.pipeline import PipelineOutcome, SynthesisPipeline
 from repro.solvers.base import Solver, SolverOptions
 from repro.solvers.qclp import PenaltyQCLPSolver
 from repro.suite.base import Benchmark
@@ -39,6 +47,48 @@ class Measurement:
         return self.reduction_seconds + (self.solve_seconds or 0.0)
 
 
+def default_bench_solver() -> Solver:
+    """The short-budget Step-4 solver used when measuring with ``solve=True``."""
+    return PenaltyQCLPSolver(SolverOptions(restarts=1, max_iterations=200, time_limit=60.0))
+
+
+def measurement_from_outcome(benchmark: Benchmark, outcome: PipelineOutcome) -> Measurement:
+    """Convert one pipeline outcome into a table row."""
+    if outcome.task is None:
+        raise RuntimeError(
+            f"benchmark {benchmark.name!r} failed during reduction:\n{outcome.error}"
+        )
+    task = outcome.task
+    counts = task.system.counts()
+    solver_status = None
+    if outcome.result is not None:
+        solver_status = outcome.result.solver_status
+    elif outcome.error is not None:
+        solver_status = "error"
+    return Measurement(
+        name=benchmark.name,
+        category=benchmark.category,
+        conjuncts=task.options.conjuncts,
+        degree=task.options.degree,
+        variables=task.cfg.variable_count(),
+        constraint_pairs=len(task.pairs),
+        system_size=task.system.size,
+        unknowns=counts["variables"],
+        reduction_seconds=outcome.reduction_seconds,
+        solve_seconds=outcome.solve_seconds,
+        solver_status=solver_status,
+        paper_system_size=benchmark.paper.system_size if benchmark.paper else None,
+        paper_runtime_seconds=benchmark.paper.runtime_seconds if benchmark.paper else None,
+        paper_variables=benchmark.paper.variables if benchmark.paper else None,
+        notes=benchmark.notes,
+        extra={
+            "template_variables": float(counts["template_variables"]),
+            "equalities": float(counts["equalities"]),
+            "inequalities": float(counts["inequalities"]),
+        },
+    )
+
+
 def measure_benchmark(
     benchmark: Benchmark,
     options: SynthesisOptions | None = None,
@@ -61,46 +111,7 @@ def measure_benchmark(
         Solver to use when ``solve`` is true (default: a short-budget
         :class:`~repro.solvers.qclp.PenaltyQCLPSolver`).
     """
-    options = options if options is not None else benchmark.options()
-
-    start = time.perf_counter()
-    task = build_task(benchmark.source, benchmark.precondition, benchmark.objective(), options)
-    reduction_seconds = time.perf_counter() - start
-
-    solve_seconds: float | None = None
-    solver_status: str | None = None
-    if solve:
-        solver = solver if solver is not None else PenaltyQCLPSolver(
-            SolverOptions(restarts=1, max_iterations=200, time_limit=60.0)
-        )
-        start = time.perf_counter()
-        result = weak_inv_synth(benchmark.source, task=task, solver=solver)
-        solve_seconds = time.perf_counter() - start
-        solver_status = result.solver_status
-
-    counts = task.system.counts()
-    return Measurement(
-        name=benchmark.name,
-        category=benchmark.category,
-        conjuncts=options.conjuncts,
-        degree=options.degree,
-        variables=task.cfg.variable_count(),
-        constraint_pairs=len(task.pairs),
-        system_size=task.system.size,
-        unknowns=counts["variables"],
-        reduction_seconds=reduction_seconds,
-        solve_seconds=solve_seconds,
-        solver_status=solver_status,
-        paper_system_size=benchmark.paper.system_size if benchmark.paper else None,
-        paper_runtime_seconds=benchmark.paper.runtime_seconds if benchmark.paper else None,
-        paper_variables=benchmark.paper.variables if benchmark.paper else None,
-        notes=benchmark.notes,
-        extra={
-            "template_variables": float(counts["template_variables"]),
-            "equalities": float(counts["equalities"]),
-            "inequalities": float(counts["inequalities"]),
-        },
-    )
+    return measure_many([benchmark], solve=solve, solver=solver, options=options, verbose=False)[0]
 
 
 def measure_many(
@@ -109,25 +120,61 @@ def measure_many(
     solver: Solver | None = None,
     quick: bool = False,
     verbose: bool = True,
+    workers: int = 0,
+    options: SynthesisOptions | None = None,
+    pipeline: SynthesisPipeline | None = None,
 ) -> list[Measurement]:
-    """Measure a collection of benchmarks, optionally with the quick parameter preset.
+    """Measure a collection of benchmarks through the batch pipeline.
 
     The quick preset lowers the multiplier degree (Upsilon) to 1, which keeps
     every reduction under a few seconds; it is used by the default pytest
     benchmark run so that CI stays fast.  The full preset (``quick=False``)
-    reproduces the paper's parameters.
+    reproduces the paper's parameters.  ``workers > 1`` fans the Step-4 solves
+    out across a process pool; pass a ``pipeline`` to share its task cache
+    between calls.
     """
-    measurements: list[Measurement] = []
+    benchmarks = list(benchmarks)
+    jobs = []
     for benchmark in benchmarks:
-        options = benchmark.options(upsilon=1) if quick else benchmark.options()
+        if options is not None:
+            jobs.append(
+                SynthesisJob(
+                    name=benchmark.name,
+                    source=benchmark.source,
+                    precondition=benchmark.precondition,
+                    objective=benchmark.objective(),
+                    options=options,
+                )
+            )
+        else:
+            jobs.append(job_from_benchmark(benchmark, quick=quick))
+    if pipeline is None:
+        pipeline = SynthesisPipeline(
+            solver=solver if solver is not None else default_bench_solver(),
+            workers=workers,
+        )
+
+    measurements: list[Measurement] = []
+    for benchmark, job, outcome in zip(benchmarks, jobs, pipeline.stream(jobs, solve=solve)):
         if verbose:
-            print(f"[bench] {benchmark.name} (d={options.degree}, n={options.conjuncts}, Y={options.upsilon}) ...")
-        measurement = measure_benchmark(benchmark, options=options, solve=solve, solver=solver)
+            print(
+                f"[bench] {benchmark.name} (d={job.options.degree}, n={job.options.conjuncts}, "
+                f"Y={job.options.upsilon}) ..."
+            )
+        measurement = measurement_from_outcome(benchmark, outcome)
         if verbose:
+            cached = " (cached reduction)" if outcome.from_cache else ""
+            if not solve:
+                solve_note = ""
+            elif measurement.solve_seconds is not None:
+                solve_note = f" solve={measurement.solve_seconds:.2f}s [{measurement.solver_status}]"
+            else:
+                solve_note = f" solve failed [{measurement.solver_status}]"
             print(
                 f"         |V|={measurement.variables} pairs={measurement.constraint_pairs} "
                 f"|S|={measurement.system_size} reduction={measurement.reduction_seconds:.2f}s"
-                + (f" solve={measurement.solve_seconds:.2f}s [{measurement.solver_status}]" if solve else "")
+                + solve_note
+                + cached
             )
         measurements.append(measurement)
     return measurements
@@ -136,3 +183,14 @@ def measure_many(
 def quick_subset(benchmarks: Sequence[Benchmark], limit_variables: int = 8) -> list[Benchmark]:
     """The benchmarks whose variable count keeps the reduction cheap (used by default CI runs)."""
     return [benchmark for benchmark in benchmarks if benchmark.variable_count() <= limit_variables]
+
+
+__all__ = [
+    "Measurement",
+    "default_bench_solver",
+    "job_from_benchmark",
+    "measure_benchmark",
+    "measure_many",
+    "measurement_from_outcome",
+    "quick_subset",
+]

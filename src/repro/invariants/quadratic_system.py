@@ -243,9 +243,9 @@ class CompiledSystem:
             quadratic: list[tuple[int, int, float]] = []
             linear: list[tuple[int, float]] = []
             constant = 0.0
-            for monomial, coefficient in polynomial.terms.items():
+            for monomial, coefficient in polynomial.items():
                 value = float(coefficient)
-                names = list(monomial.powers.items())
+                names = monomial.items
                 degree = monomial.degree()
                 if degree == 0:
                     constant += value

@@ -210,6 +210,34 @@ def _instantiate_invariant(task: SynthesisTask, assignment: Mapping[str, float])
     return Invariant(assertions=assertions, postconditions=postconditions)
 
 
+def result_from_solution(task: SynthesisTask, solve_result: SolverResult) -> SynthesisResult:
+    """Assemble a :class:`SynthesisResult` from a task and a Step-4 solver outcome.
+
+    This is the single place where a numeric solver assignment becomes a
+    concrete invariant; :func:`weak_inv_synth` and the batch
+    :class:`~repro.pipeline.SynthesisPipeline` both go through it, which is
+    what guarantees batched and sequential runs produce identical results.
+    """
+    invariant = None
+    invariants: list[Invariant] = []
+    assignment = None
+    if solve_result.feasible and solve_result.assignment is not None:
+        assignment = dict(solve_result.assignment)
+        invariant = _instantiate_invariant(task, assignment)
+        invariants = [invariant]
+
+    return SynthesisResult(
+        invariant=invariant,
+        invariants=invariants,
+        assignment=assignment,
+        system=task.system,
+        templates=task.templates,
+        cfg=task.cfg,
+        statistics=dict(task.statistics),
+        solver_status=solve_result.status,
+    )
+
+
 def weak_inv_synth(
     program: ProgramLike,
     precondition: PreconditionLike = None,
@@ -231,24 +259,7 @@ def weak_inv_synth(
     solve_result: SolverResult = solver.solve(task.system)
     task.statistics["time_solver"] = time.perf_counter() - start
 
-    invariant = None
-    invariants: list[Invariant] = []
-    assignment = None
-    if solve_result.feasible and solve_result.assignment is not None:
-        assignment = dict(solve_result.assignment)
-        invariant = _instantiate_invariant(task, assignment)
-        invariants = [invariant]
-
-    return SynthesisResult(
-        invariant=invariant,
-        invariants=invariants,
-        assignment=assignment,
-        system=task.system,
-        templates=task.templates,
-        cfg=task.cfg,
-        statistics=dict(task.statistics),
-        solver_status=solve_result.status,
-    )
+    return result_from_solution(task, solve_result)
 
 
 def strong_inv_synth(

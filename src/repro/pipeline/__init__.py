@@ -1,0 +1,31 @@
+"""Batch synthesis orchestration.
+
+This package turns the one-program-at-a-time algorithms of
+:mod:`repro.invariants.synthesis` into a throughput-oriented service layer:
+
+* :class:`~repro.pipeline.jobs.SynthesisJob` — a picklable description of one
+  (program, precondition, objective, options) synthesis request.
+* :class:`~repro.pipeline.cache.TaskCache` — memoises the exact Step 1-3
+  reductions, so jobs sharing a reduction are translated once.
+* :class:`~repro.pipeline.pipeline.SynthesisPipeline` — accepts many jobs,
+  deduplicates their reductions, fans the numeric Step-4 solves out across a
+  process pool and streams per-job
+  :class:`~repro.invariants.result.SynthesisResult` values back in submission
+  order.
+
+The pipeline is the substrate the benchmark runner (``python -m repro.bench``)
+and the batch examples build on; see ``DESIGN.md`` for how it relates to the
+paper's Steps 1-4.
+"""
+
+from repro.pipeline.cache import TaskCache
+from repro.pipeline.jobs import SynthesisJob, job_from_benchmark
+from repro.pipeline.pipeline import PipelineOutcome, SynthesisPipeline
+
+__all__ = [
+    "PipelineOutcome",
+    "SynthesisJob",
+    "SynthesisPipeline",
+    "TaskCache",
+    "job_from_benchmark",
+]

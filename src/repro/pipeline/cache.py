@@ -1,0 +1,87 @@
+"""Memoisation of Step 1-3 reductions shared between batched jobs."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.invariants.synthesis import SynthesisTask, build_task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.jobs import SynthesisJob
+
+
+class TaskCache:
+    """A thread-safe cache from job reduction keys to built synthesis tasks.
+
+    The reduction (template construction, constraint-pair generation and the
+    Putinar/Handelman translation) is the expensive exact-arithmetic part of
+    the pipeline; many batched jobs — parameter sweeps, repeated solver runs,
+    re-submitted benchmarks — share it verbatim.  Builds of distinct keys run
+    concurrently; builds of the same key are serialised so the reduction is
+    performed exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[tuple, SynthesisTask] = {}
+        # The job that built each entry is pinned alongside its task: reduction
+        # keys identify Precondition *objects* by id(), so the cache must keep
+        # those objects alive for as long as their keys are retained (otherwise
+        # a recycled id could alias a semantically different precondition).
+        self._jobs: dict[tuple, "SynthesisJob"] = {}
+        self._key_locks: dict[tuple, threading.Lock] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.build_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def get_or_build(self, job: "SynthesisJob") -> tuple[SynthesisTask, bool]:
+        """The task for ``job``, building it on first use.
+
+        Returns ``(task, from_cache)``.
+        """
+        key = job.reduction_key()
+        with self._lock:
+            cached = self._tasks.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached, True
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                cached = self._tasks.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    return cached, True
+            start = time.perf_counter()
+            task = build_task(job.source, job.precondition, job.objective, job.options)
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._tasks[key] = task
+                self._jobs[key] = job
+                self.misses += 1
+                self.build_seconds += elapsed
+            return task, False
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss counters and cumulative build time (for reports)."""
+        with self._lock:
+            return {
+                "entries": float(len(self._tasks)),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "build_seconds": self.build_seconds,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._tasks.clear()
+            self._jobs.clear()
+            self._key_locks.clear()
+            self.hits = 0
+            self.misses = 0
+            self.build_seconds = 0.0

@@ -1,0 +1,73 @@
+"""Job descriptors consumed by the batch synthesis pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.invariants.synthesis import SynthesisOptions
+from repro.spec.objectives import Objective
+from repro.spec.preconditions import Precondition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.suite.base import Benchmark
+
+
+def _freeze(value) -> object:
+    """A hashable, canonical view of a (possibly nested) precondition spec."""
+    if value is None:
+        return None
+    if isinstance(value, Precondition):
+        # Precondition objects are compared by identity: two jobs share a
+        # reduction only when they share the same precondition instance.
+        return ("precondition-object", id(value))
+    if isinstance(value, Mapping):
+        return tuple(sorted((key, _freeze(inner)) for key, inner in value.items()))
+    return value
+
+
+@dataclass(frozen=True)
+class SynthesisJob:
+    """One batched synthesis request: a program plus its specification.
+
+    All fields are picklable, so jobs can cross process boundaries.  The
+    program is carried as source text (not a parsed AST) because parsing is a
+    negligible fraction of the reduction and text keys make the task cache
+    trivially correct.
+    """
+
+    name: str
+    source: str
+    precondition: Mapping[str, Mapping[int, str]] | Precondition | None = None
+    objective: Objective | None = None
+    options: SynthesisOptions = field(default_factory=SynthesisOptions)
+
+    def reduction_key(self) -> tuple:
+        """Hashable key identifying this job's Step 1-3 reduction.
+
+        Jobs with equal keys produce identical
+        :class:`~repro.invariants.synthesis.SynthesisTask` objects, so the
+        pipeline translates the first and reuses it for the rest.
+        """
+        objective_key = None
+        if self.objective is not None:
+            objective_key = (type(self.objective).__qualname__, repr(self.objective))
+        return (self.source, _freeze(self.precondition), self.options, objective_key)
+
+
+def job_from_benchmark(benchmark: "Benchmark", quick: bool = False, **option_overrides) -> SynthesisJob:
+    """Build a :class:`SynthesisJob` from a suite :class:`~repro.suite.base.Benchmark`.
+
+    ``quick`` applies the CI preset (multiplier degree Upsilon = 1), matching
+    the historical behaviour of the benchmark runner; further keyword
+    arguments override individual synthesis options.
+    """
+    if quick:
+        option_overrides.setdefault("upsilon", 1)
+    return SynthesisJob(
+        name=benchmark.name,
+        source=benchmark.source,
+        precondition=benchmark.precondition,
+        objective=benchmark.objective(),
+        options=benchmark.options(**option_overrides),
+    )

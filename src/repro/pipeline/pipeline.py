@@ -1,0 +1,256 @@
+"""The batch synthesis pipeline: dedupe reductions, fan out solves, stream results.
+
+:class:`SynthesisPipeline` is the orchestration layer between many
+(program, precondition, objective) jobs and the per-program algorithms of
+:mod:`repro.invariants.synthesis`:
+
+1. **Reduce** — every job's Step 1-3 reduction is built through a
+   :class:`~repro.pipeline.cache.TaskCache`, so jobs sharing a reduction are
+   translated exactly once.  Reductions run in the submitting process, where
+   they share the interned-monomial flyweight table.
+2. **Solve** — the numeric Step-4 solves are independent of each other, so
+   with ``workers > 1`` they are fanned out across a
+   :class:`concurrent.futures.ProcessPoolExecutor`.  Only the (picklable)
+   quadratic system travels to the worker and only the small
+   :class:`~repro.solvers.base.SolverResult` travels back.  Jobs whose
+   reduction *and* solver coincide share a single solve.
+3. **Stream** — per-job :class:`~repro.pipeline.pipeline.PipelineOutcome`
+   values are yielded in submission order as soon as they are ready, each
+   carrying the same :class:`~repro.invariants.result.SynthesisResult` a
+   sequential :func:`~repro.invariants.synthesis.weak_inv_synth` call would
+   have produced (both go through
+   :func:`~repro.invariants.synthesis.result_from_solution`).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.invariants.result import SynthesisResult
+from repro.invariants.synthesis import SynthesisTask, result_from_solution
+from repro.pipeline.cache import TaskCache
+from repro.pipeline.jobs import SynthesisJob
+from repro.solvers.base import Solver, SolverResult
+from repro.solvers.qclp import PenaltyQCLPSolver
+
+
+def _solve_system(solver: Solver, system) -> tuple[SolverResult, float]:
+    """Worker entry point: run one Step-4 solve (module-level for picklability).
+
+    Returns the result together with the solve's own compute time, so pooled
+    runs report per-job solver time rather than queue latency.
+    """
+    start = time.perf_counter()
+    result = solver.solve(system)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class PipelineOutcome:
+    """Everything the pipeline knows about one finished job.
+
+    ``result`` is ``None`` for reduction-only runs (``solve=False``) and for
+    jobs that failed; failures carry the formatted traceback in ``error`` so a
+    bad job never takes the rest of the batch down.
+    """
+
+    job: SynthesisJob
+    task: SynthesisTask | None
+    result: SynthesisResult | None
+    reduction_seconds: float
+    solve_seconds: float | None = None
+    from_cache: bool = False
+    shared_solve: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SynthesisPipeline:
+    """Run many synthesis jobs with shared reductions and parallel solves.
+
+    Parameters
+    ----------
+    solver:
+        The Step-4 solver applied to every job (default:
+        :class:`~repro.solvers.qclp.PenaltyQCLPSolver` with its default
+        options).  It must be picklable when ``workers > 1``; every solver in
+        :mod:`repro.solvers` is.
+    workers:
+        ``0`` or ``1`` solves sequentially in-process; ``n > 1`` fans solves
+        out over a pool of ``n`` worker processes.
+    cache:
+        The Step 1-3 task cache; pass a shared instance to reuse reductions
+        across several pipeline runs.
+    """
+
+    def __init__(
+        self,
+        solver: Solver | None = None,
+        workers: int = 0,
+        cache: TaskCache | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
+        self.solver = solver if solver is not None else PenaltyQCLPSolver()
+        self.workers = workers
+        self.cache = cache if cache is not None else TaskCache()
+
+    # -- reduction --------------------------------------------------------------
+
+    def reduce(
+        self, jobs: Iterable[SynthesisJob]
+    ) -> list[tuple[SynthesisJob, SynthesisTask | None, float, bool, str | None]]:
+        """Run (or reuse) every job's Step 1-3 reduction.
+
+        Returns one ``(job, task, seconds, from_cache, error)`` tuple per job,
+        in submission order.  ``task`` is ``None`` when the reduction raised.
+        """
+        reduced = []
+        for job in jobs:
+            start = time.perf_counter()
+            try:
+                task, from_cache = self.cache.get_or_build(job)
+                error = None
+            except Exception:
+                task, from_cache = None, False
+                error = traceback.format_exc()
+            reduced.append((job, task, time.perf_counter() - start, from_cache, error))
+        return reduced
+
+    # -- full runs --------------------------------------------------------------
+
+    def run(self, jobs: Iterable[SynthesisJob], solve: bool = True) -> list[PipelineOutcome]:
+        """Run the whole batch and return outcomes in submission order."""
+        return list(self.stream(jobs, solve=solve))
+
+    def stream(self, jobs: Iterable[SynthesisJob], solve: bool = True) -> Iterator[PipelineOutcome]:
+        """Run the batch, yielding each job's outcome as soon as it is ready.
+
+        Outcomes are yielded in submission order.  With ``workers > 1`` the
+        Step-4 solves execute concurrently in a process pool while this
+        generator assembles and yields finished results.
+        """
+        reduced = self.reduce(list(jobs))
+        if not solve:
+            for job, task, seconds, from_cache, error in reduced:
+                yield PipelineOutcome(
+                    job=job,
+                    task=task,
+                    result=None,
+                    reduction_seconds=seconds,
+                    from_cache=from_cache,
+                    error=error,
+                )
+            return
+        if self.workers > 1:
+            yield from self._stream_pooled(reduced)
+        else:
+            yield from self._stream_sequential(reduced)
+
+    # -- sequential back-end ----------------------------------------------------
+
+    def _stream_sequential(self, reduced: Sequence[tuple]) -> Iterator[PipelineOutcome]:
+        solved: dict[tuple, SolverResult] = {}
+        for job, task, seconds, from_cache, error in reduced:
+            if error is not None:
+                yield PipelineOutcome(
+                    job=job,
+                    task=task,
+                    result=None,
+                    reduction_seconds=seconds,
+                    from_cache=from_cache,
+                    error=error,
+                )
+                continue
+            key = job.reduction_key()
+            shared = key in solved
+            try:
+                if shared:
+                    solve_result, solve_seconds = solved[key]
+                else:
+                    solve_result, solve_seconds = _solve_system(self.solver, task.system)
+            except Exception:
+                yield PipelineOutcome(
+                    job=job,
+                    task=task,
+                    result=None,
+                    reduction_seconds=seconds,
+                    from_cache=from_cache,
+                    error=traceback.format_exc(),
+                )
+                continue
+            solved[key] = (solve_result, solve_seconds)
+            yield self._outcome(job, task, seconds, solve_seconds, from_cache, shared, solve_result)
+
+    # -- process-pool back-end ---------------------------------------------------
+
+    def _stream_pooled(self, reduced: Sequence[tuple]) -> Iterator[PipelineOutcome]:
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures: dict[tuple, Future] = {}
+            for job, task, _, _, error in reduced:
+                if error is not None:
+                    continue
+                key = job.reduction_key()
+                if key not in futures:
+                    futures[key] = pool.submit(_solve_system, self.solver, task.system)
+            seen: set[tuple] = set()
+            for job, task, seconds, from_cache, error in reduced:
+                if error is not None:
+                    yield PipelineOutcome(
+                        job=job,
+                        task=task,
+                        result=None,
+                        reduction_seconds=seconds,
+                        from_cache=from_cache,
+                        error=error,
+                    )
+                    continue
+                key = job.reduction_key()
+                shared = key in seen
+                seen.add(key)
+                try:
+                    solve_result, solve_seconds = futures[key].result()
+                except Exception:
+                    yield PipelineOutcome(
+                        job=job,
+                        task=task,
+                        result=None,
+                        reduction_seconds=seconds,
+                        from_cache=from_cache,
+                        shared_solve=shared,
+                        error=traceback.format_exc(),
+                    )
+                    continue
+                yield self._outcome(job, task, seconds, solve_seconds, from_cache, shared, solve_result)
+
+    # -- assembly ----------------------------------------------------------------
+
+    def _outcome(
+        self,
+        job: SynthesisJob,
+        task: SynthesisTask,
+        reduction_seconds: float,
+        solve_seconds: float,
+        from_cache: bool,
+        shared_solve: bool,
+        solve_result: SolverResult,
+    ) -> PipelineOutcome:
+        task.statistics["time_solver"] = solve_seconds
+        result = result_from_solution(task, solve_result)
+        return PipelineOutcome(
+            job=job,
+            task=task,
+            result=result,
+            reduction_seconds=reduction_seconds,
+            solve_seconds=solve_seconds,
+            from_cache=from_cache,
+            shared_solve=shared_solve,
+            error=None,
+        )

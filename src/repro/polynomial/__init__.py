@@ -17,6 +17,16 @@ Design notes
   the "equate coefficients of corresponding monomials" step of the paper.
 """
 
+from repro.polynomial.compiled import (
+    CompiledBlock,
+    CompiledPolynomial,
+    QuadraticTriplets,
+    coefficient_vector,
+    lower_block,
+    lower_coefficient_matrix,
+    lower_quadratic,
+    monomial_index,
+)
 from repro.polynomial.monomial import Monomial
 from repro.polynomial.ordering import (
     MonomialOrder,
@@ -39,9 +49,17 @@ from repro.polynomial.sos import (
 )
 
 __all__ = [
+    "CompiledBlock",
+    "CompiledPolynomial",
     "Monomial",
     "MonomialOrder",
     "Polynomial",
+    "QuadraticTriplets",
+    "coefficient_vector",
+    "lower_block",
+    "lower_coefficient_matrix",
+    "lower_quadratic",
+    "monomial_index",
     "GramEncoding",
     "gram_matrix_encoding",
     "sos_basis",

@@ -1,10 +1,19 @@
-"""Sparse multivariate polynomials with exact rational coefficients."""
+"""Sparse multivariate polynomials with exact rational coefficients.
+
+The validating :class:`Polynomial` constructor is the boundary for untrusted
+input; all internal arithmetic goes through the trusted
+:meth:`Polynomial._from_validated` raw constructor, which takes ownership of
+an already-clean ``{Monomial: non-zero Fraction}`` map and skips coefficient
+re-coercion entirely.  Together with monomial interning this makes the hot
+add/mul/substitute paths allocation- and validation-free.
+"""
 
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd
 from numbers import Rational
-from typing import Iterable, Mapping, Sequence, Union
+from typing import Iterable, Iterator, Mapping, Sequence, Union
 
 from repro.errors import PolynomialError
 from repro.polynomial.monomial import Monomial
@@ -13,12 +22,26 @@ from repro.polynomial.ordering import MonomialOrder, order_key
 Scalar = Union[int, float, Fraction]
 PolynomialLike = Union["Polynomial", Monomial, Scalar]
 
+_ZERO_FRACTION = Fraction(0)
+
+
+def _common_denominator(terms: Mapping[Monomial, Fraction]) -> int:
+    """Least common multiple of all coefficient denominators."""
+    lcm = 1
+    for coefficient in terms.values():
+        denominator = coefficient.denominator
+        if denominator != 1:
+            lcm = lcm * denominator // gcd(lcm, denominator)
+    return lcm
+
 
 def _to_fraction(value: Scalar) -> Fraction:
-    if isinstance(value, Fraction):
-        return value
+    # Reject booleans before any numeric coercion: bool is a subclass of int
+    # (and of numbers.Rational), so it would otherwise silently coerce to 0/1.
     if isinstance(value, bool):
         raise PolynomialError("booleans are not valid polynomial coefficients")
+    if isinstance(value, Fraction):
+        return value
     if isinstance(value, int):
         return Fraction(value)
     if isinstance(value, Rational):
@@ -49,6 +72,19 @@ class Polynomial:
         self._hash: int | None = None
 
     # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def _from_validated(cls, terms: dict[Monomial, Fraction]) -> "Polynomial":
+        """Trusted raw constructor used by all internal arithmetic.
+
+        ``terms`` must already be clean — every key an (interned)
+        :class:`Monomial`, every value a non-zero :class:`Fraction` — and
+        ownership of the dict transfers to the new polynomial.
+        """
+        self = object.__new__(cls)
+        self._terms = terms
+        self._hash = None
+        return self
 
     @staticmethod
     def zero() -> "Polynomial":
@@ -84,6 +120,9 @@ class Polynomial:
             return Polynomial({value: 1})
         return Polynomial.constant(value)
 
+    def __reduce__(self):
+        return (_restore_polynomial, (tuple(self._terms.items()),))
+
     # -- basic protocol ------------------------------------------------------
 
     def __hash__(self) -> int:
@@ -112,13 +151,17 @@ class Polynomial:
         """A copy of the monomial-to-coefficient map."""
         return dict(self._terms)
 
+    def items(self) -> Iterator[tuple[Monomial, Fraction]]:
+        """Iterate over ``(monomial, coefficient)`` pairs without copying."""
+        return iter(self._terms.items())
+
     def coefficient(self, monomial: Monomial) -> Fraction:
         """The coefficient of ``monomial`` (0 when absent)."""
-        return self._terms.get(monomial, Fraction(0))
+        return self._terms.get(monomial, _ZERO_FRACTION)
 
     def monomials(self) -> list[Monomial]:
         """All monomials with a non-zero coefficient, sorted deterministically."""
-        return sorted(self._terms, key=lambda m: m.sort_key())
+        return sorted(self._terms, key=Monomial.sort_key)
 
     def variables(self) -> frozenset[str]:
         """All variables occurring in the polynomial."""
@@ -179,16 +222,30 @@ class Polynomial:
 
     def __add__(self, other: PolynomialLike) -> "Polynomial":
         other_poly = Polynomial.coerce(other)
+        if not other_poly._terms:
+            return self
+        if not self._terms:
+            return other_poly
         merged = dict(self._terms)
         for monomial, coefficient in other_poly._terms.items():
-            merged[monomial] = merged.get(monomial, Fraction(0)) + coefficient
-        return Polynomial(merged)
+            existing = merged.get(monomial)
+            if existing is None:
+                merged[monomial] = coefficient
+            else:
+                total = existing + coefficient
+                if total:
+                    merged[monomial] = total
+                else:
+                    del merged[monomial]
+        return Polynomial._from_validated(merged)
 
     def __radd__(self, other: PolynomialLike) -> "Polynomial":
         return self.__add__(other)
 
     def __neg__(self) -> "Polynomial":
-        return Polynomial({monomial: -coefficient for monomial, coefficient in self._terms.items()})
+        return Polynomial._from_validated(
+            {monomial: -coefficient for monomial, coefficient in self._terms.items()}
+        )
 
     def __sub__(self, other: PolynomialLike) -> "Polynomial":
         return self.__add__(-Polynomial.coerce(other))
@@ -200,12 +257,33 @@ class Polynomial:
         other_poly = Polynomial.coerce(other)
         if not self._terms or not other_poly._terms:
             return _ZERO
-        product: dict[Monomial, Fraction] = {}
-        for mono_a, coeff_a in self._terms.items():
-            for mono_b, coeff_b in other_poly._terms.items():
+        # Clear denominators so the O(n*m) accumulation runs on plain ints;
+        # Fraction normalisation (a gcd per operation) then only happens once
+        # per *output* term instead of once per term pair.
+        den_a = _common_denominator(self._terms)
+        den_b = _common_denominator(other_poly._terms)
+        ints_a = [
+            (mono, coeff.numerator * (den_a // coeff.denominator))
+            for mono, coeff in self._terms.items()
+        ]
+        ints_b = [
+            (mono, coeff.numerator * (den_b // coeff.denominator))
+            for mono, coeff in other_poly._terms.items()
+        ]
+        product: dict[Monomial, int] = {}
+        get = product.get
+        for mono_a, val_a in ints_a:
+            for mono_b, val_b in ints_b:
                 key = mono_a * mono_b
-                product[key] = product.get(key, Fraction(0)) + coeff_a * coeff_b
-        return Polynomial(product)
+                existing = get(key)
+                contribution = val_a * val_b
+                product[key] = contribution if existing is None else existing + contribution
+        denominator = den_a * den_b
+        if denominator == 1:
+            cleaned = {mono: Fraction(value) for mono, value in product.items() if value}
+        else:
+            cleaned = {mono: Fraction(value, denominator) for mono, value in product.items() if value}
+        return Polynomial._from_validated(cleaned)
 
     def __rmul__(self, other: PolynomialLike) -> "Polynomial":
         return self.__mul__(other)
@@ -227,20 +305,23 @@ class Polynomial:
         divisor = _to_fraction(other)
         if divisor == 0:
             raise PolynomialError("division of a polynomial by zero")
-        return Polynomial({m: c / divisor for m, c in self._terms.items()})
+        return Polynomial._from_validated({m: c / divisor for m, c in self._terms.items()})
 
     def scale(self, factor: Scalar) -> "Polynomial":
         """Multiply every coefficient by ``factor``."""
-        return self.__mul__(Polynomial.constant(factor))
+        value = _to_fraction(factor)
+        if not value:
+            return _ZERO
+        return Polynomial._from_validated({m: c * value for m, c in self._terms.items()})
 
     # -- evaluation and substitution ------------------------------------------
 
     def evaluate(self, valuation: Mapping[str, Scalar]) -> Fraction:
         """Exact value under a valuation; missing variables raise an error."""
-        total = Fraction(0)
+        total = _ZERO_FRACTION
         for monomial, coefficient in self._terms.items():
             term = coefficient
-            for var, exp in monomial:
+            for var, exp in monomial.items:
                 if var not in valuation:
                     raise PolynomialError(f"valuation is missing variable {var!r}")
                 term *= _to_fraction(valuation[var]) ** exp
@@ -252,7 +333,7 @@ class Polynomial:
         total = 0.0
         for monomial, coefficient in self._terms.items():
             term = float(coefficient)
-            for var, exp in monomial:
+            for var, exp in monomial.items:
                 term *= float(valuation[var]) ** exp
             total += term
         return total
@@ -267,22 +348,48 @@ class Polynomial:
         if not mapping:
             return self
         replacements = {name: Polynomial.coerce(value) for name, value in mapping.items()}
-        result = _ZERO
+        accumulated: dict[Monomial, Fraction] = {}
+        power_cache: dict[tuple[str, int], Polynomial] = {}
         for monomial, coefficient in self._terms.items():
-            term = Polynomial.constant(coefficient)
-            for var, exp in monomial:
-                factor = replacements.get(var, Polynomial.variable(var))
-                term = term * factor**exp
-            result = result + term
-        return result
+            term = Polynomial._from_validated({_ONE_MONOMIAL: coefficient})
+            for var, exp in monomial.items:
+                replacement = replacements.get(var)
+                if replacement is None:
+                    factor_terms = {Monomial.of(var, exp): _ONE_FRACTION}
+                    term = term * Polynomial._from_validated(factor_terms)
+                    continue
+                cached = power_cache.get((var, exp))
+                if cached is None:
+                    cached = replacement**exp
+                    power_cache[(var, exp)] = cached
+                term = term * cached
+            for key, value in term._terms.items():
+                existing = accumulated.get(key)
+                if existing is None:
+                    accumulated[key] = value
+                else:
+                    total = existing + value
+                    if total:
+                        accumulated[key] = total
+                    else:
+                        del accumulated[key]
+        return Polynomial._from_validated(accumulated)
 
     def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
         """Rename variables (a special case of :meth:`substitute` that stays sparse)."""
         renamed: dict[Monomial, Fraction] = {}
         for monomial, coefficient in self._terms.items():
             key = monomial.rename(mapping)
-            renamed[key] = renamed.get(key, Fraction(0)) + coefficient
-        return Polynomial(renamed)
+            existing = renamed.get(key)
+            if existing is None:
+                renamed[key] = coefficient
+            else:
+                total = existing + coefficient
+                if total:
+                    renamed[key] = total
+                else:
+                    del renamed[key]
+        return Polynomial._from_validated(renamed)
 
     def collect(self, variables: Iterable[str]) -> dict[Monomial, "Polynomial"]:
         """Group terms by their monomial over ``variables``.
@@ -299,24 +406,31 @@ class Polynomial:
             outer = monomial.restrict(keep)
             inner = monomial.exclude(keep)
             bucket = grouped.setdefault(outer, {})
-            bucket[inner] = bucket.get(inner, Fraction(0)) + coefficient
-        return {outer: Polynomial(bucket) for outer, bucket in grouped.items()}
+            existing = bucket.get(inner)
+            bucket[inner] = coefficient if existing is None else existing + coefficient
+        return {
+            outer: Polynomial._from_validated({m: c for m, c in bucket.items() if c})
+            for outer, bucket in grouped.items()
+        }
 
     def partial_derivative(self, var: str) -> "Polynomial":
         """Formal partial derivative with respect to ``var``."""
         derived: dict[Monomial, Fraction] = {}
+        single = Monomial.of(var)
         for monomial, coefficient in self._terms.items():
             exp = monomial.exponent(var)
             if exp == 0:
                 continue
-            lowered = monomial.divide(Monomial.of(var))
-            derived[lowered] = derived.get(lowered, Fraction(0)) + coefficient * exp
-        return Polynomial(derived)
+            lowered = monomial.divide(single)
+            existing = derived.get(lowered)
+            value = coefficient * exp
+            derived[lowered] = value if existing is None else existing + value
+        return Polynomial._from_validated({m: c for m, c in derived.items() if c})
 
     def restrict_to(self, variables: Iterable[str]) -> "Polynomial":
         """Terms involving only ``variables`` (other terms are dropped)."""
         keep = set(variables)
-        return Polynomial(
+        return Polynomial._from_validated(
             {m: c for m, c in self._terms.items() if m.variables() <= keep}
         )
 
@@ -331,7 +445,7 @@ class Polynomial:
         if not self._terms:
             return "0"
         parts: list[str] = []
-        for monomial in sorted(self._terms, key=lambda m: m.sort_key(), reverse=True):
+        for monomial in sorted(self._terms, key=Monomial.sort_key, reverse=True):
             coefficient = self._terms[monomial]
             sign = "-" if coefficient < 0 else "+"
             magnitude = abs(coefficient)
@@ -352,5 +466,12 @@ class Polynomial:
         return f"Polynomial({str(self)})"
 
 
+def _restore_polynomial(items: tuple[tuple[Monomial, Fraction], ...]) -> Polynomial:
+    """Pickle helper: rebuild from (monomial, coefficient) pairs via the fast path."""
+    return Polynomial._from_validated(dict(items))
+
+
 _ZERO = Polynomial()
-_ONE = Polynomial({Monomial.one(): 1})
+_ONE_MONOMIAL = Monomial.one()
+_ONE_FRACTION = Fraction(1)
+_ONE = Polynomial._from_validated({_ONE_MONOMIAL: _ONE_FRACTION})

@@ -17,6 +17,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.invariants.quadratic_system import ConstraintKind, QuadraticSystem
+from repro.polynomial.compiled import lower_quadratic
 from repro.polynomial.polynomial import Polynomial
 
 
@@ -53,51 +54,18 @@ class _QuadraticTerms:
 def _compile_rows(
     polynomials: Sequence[Polynomial], index: Mapping[str, int], dimension: int
 ) -> tuple[np.ndarray, sparse.csr_matrix, _QuadraticTerms]:
-    constants = np.zeros(len(polynomials))
-    linear_rows: list[int] = []
-    linear_cols: list[int] = []
-    linear_vals: list[float] = []
-    quad_rows: list[int] = []
-    quad_left: list[int] = []
-    quad_right: list[int] = []
-    quad_vals: list[float] = []
-
-    for row, polynomial in enumerate(polynomials):
-        for monomial, coefficient in polynomial.terms.items():
-            value = float(coefficient)
-            powers = list(monomial.powers.items())
-            degree = monomial.degree()
-            if degree == 0:
-                constants[row] += value
-            elif degree == 1:
-                linear_rows.append(row)
-                linear_cols.append(index[powers[0][0]])
-                linear_vals.append(value)
-            elif degree == 2:
-                if len(powers) == 1:
-                    column = index[powers[0][0]]
-                    quad_rows.append(row)
-                    quad_left.append(column)
-                    quad_right.append(column)
-                    quad_vals.append(value)
-                else:
-                    quad_rows.append(row)
-                    quad_left.append(index[powers[0][0]])
-                    quad_right.append(index[powers[1][0]])
-                    quad_vals.append(value)
-            else:
-                raise ValueError(f"polynomial of degree {degree} is not quadratic")
-
+    triplets = lower_quadratic(polynomials, index)
     linear = sparse.csr_matrix(
-        (linear_vals, (linear_rows, linear_cols)), shape=(len(polynomials), dimension)
+        (triplets.linear_values, (triplets.linear_rows, triplets.linear_cols)),
+        shape=(len(polynomials), dimension),
     )
     quadratic = _QuadraticTerms(
-        rows=np.asarray(quad_rows, dtype=np.int64),
-        left=np.asarray(quad_left, dtype=np.int64),
-        right=np.asarray(quad_right, dtype=np.int64),
-        coefficients=np.asarray(quad_vals),
+        rows=triplets.quad_rows,
+        left=triplets.quad_left,
+        right=triplets.quad_right,
+        coefficients=triplets.quad_values,
     )
-    return constants, linear, quadratic
+    return triplets.constants, linear, quadratic
 
 
 class VectorisedSystem:

@@ -41,7 +41,31 @@ class PenaltyQCLPSolver(Solver):
 
     # -- initial points ------------------------------------------------------------
 
-    def _initial_point(self, vectorised: VectorisedSystem, rng: np.random.Generator, attempt: int) -> np.ndarray:
+    @staticmethod
+    def _role_masks(vectorised: VectorisedSystem) -> tuple[np.ndarray, np.ndarray]:
+        """Boolean masks of the witness and Cholesky-diagonal unknowns.
+
+        Classifying every unknown by name is linear in the system dimension, so
+        it is done once per solve rather than once per restart.
+        """
+        witness = np.zeros(vectorised.dimension, dtype=bool)
+        cholesky_diagonal = np.zeros(vectorised.dimension, dtype=bool)
+        for position, name in enumerate(vectorised.variables):
+            role = classify_unknown(name)
+            if role is VariableRole.WITNESS:
+                witness[position] = True
+            elif role is VariableRole.CHOLESKY and name.rsplit("_", 2)[-2] == name.rsplit("_", 2)[-1]:
+                cholesky_diagonal[position] = True
+        return witness, cholesky_diagonal
+
+    def _initial_point(
+        self,
+        vectorised: VectorisedSystem,
+        rng: np.random.Generator,
+        attempt: int,
+        witness_mask: np.ndarray,
+        cholesky_diagonal_mask: np.ndarray,
+    ) -> np.ndarray:
         point = np.zeros(vectorised.dimension)
         # The very first restart of the default seed starts from the origin (good for the
         # highly structured Step-3 systems); every other restart perturbs randomly so that
@@ -49,13 +73,9 @@ class PenaltyQCLPSolver(Solver):
         scale = 0.0 if (attempt == 0 and self.options.seed == 0) else 0.1 * max(attempt, 1)
         if scale:
             point = rng.normal(0.0, scale, size=vectorised.dimension)
-        for position, name in enumerate(vectorised.variables):
-            role = classify_unknown(name)
-            if role is VariableRole.WITNESS:
-                point[position] = max(point[position], 10 * self.options.strict_margin)
-            elif role is VariableRole.CHOLESKY and name.rsplit("_", 2)[-2] == name.rsplit("_", 2)[-1]:
-                # Diagonal entries of the Cholesky factors start slightly positive.
-                point[position] = abs(point[position]) + 1e-3
+        point[witness_mask] = np.maximum(point[witness_mask], 10 * self.options.strict_margin)
+        # Diagonal entries of the Cholesky factors start slightly positive.
+        point[cholesky_diagonal_mask] = np.abs(point[cholesky_diagonal_mask]) + 1e-3
         return point
 
     def _polish(self, vectorised: VectorisedSystem, point: np.ndarray) -> tuple[np.ndarray, int]:
@@ -86,6 +106,7 @@ class PenaltyQCLPSolver(Solver):
             return SolverResult(assignment={}, status="trivial", objective_value=0.0, max_violation=0.0)
 
         rng = np.random.default_rng(self.options.seed)
+        witness_mask, cholesky_diagonal_mask = self._role_masks(vectorised)
         start_time = time.monotonic()
         best_point: np.ndarray | None = None
         best_violation = np.inf
@@ -97,7 +118,7 @@ class PenaltyQCLPSolver(Solver):
             if self.options.time_limit is not None and time.monotonic() - start_time > self.options.time_limit:
                 break
             restarts_used += 1
-            point = self._initial_point(vectorised, rng, attempt)
+            point = self._initial_point(vectorised, rng, attempt, witness_mask, cholesky_diagonal_mask)
             for rho in self.penalty_schedule:
                 result = optimize.minimize(
                     fun=lambda x, rho=rho: vectorised.penalty(x, rho, self.objective_weight),

@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.invariants.constraints import ConstraintPair
+from repro.polynomial.compiled import coefficient_vector, lower_coefficient_matrix, monomial_index
 from repro.polynomial.monomial import Monomial
 from repro.polynomial.ordering import monomials_up_to_degree
 from repro.polynomial.polynomial import Polynomial
@@ -87,7 +88,7 @@ def solve_sos_feasibility(
     """
     variables = [name for name in variables if name]
     if feasibility_tolerance is None:
-        scale = max([1.0, *(abs(float(c)) for c in conclusion.terms.values())])
+        scale = max([1.0, *(abs(float(c)) for _, c in conclusion.items())])
         feasibility_tolerance = max(100 * tolerance, 2e-3 * scale)
     multipliers = [Polynomial.one(), *assumptions]
     basis = monomials_up_to_degree(variables, upsilon // 2) if variables else [Monomial.one()]
@@ -102,20 +103,11 @@ def solve_sos_feasibility(
             _entry_polynomial(basis[row], basis[col], multipliers[which], off_diagonal=row != col)
         )
 
-    monomial_index: dict[Monomial, int] = {}
-    for polynomial in (target, *entry_polynomials):
-        for monomial in polynomial.terms:
-            monomial_index.setdefault(monomial, len(monomial_index))
-
-    row_count = len(monomial_index)
+    index = monomial_index((target, *entry_polynomials))
+    row_count = len(index)
     column_count = len(entries)
-    matrix = np.zeros((row_count, column_count))
-    rhs = np.zeros(row_count)
-    for monomial, coefficient in target.terms.items():
-        rhs[monomial_index[monomial]] = float(coefficient)
-    for column, polynomial in enumerate(entry_polynomials):
-        for monomial, coefficient in polynomial.terms.items():
-            matrix[monomial_index[monomial], column] += float(coefficient)
+    matrix = lower_coefficient_matrix(entry_polynomials, index)
+    rhs = coefficient_vector(target, index)
 
     if column_count == 0:
         feasible = bool(np.all(np.abs(rhs) <= tolerance))

@@ -187,3 +187,30 @@ def test_scale():
 def test_len_counts_terms():
     assert len(Polynomial.zero()) == 0
     assert len(x() * y() + x() + 1) == 3
+
+
+def test_boolean_coefficients_are_rejected():
+    # Regression: bool is a subclass of both int and numbers.Rational, so it
+    # must be rejected *before* any numeric branch coerces it to 0/1.
+    for flag in (True, False):
+        with pytest.raises(PolynomialError):
+            Polynomial({Monomial.one(): flag})
+        with pytest.raises(PolynomialError):
+            Polynomial.constant(flag)
+        with pytest.raises(PolynomialError):
+            x().scale(flag)
+        with pytest.raises(PolynomialError):
+            x() / flag
+    with pytest.raises(PolynomialError):
+        (x() + 1).evaluate({"x": True})
+
+
+def test_pickle_round_trip_preserves_interning():
+    import pickle
+
+    p = x() * y() + Fraction(1, 3) * x() + 7
+    restored = pickle.loads(pickle.dumps(p))
+    assert restored == p
+    monomial = Monomial({"x": 2, "y": 1})
+    restored_monomial = pickle.loads(pickle.dumps(monomial))
+    assert restored_monomial is monomial

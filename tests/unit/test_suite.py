@@ -107,6 +107,26 @@ def test_measure_benchmark_records_row():
     assert measurement.total_seconds == pytest.approx(measurement.reduction_seconds)
 
 
+def test_measure_many_survives_solver_failure():
+    from repro.bench.runner import measure_many
+    from repro.solvers.base import Solver
+
+    class ExplodingSolver(Solver):
+        def solve(self, system):
+            raise RuntimeError("boom")
+
+    benchmark = get_benchmark("freire1")
+    measurements = measure_many(
+        [benchmark],
+        solve=True,
+        solver=ExplodingSolver(),
+        quick=True,
+        verbose=True,  # regression: the progress line must cope with solve_seconds=None
+    )
+    assert measurements[0].solver_status == "error"
+    assert measurements[0].solve_seconds is None
+
+
 def test_quick_subset_filters_by_variable_count():
     small = quick_subset(all_benchmarks(), limit_variables=4)
     assert all(benchmark.variable_count() <= 4 for benchmark in small)
