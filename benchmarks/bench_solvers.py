@@ -1,0 +1,172 @@
+"""Per-strategy Step-4 solver benchmarks over the suite registry.
+
+For every suite program this script builds the Step 1-3 reduction once, then
+solves the resulting quadratic system with each configured Step-4 strategy
+(including the racing portfolio) under an identical budget, recording solve
+wall-clock and feasibility.  It emits machine-readable JSON
+(``BENCH_solvers.json`` by default) so the per-strategy performance trajectory
+is tracked across PRs::
+
+    python benchmarks/bench_solvers.py --quick             # CI preset
+    python benchmarks/bench_solvers.py --output BENCH_solvers.json
+
+The report's ``portfolio_vs_qclp`` section states the portfolio acceptance
+criterion directly: the portfolio must solve every program the sequential
+penalty solver solves, at equal-or-better median wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+
+import _bench_config  # noqa: F401  (sys.path setup)
+
+from repro.invariants.synthesis import build_task
+from repro.solvers.base import SolverOptions
+from repro.solvers.portfolio import make_solver
+from repro.solvers.problem import compile_problem
+from repro.suite.registry import all_benchmarks
+
+DEFAULT_STRATEGIES = ("qclp", "gauss-newton", "alternating", "portfolio")
+
+
+def _median(values: list[float]) -> float:
+    # statistics.median, guarded for empty input (matches the bench tables).
+    return statistics.median(values) if values else 0.0
+
+
+def run(
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
+    quick: bool = True,
+    limit: int | None = None,
+    limit_variables: int = 8,
+    solver_options: SolverOptions | None = None,
+) -> dict:
+    if solver_options is None:
+        solver_options = SolverOptions(restarts=1, max_iterations=150, time_limit=15.0)
+    benchmarks = all_benchmarks()
+    if quick:
+        benchmarks = [b for b in benchmarks if b.variable_count() <= limit_variables]
+    if limit is not None:
+        benchmarks = benchmarks[:limit]
+
+    per_benchmark: dict[str, dict] = {}
+    reduction_seconds = 0.0
+    for benchmark in benchmarks:
+        options = benchmark.options(upsilon=1) if quick else benchmark.options()
+        start = time.perf_counter()
+        task = build_task(benchmark.source, benchmark.precondition, benchmark.objective(), options)
+        compile_problem(task.system)  # shared IR: compiled once, outside the timed solves
+        reduction_seconds += time.perf_counter() - start
+
+        rows: dict[str, dict] = {}
+        for strategy in strategies:
+            solver = make_solver(strategy, solver_options)
+            start = time.perf_counter()
+            result = solver.solve(task.system)
+            seconds = time.perf_counter() - start
+            rows[strategy] = {
+                "seconds": seconds,
+                "feasible": bool(result.feasible),
+                "status": result.status,
+                "winner": result.strategy,
+                "max_violation": result.max_violation,
+            }
+        per_benchmark[benchmark.name] = {"system_size": task.system.size, "strategies": rows}
+
+    per_strategy: dict[str, dict] = {}
+    for strategy in strategies:
+        rows = [entry["strategies"][strategy] for entry in per_benchmark.values()]
+        seconds = [row["seconds"] for row in rows]
+        solved = sum(1 for row in rows if row["feasible"])
+        per_strategy[strategy] = {
+            "solved": solved,
+            "total": len(rows),
+            "feasibility_rate": solved / len(rows) if rows else 0.0,
+            "median_seconds": _median(seconds),
+            "total_seconds": sum(seconds),
+        }
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "quick": quick,
+            "benchmarks": [benchmark.name for benchmark in benchmarks],
+            "strategies": list(strategies),
+            "solver_options": {
+                "restarts": solver_options.restarts,
+                "max_iterations": solver_options.max_iterations,
+                "time_limit": solver_options.time_limit,
+            },
+            "reduction_seconds_total": reduction_seconds,
+        },
+        "per_benchmark": per_benchmark,
+        "per_strategy": per_strategy,
+    }
+
+    if "qclp" in strategies and "portfolio" in strategies:
+        qclp_solved = {
+            name
+            for name, entry in per_benchmark.items()
+            if entry["strategies"]["qclp"]["feasible"]
+        }
+        portfolio_solved = {
+            name
+            for name, entry in per_benchmark.items()
+            if entry["strategies"]["portfolio"]["feasible"]
+        }
+        report["portfolio_vs_qclp"] = {
+            "qclp_solved": sorted(qclp_solved),
+            "portfolio_solved": sorted(portfolio_solved),
+            "portfolio_covers_qclp": qclp_solved <= portfolio_solved,
+            "qclp_median_seconds": per_strategy["qclp"]["median_seconds"],
+            "portfolio_median_seconds": per_strategy["portfolio"]["median_seconds"],
+            "portfolio_median_at_most_qclp": (
+                per_strategy["portfolio"]["median_seconds"]
+                <= per_strategy["qclp"]["median_seconds"]
+            ),
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI preset: small benchmarks, multiplier degree 1")
+    parser.add_argument("--strategies", default=",".join(DEFAULT_STRATEGIES),
+                        help="comma-separated strategies to benchmark")
+    parser.add_argument("--limit", type=int, default=None, help="only run the first N programs")
+    parser.add_argument("--restarts", type=int, default=1)
+    parser.add_argument("--max-iterations", type=int, default=150)
+    parser.add_argument("--time-limit", type=float, default=15.0,
+                        help="per-solve wall-clock budget in seconds")
+    parser.add_argument("--output", default="BENCH_solvers.json",
+                        help="write the JSON report here ('-' for stdout only)")
+    args = parser.parse_args(argv)
+
+    strategies = tuple(name.strip() for name in args.strategies.split(",") if name.strip())
+    report = run(
+        strategies=strategies,
+        quick=args.quick,
+        limit=args.limit,
+        solver_options=SolverOptions(
+            restarts=args.restarts,
+            max_iterations=args.max_iterations,
+            time_limit=args.time_limit,
+        ),
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(
 
 from repro.pipeline import SynthesisPipeline, job_from_benchmark
 from repro.solvers.base import SolverOptions
-from repro.solvers.qclp import PenaltyQCLPSolver
+from repro.solvers.portfolio import parse_strategy, strategy_names
 from repro.suite.registry import all_benchmarks
 
 
@@ -36,18 +36,34 @@ def main(argv: list[str] | None = None) -> int:
                         help="use the paper's full parameters instead of the quick preset")
     parser.add_argument("--limit", type=int, default=None,
                         help="only run the first N suite programs")
+    parser.add_argument("--translation", choices=["putinar", "handelman"],
+                        help="Step-3 translation scheme (default: the paper's Putinar encoding)")
+    parser.add_argument("--strategy",
+                        help="Step-4 strategy: one of " + ", ".join(strategy_names())
+                        + ", 'portfolio', or a comma-separated list to race")
     args = parser.parse_args(argv)
 
     benchmarks = all_benchmarks()
     if args.limit is not None:
         benchmarks = benchmarks[: args.limit]
 
+    overrides = parse_strategy(args.strategy)
+    if args.translation:
+        overrides["translation"] = args.translation
+
     # One job per suite program; the quick preset (multiplier degree 1) keeps
     # every reduction cheap enough for a laptop run of the entire registry.
-    jobs = [job_from_benchmark(benchmark, quick=not args.full) for benchmark in benchmarks]
+    jobs = [
+        job_from_benchmark(benchmark, quick=not args.full, **overrides)
+        for benchmark in benchmarks
+    ]
 
-    solver = PenaltyQCLPSolver(SolverOptions(restarts=1, max_iterations=200, time_limit=60.0))
-    pipeline = SynthesisPipeline(solver=solver, workers=args.workers)
+    # No explicit solver: each job's Step-4 back-end follows its options'
+    # strategy/portfolio knobs under a short per-job budget.
+    pipeline = SynthesisPipeline(
+        workers=args.workers,
+        solver_options=SolverOptions(restarts=1, max_iterations=200, time_limit=60.0),
+    )
 
     print(f"running {len(jobs)} synthesis jobs "
           f"({'full' if args.full else 'quick'} preset, workers={args.workers})\n")
@@ -65,7 +81,8 @@ def main(argv: list[str] | None = None) -> int:
         label = "invariant" if result.success else "no invariant"
         timing = f"reduce={outcome.reduction_seconds:.2f}s solve={outcome.solve_seconds:.2f}s"
         cached = " [cached reduction]" if outcome.from_cache else ""
-        print(f"  {outcome.job.name:28s} |S|={result.system_size:<5d} {timing}  {label} ({status}){cached}")
+        winner = f" via {result.strategy}" if result.strategy else ""
+        print(f"  {outcome.job.name:28s} |S|={result.system_size:<5d} {timing}  {label} ({status}{winner}){cached}")
 
     elapsed = time.perf_counter() - start
     stats = pipeline.cache.stats()

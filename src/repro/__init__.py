@@ -70,15 +70,25 @@ from repro.spec import (
     TargetInvariantObjective,
     parse_assertion,
 )
-from repro.solvers import AlternatingSolver, PenaltyQCLPSolver, RepresentativeEnumerator
+from repro.solvers import (
+    AlternatingSolver,
+    CompiledProblem,
+    GaussNewtonSolver,
+    PenaltyQCLPSolver,
+    PortfolioSolver,
+    RepresentativeEnumerator,
+    compile_problem,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AlternatingSolver",
     "CheckReport",
+    "CompiledProblem",
     "ConjunctiveAssertion",
     "FeasibilityObjective",
+    "GaussNewtonSolver",
     "InfeasibleError",
     "Interpreter",
     "Invariant",
@@ -87,6 +97,7 @@ __all__ = [
     "PenaltyQCLPSolver",
     "Polynomial",
     "PolynomialError",
+    "PortfolioSolver",
     "Postcondition",
     "Precondition",
     "QuadraticSystem",
@@ -108,6 +119,7 @@ __all__ = [
     "build_cfg",
     "build_task",
     "check_invariant",
+    "compile_problem",
     "generate_constraint_pairs",
     "job_from_benchmark",
     "parse_assertion",

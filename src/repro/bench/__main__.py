@@ -6,12 +6,20 @@ import argparse
 import sys
 
 from repro.bench.runner import Measurement, measure_many, quick_subset
-from repro.bench.tables import render_measurements, render_table1
+from repro.bench.tables import render_measurements, render_strategy_summary, render_table1
 from repro.invariants.handelman import handelman_translate
 from repro.invariants.putinar import putinar_translate
 from repro.invariants.synthesis import build_task
 from repro.solvers.farkas import can_express_target, linear_baseline_system
+from repro.solvers.portfolio import parse_strategy, strategy_names
 from repro.suite.registry import all_benchmarks, benchmarks_by_category, get_benchmark
+
+
+def _overrides(args: argparse.Namespace) -> dict:
+    overrides = parse_strategy(args.strategy)
+    if args.translation:
+        overrides["translation"] = args.translation
+    return overrides
 
 
 def _select(names: str | None, category: str) -> list:
@@ -20,6 +28,14 @@ def _select(names: str | None, category: str) -> list:
         wanted = [name.strip() for name in names.split(",") if name.strip()]
         benchmarks = [get_benchmark(name) for name in wanted]
     return benchmarks
+
+
+def _render(measurements: list[Measurement], title: str) -> str:
+    report = render_measurements(measurements, title)
+    summary = render_strategy_summary(measurements)
+    if summary:
+        report += "\n" + summary
+    return report
 
 
 def _run_table(category: str, title: str, args: argparse.Namespace) -> str:
@@ -32,8 +48,9 @@ def _run_table(category: str, title: str, args: argparse.Namespace) -> str:
         quick=args.quick,
         verbose=not args.no_progress,
         workers=args.workers,
+        option_overrides=_overrides(args),
     )
-    return render_measurements(measurements, title)
+    return _render(measurements, title)
 
 
 def _run_table3(args: argparse.Namespace) -> str:
@@ -50,8 +67,9 @@ def _run_table3(args: argparse.Namespace) -> str:
         quick=args.quick,
         verbose=not args.no_progress,
         workers=args.workers,
+        option_overrides=_overrides(args),
     )
-    return render_measurements(measurements, "Table 3 - recursive and reinforcement-learning benchmarks")
+    return _render(measurements, "Table 3 - recursive and reinforcement-learning benchmarks")
 
 
 def _run_ablation(args: argparse.Namespace) -> str:
@@ -87,6 +105,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--names", help="comma-separated benchmark names to restrict to")
     parser.add_argument("--quick", action="store_true", help="small parameter preset (Upsilon=1, small benchmarks)")
     parser.add_argument("--solve", action="store_true", help="also run the Step-4 solver per benchmark")
+    parser.add_argument(
+        "--translation",
+        choices=["putinar", "handelman"],
+        help="Step-3 translation scheme override (default: the paper's Putinar encoding)",
+    )
+    parser.add_argument(
+        "--strategy",
+        help=(
+            "Step-4 strategy: one of "
+            + ", ".join(strategy_names())
+            + "; 'portfolio' for the default racing line-up, or a comma-separated "
+            "list of strategies to race"
+        ),
+    )
     parser.add_argument(
         "--workers",
         type=int,

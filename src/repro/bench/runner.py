@@ -35,6 +35,7 @@ class Measurement:
     reduction_seconds: float
     solve_seconds: float | None = None
     solver_status: str | None = None
+    strategy: str | None = None
     paper_system_size: int | None = None
     paper_runtime_seconds: float | None = None
     paper_variables: int | None = None
@@ -47,9 +48,14 @@ class Measurement:
         return self.reduction_seconds + (self.solve_seconds or 0.0)
 
 
+def bench_solver_options() -> SolverOptions:
+    """The short solve budget used when measuring with ``solve=True``."""
+    return SolverOptions(restarts=1, max_iterations=200, time_limit=60.0)
+
+
 def default_bench_solver() -> Solver:
     """The short-budget Step-4 solver used when measuring with ``solve=True``."""
-    return PenaltyQCLPSolver(SolverOptions(restarts=1, max_iterations=200, time_limit=60.0))
+    return PenaltyQCLPSolver(bench_solver_options())
 
 
 def measurement_from_outcome(benchmark: Benchmark, outcome: PipelineOutcome) -> Measurement:
@@ -61,8 +67,24 @@ def measurement_from_outcome(benchmark: Benchmark, outcome: PipelineOutcome) -> 
     task = outcome.task
     counts = task.system.counts()
     solver_status = None
+    strategy = None
+    extra = {
+        "template_variables": float(counts["template_variables"]),
+        "equalities": float(counts["equalities"]),
+        "inequalities": float(counts["inequalities"]),
+    }
     if outcome.result is not None:
         solver_status = outcome.result.solver_status
+        strategy = outcome.result.strategy
+        # Per-strategy racing columns (portfolio solves record one wall-clock
+        # and one feasibility flag per raced strategy).
+        extra.update(
+            {
+                key: value
+                for key, value in outcome.result.statistics.items()
+                if key.startswith("portfolio_")
+            }
+        )
     elif outcome.error is not None:
         solver_status = "error"
     return Measurement(
@@ -77,15 +99,12 @@ def measurement_from_outcome(benchmark: Benchmark, outcome: PipelineOutcome) -> 
         reduction_seconds=outcome.reduction_seconds,
         solve_seconds=outcome.solve_seconds,
         solver_status=solver_status,
+        strategy=strategy,
         paper_system_size=benchmark.paper.system_size if benchmark.paper else None,
         paper_runtime_seconds=benchmark.paper.runtime_seconds if benchmark.paper else None,
         paper_variables=benchmark.paper.variables if benchmark.paper else None,
         notes=benchmark.notes,
-        extra={
-            "template_variables": float(counts["template_variables"]),
-            "equalities": float(counts["equalities"]),
-            "inequalities": float(counts["inequalities"]),
-        },
+        extra=extra,
     )
 
 
@@ -123,6 +142,7 @@ def measure_many(
     workers: int = 0,
     options: SynthesisOptions | None = None,
     pipeline: SynthesisPipeline | None = None,
+    option_overrides: dict | None = None,
 ) -> list[Measurement]:
     """Measure a collection of benchmarks through the batch pipeline.
 
@@ -132,6 +152,12 @@ def measure_many(
     reproduces the paper's parameters.  ``workers > 1`` fans the Step-4 solves
     out across a process pool; pass a ``pipeline`` to share its task cache
     between calls.
+
+    ``option_overrides`` patches individual synthesis options per benchmark
+    (e.g. ``{"translation": "handelman", "strategy": "portfolio"}``).  When no
+    explicit ``solver`` is given, each job's Step-4 back-end follows its
+    options' ``strategy``/``portfolio`` knobs under the short bench budget of
+    :func:`bench_solver_options`.
     """
     benchmarks = list(benchmarks)
     jobs = []
@@ -147,11 +173,12 @@ def measure_many(
                 )
             )
         else:
-            jobs.append(job_from_benchmark(benchmark, quick=quick))
+            jobs.append(job_from_benchmark(benchmark, quick=quick, **(option_overrides or {})))
     if pipeline is None:
         pipeline = SynthesisPipeline(
-            solver=solver if solver is not None else default_bench_solver(),
+            solver=solver,
             workers=workers,
+            solver_options=bench_solver_options(),
         )
 
     measurements: list[Measurement] = []
@@ -187,6 +214,7 @@ def quick_subset(benchmarks: Sequence[Benchmark], limit_variables: int = 8) -> l
 
 __all__ = [
     "Measurement",
+    "bench_solver_options",
     "default_bench_solver",
     "job_from_benchmark",
     "measure_benchmark",

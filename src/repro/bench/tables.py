@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import statistics
 from typing import Sequence
 
 from repro.bench.literature import LITERATURE_SUMMARY
@@ -19,22 +20,75 @@ def _format_runtime(seconds: float | None) -> str:
 
 def table_rows(measurements: Sequence[Measurement]) -> list[dict[str, str]]:
     """The reproduced rows in the paper's column layout plus paper-reported columns."""
+    with_strategy = any(measurement.strategy for measurement in measurements)
     rows = []
     for measurement in measurements:
+        row = {
+            "Benchmark": measurement.name,
+            "n": str(measurement.conjuncts),
+            "d": str(measurement.degree),
+            "|V|": str(measurement.variables),
+            "|S|": str(measurement.system_size),
+            "Runtime": _format_runtime(measurement.total_seconds),
+            "|S| (paper)": str(measurement.paper_system_size) if measurement.paper_system_size else "-",
+            "Runtime (paper)": _format_runtime(measurement.paper_runtime_seconds),
+            "Solver": measurement.solver_status or "-",
+        }
+        if with_strategy:
+            row["Strategy"] = measurement.strategy or "-"
+        rows.append(row)
+    return rows
+
+
+def strategy_summary_rows(measurements: Sequence[Measurement]) -> list[dict[str, str]]:
+    """Per-strategy win/loss and wall-clock aggregates of portfolio measurements.
+
+    A strategy *wins* a benchmark when the portfolio returned its result
+    (first feasible point); the per-strategy seconds come from the racing
+    columns the portfolio records in ``Measurement.extra``.
+    """
+    names: list[str] = []
+    for measurement in measurements:
+        for key in measurement.extra:
+            if key.startswith("portfolio_") and key.endswith("_seconds"):
+                name = key[len("portfolio_"):-len("_seconds")]
+                if name not in names:
+                    names.append(name)
+    if not names:
+        return []
+
+    rows = []
+    for name in names:
+        seconds = [
+            measurement.extra[f"portfolio_{name}_seconds"]
+            for measurement in measurements
+            if f"portfolio_{name}_seconds" in measurement.extra
+        ]
+        feasible = [
+            measurement.extra.get(f"portfolio_{name}_feasible", -1.0) for measurement in measurements
+        ]
+        wins = sum(1 for measurement in measurements if measurement.strategy == name)
+        ran = sum(1 for flag in feasible if flag >= 0.0)
+        solved = sum(1 for flag in feasible if flag == 1.0)
+        median = statistics.median(seconds) if seconds else 0.0
         rows.append(
             {
-                "Benchmark": measurement.name,
-                "n": str(measurement.conjuncts),
-                "d": str(measurement.degree),
-                "|V|": str(measurement.variables),
-                "|S|": str(measurement.system_size),
-                "Runtime": _format_runtime(measurement.total_seconds),
-                "|S| (paper)": str(measurement.paper_system_size) if measurement.paper_system_size else "-",
-                "Runtime (paper)": _format_runtime(measurement.paper_runtime_seconds),
-                "Solver": measurement.solver_status or "-",
+                "Strategy": name,
+                "Wins": str(wins),
+                "Feasible": f"{solved}/{ran}" if ran else "0/0",
+                "Median wall-clock": _format_runtime(median),
+                "Total wall-clock": _format_runtime(sum(seconds)),
             }
         )
     return rows
+
+
+def render_strategy_summary(measurements: Sequence[Measurement], title: str = "Portfolio strategies") -> str:
+    """Render the per-strategy summary table (empty string without portfolio data)."""
+    rows = strategy_summary_rows(measurements)
+    if not rows:
+        return ""
+    return f"### {title}\n\n" + render_rows(rows) + "\n"
 
 
 def render_rows(rows: Sequence[dict[str, str]], columns: Sequence[str] | None = None) -> str:

@@ -99,10 +99,32 @@ class QuadraticSystem:
     constraints: list[QuadraticConstraint] = field(default_factory=list)
     objective: Polynomial = field(default_factory=Polynomial.zero)
 
+    # -- mutation tracking -----------------------------------------------------------
+    #
+    # ``version`` increments on every mutation made through this class's API
+    # (constraint additions, field assignment).  The memoised numeric
+    # compilation (repro.solvers.problem.compile_problem) keys on it, so a
+    # reassigned objective or an appended constraint can never serve a stale
+    # compilation.
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in ("constraints", "objective"):
+            self._bump_version()
+        object.__setattr__(self, name, value)
+
+    def _bump_version(self) -> None:
+        self.__dict__["_version"] = self.__dict__.get("_version", 0) + 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (cache key of the numeric compilation)."""
+        return self.__dict__.get("_version", 0)
+
     # -- construction ----------------------------------------------------------------
 
     def add(self, constraint: QuadraticConstraint) -> None:
         self.constraints.append(constraint)
+        self._bump_version()
 
     def add_equality(self, polynomial: Polynomial, origin: str = "") -> None:
         """Add ``polynomial == 0`` (skipping constraints that are identically zero)."""
@@ -129,6 +151,7 @@ class QuadraticSystem:
     def merge(self, other: "QuadraticSystem") -> None:
         """Append all constraints of ``other`` to this system."""
         self.constraints.extend(other.constraints)
+        self._bump_version()
 
     # -- queries ----------------------------------------------------------------------
 
@@ -190,6 +213,18 @@ class QuadraticSystem:
     ) -> list[QuadraticConstraint]:
         """The constraints violated at an assignment (for diagnostics)."""
         return [c for c in self.constraints if not c.satisfied(assignment, tolerance)]
+
+    # -- pickling ---------------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The memoised CompiledProblem cache (repro.solvers.problem) holds large
+        # numpy arrays and is cheap to rebuild; never ship it across processes.
+        state = self.__dict__.copy()
+        state.pop("_compiled_problems", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # -- numeric compilation ---------------------------------------------------------------
 

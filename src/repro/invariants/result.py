@@ -78,6 +78,9 @@ class SynthesisResult:
         Timings and counts recorded by the pipeline.
     solver_status:
         Free-form status string reported by the Step-4 solver.
+    strategy:
+        The Step-4 strategy that produced the result (the winning strategy of
+        a portfolio race, or the solver's own name).
     """
 
     invariant: Invariant | None
@@ -88,6 +91,7 @@ class SynthesisResult:
     cfg: ProgramCFG
     statistics: dict[str, float] = field(default_factory=dict)
     solver_status: str = ""
+    strategy: str | None = None
 
     @property
     def success(self) -> bool:

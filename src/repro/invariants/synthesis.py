@@ -37,7 +37,7 @@ from repro.spec.bounded import apply_bounded_reals_model
 from repro.spec.objectives import FeasibilityObjective, Objective
 from repro.spec.preconditions import Precondition, augment_entry_preconditions
 from repro.solvers.base import Solver, SolverResult
-from repro.solvers.qclp import PenaltyQCLPSolver
+from repro.solvers.portfolio import STRATEGIES, make_solver
 from repro.solvers.strong import RepresentativeEnumerator
 
 ProgramLike = Union[str, Program]
@@ -74,6 +74,14 @@ class SynthesisOptions:
         non-strict variant of Remark 6).
     encode_sos:
         Encode SOS-ness of the multipliers through Cholesky factors.
+    strategy:
+        The Step-4 back-end: a registered strategy name (``"qclp"``,
+        ``"gauss-newton"``, ``"alternating"``, ...) or ``"portfolio"`` to
+        race several strategies on the compiled problem (see
+        :mod:`repro.solvers.portfolio`).
+    portfolio:
+        The strategy list raced when ``strategy="portfolio"`` (empty means
+        the default portfolio).
     """
 
     degree: int = 2
@@ -85,10 +93,44 @@ class SynthesisOptions:
     bound: int = 100
     with_witness: bool = True
     encode_sos: bool = True
+    strategy: str = "qclp"
+    portfolio: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.translation not in ("putinar", "handelman"):
             raise SynthesisError(f"unknown translation {self.translation!r}")
+        object.__setattr__(self, "portfolio", tuple(self.portfolio))
+        known = (*STRATEGIES, "portfolio")
+        if self.strategy not in known:
+            raise SynthesisError(
+                f"unknown strategy {self.strategy!r}; known strategies: {', '.join(known)}"
+            )
+        unknown = [name for name in self.portfolio if name not in STRATEGIES]
+        if unknown:
+            raise SynthesisError(
+                f"unknown portfolio strategies {unknown!r}; known strategies: {', '.join(STRATEGIES)}"
+            )
+        if len(set(self.portfolio)) != len(self.portfolio):
+            raise SynthesisError(f"duplicate portfolio strategies in {self.portfolio!r}")
+
+    def reduction_fingerprint(self) -> tuple:
+        """The option fields that determine the Step 1-3 reduction.
+
+        Solver-side knobs (``strategy``, ``portfolio``) are deliberately
+        excluded so jobs differing only in their Step-4 back-end share one
+        reduction in the pipeline's task cache.
+        """
+        return (
+            self.degree,
+            self.conjuncts,
+            self.upsilon,
+            self.translation,
+            self.add_entry_assumptions,
+            self.bounded,
+            self.bound,
+            self.with_witness,
+            self.encode_sos,
+        )
 
 
 @dataclass
@@ -226,6 +268,10 @@ def result_from_solution(task: SynthesisTask, solve_result: SolverResult) -> Syn
         invariant = _instantiate_invariant(task, assignment)
         invariants = [invariant]
 
+    statistics = dict(task.statistics)
+    statistics.update(
+        {key: value for key, value in solve_result.details.items() if key.startswith("portfolio_")}
+    )
     return SynthesisResult(
         invariant=invariant,
         invariants=invariants,
@@ -233,8 +279,9 @@ def result_from_solution(task: SynthesisTask, solve_result: SolverResult) -> Syn
         system=task.system,
         templates=task.templates,
         cfg=task.cfg,
-        statistics=dict(task.statistics),
+        statistics=statistics,
         solver_status=solve_result.status,
+        strategy=solve_result.strategy,
     )
 
 
@@ -249,11 +296,14 @@ def weak_inv_synth(
     """The paper's ``WeakInvSynth`` / ``RecWeakInvSynth``: reduce to QCLP and solve.
 
     Pass ``task`` to reuse a previously built Step-1-3 reduction (e.g. to try
-    several solvers on the same system without re-translating).
+    several solvers on the same system without re-translating).  When no
+    explicit ``solver`` is given the Step-4 back-end follows the options'
+    ``strategy``/``portfolio`` knobs (default: the penalty QCLP solver).
     """
     if task is None:
         task = build_task(program, precondition, objective, options)
-    solver = solver if solver is not None else PenaltyQCLPSolver()
+    if solver is None:
+        solver = make_solver(task.options.strategy, portfolio=task.options.portfolio)
 
     start = time.perf_counter()
     solve_result: SolverResult = solver.solve(task.system)

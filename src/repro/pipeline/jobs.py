@@ -47,12 +47,28 @@ class SynthesisJob:
 
         Jobs with equal keys produce identical
         :class:`~repro.invariants.synthesis.SynthesisTask` objects, so the
-        pipeline translates the first and reuses it for the rest.
+        pipeline translates the first and reuses it for the rest.  Solver-side
+        option knobs (``strategy``/``portfolio``) are excluded: jobs differing
+        only in their Step-4 back-end still share one reduction.
         """
         objective_key = None
         if self.objective is not None:
             objective_key = (type(self.objective).__qualname__, repr(self.objective))
-        return (self.source, _freeze(self.precondition), self.options, objective_key)
+        return (
+            self.source,
+            _freeze(self.precondition),
+            self.options.reduction_fingerprint(),
+            objective_key,
+        )
+
+    def solve_key(self) -> tuple:
+        """Hashable key identifying this job's Step-4 solve.
+
+        Extends :meth:`reduction_key` with the solver strategy, so the
+        pipeline deduplicates solves only between jobs that would run the
+        same back-end on the same system.
+        """
+        return (*self.reduction_key(), self.options.strategy, self.options.portfolio)
 
 
 def job_from_benchmark(benchmark: "Benchmark", quick: bool = False, **option_overrides) -> SynthesisJob:

@@ -34,8 +34,8 @@ from repro.invariants.result import SynthesisResult
 from repro.invariants.synthesis import SynthesisTask, result_from_solution
 from repro.pipeline.cache import TaskCache
 from repro.pipeline.jobs import SynthesisJob
-from repro.solvers.base import Solver, SolverResult
-from repro.solvers.qclp import PenaltyQCLPSolver
+from repro.solvers.base import Solver, SolverOptions, SolverResult
+from repro.solvers.portfolio import make_solver
 
 
 def _solve_system(solver: Solver, system) -> tuple[SolverResult, float]:
@@ -78,16 +78,25 @@ class SynthesisPipeline:
     Parameters
     ----------
     solver:
-        The Step-4 solver applied to every job (default:
-        :class:`~repro.solvers.qclp.PenaltyQCLPSolver` with its default
-        options).  It must be picklable when ``workers > 1``; every solver in
-        :mod:`repro.solvers` is.
+        An explicit Step-4 solver applied to every job.  When ``None`` (the
+        default) each job's solver is resolved from its own synthesis
+        options' ``strategy``/``portfolio`` knobs through
+        :func:`~repro.solvers.portfolio.make_solver` — so a single batch can
+        mix penalty, alternating and portfolio solves.  Solvers must be
+        picklable when ``workers > 1``; every solver in :mod:`repro.solvers`
+        is.
     workers:
         ``0`` or ``1`` solves sequentially in-process; ``n > 1`` fans solves
-        out over a pool of ``n`` worker processes.
+        out over a pool of ``n`` worker processes.  Portfolio jobs reuse that
+        same fan-out: each pooled worker races its job's strategies inside
+        the worker process.
     cache:
         The Step 1-3 task cache; pass a shared instance to reuse reductions
         across several pipeline runs.
+    solver_options:
+        The :class:`~repro.solvers.base.SolverOptions` given to per-job
+        solvers resolved from job options (ignored for an explicit
+        ``solver``).
     """
 
     def __init__(
@@ -95,12 +104,22 @@ class SynthesisPipeline:
         solver: Solver | None = None,
         workers: int = 0,
         cache: TaskCache | None = None,
+        solver_options: SolverOptions | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
-        self.solver = solver if solver is not None else PenaltyQCLPSolver()
+        self.solver = solver
+        self.solver_options = solver_options
         self.workers = workers
         self.cache = cache if cache is not None else TaskCache()
+
+    def _solver_for(self, job: SynthesisJob) -> Solver:
+        """The solver an individual job runs under (explicit or options-derived)."""
+        if self.solver is not None:
+            return self.solver
+        return make_solver(
+            job.options.strategy, options=self.solver_options, portfolio=job.options.portfolio
+        )
 
     # -- reduction --------------------------------------------------------------
 
@@ -169,13 +188,13 @@ class SynthesisPipeline:
                     error=error,
                 )
                 continue
-            key = job.reduction_key()
+            key = job.solve_key()
             shared = key in solved
             try:
                 if shared:
                     solve_result, solve_seconds = solved[key]
                 else:
-                    solve_result, solve_seconds = _solve_system(self.solver, task.system)
+                    solve_result, solve_seconds = _solve_system(self._solver_for(job), task.system)
             except Exception:
                 yield PipelineOutcome(
                     job=job,
@@ -197,9 +216,9 @@ class SynthesisPipeline:
             for job, task, _, _, error in reduced:
                 if error is not None:
                     continue
-                key = job.reduction_key()
+                key = job.solve_key()
                 if key not in futures:
-                    futures[key] = pool.submit(_solve_system, self.solver, task.system)
+                    futures[key] = pool.submit(_solve_system, self._solver_for(job), task.system)
             seen: set[tuple] = set()
             for job, task, seconds, from_cache, error in reduced:
                 if error is not None:
@@ -212,7 +231,7 @@ class SynthesisPipeline:
                         error=error,
                     )
                     continue
-                key = job.reduction_key()
+                key = job.solve_key()
                 shared = key in seen
                 seen.add(key)
                 try:

@@ -1,15 +1,26 @@
 """Step-4 solvers: numeric back-ends for the quadratic systems of Step 3.
 
 The paper solves its systems with the commercial QCLP solver LOQO; this
-reproduction replaces it with SciPy-based solvers:
+reproduction replaces it with SciPy-based solvers sharing one compiled
+problem IR:
 
+* :mod:`repro.solvers.problem` — :class:`CompiledProblem`, the IR every
+  solver consumes: flat residual/Jacobian/penalty evaluation built once per
+  system (memoised through :func:`compile_problem`), strict-margin
+  rewriting, variable ordering and role masks, plus the solve-time control
+  plane (:class:`Deadline`, :class:`SolveControl`).
 * :class:`~repro.solvers.qclp.PenaltyQCLPSolver` — the default: an
   exact-penalty / multi-restart nonlinear programming solver with analytic
-  gradients, optionally polished with SLSQP.
+  gradients and a Gauss-Newton polish.
+* :class:`~repro.solvers.qclp.GaussNewtonSolver` — the cheap
+  pure-feasibility sprint (sparse trust-region least squares on the
+  residuals).
 * :class:`~repro.solvers.alternating.AlternatingSolver` — exploits the
   bilinear structure of the systems (template coefficients vs. certificate
-  multipliers) by alternating linear least-squares steps with SOS
-  (positive-semidefinite) projections.
+  multipliers) with block-coordinate penalty sweeps.
+* :class:`~repro.solvers.portfolio.PortfolioSolver` — races a configurable
+  strategy list on one compiled problem with a shared deadline,
+  first-feasible-wins cancellation and warm-start exchange.
 * :mod:`repro.solvers.sdp` — sum-of-squares feasibility for *fixed* template
   coefficients via alternating projections onto the PSD cone; used by the
   certificate checker.
@@ -23,20 +34,45 @@ reproduction replaces it with SciPy-based solvers:
 from repro.solvers.alternating import AlternatingSolver
 from repro.solvers.base import Solver, SolverOptions, SolverResult
 from repro.solvers.farkas import farkas_translate, linear_baseline_system
-from repro.solvers.qclp import PenaltyQCLPSolver
+from repro.solvers.portfolio import (
+    DEFAULT_PORTFOLIO,
+    PortfolioSolver,
+    STRATEGIES,
+    make_solver,
+    strategy_names,
+)
+from repro.solvers.problem import (
+    CompiledProblem,
+    Deadline,
+    SolveControl,
+    SolverInterrupted,
+    compile_problem,
+)
+from repro.solvers.qclp import GaussNewtonSolver, PenaltyQCLPSolver
 from repro.solvers.sdp import SOSFeasibilityResult, check_putinar_certificate, solve_sos_feasibility
 from repro.solvers.strong import RepresentativeEnumerator
 
 __all__ = [
     "AlternatingSolver",
+    "CompiledProblem",
+    "DEFAULT_PORTFOLIO",
+    "Deadline",
+    "GaussNewtonSolver",
     "PenaltyQCLPSolver",
+    "PortfolioSolver",
     "RepresentativeEnumerator",
     "SOSFeasibilityResult",
+    "STRATEGIES",
+    "SolveControl",
     "Solver",
+    "SolverInterrupted",
     "SolverOptions",
     "SolverResult",
     "check_putinar_certificate",
+    "compile_problem",
     "farkas_translate",
     "linear_baseline_system",
+    "make_solver",
     "solve_sos_feasibility",
+    "strategy_names",
 ]

@@ -11,7 +11,10 @@ solver alternates L-BFGS sweeps over
 
 under an increasing penalty schedule.  It tends to track a target-invariant
 objective more faithfully than the joint penalty solver, at the cost of more
-iterations.
+iterations.  Like every Step-4 solver it consumes the shared
+:class:`~repro.solvers.problem.CompiledProblem` IR and cooperates with
+portfolio deadlines/cancellation through
+:class:`~repro.solvers.problem.SolveControl`.
 """
 
 from __future__ import annotations
@@ -19,9 +22,14 @@ from __future__ import annotations
 import numpy as np
 from scipy import optimize
 
-from repro.invariants.quadratic_system import QuadraticSystem, VariableRole, classify_unknown
-from repro.solvers.base import Solver, SolverOptions, SolverResult
-from repro.solvers.numeric import VectorisedSystem
+from repro.solvers.base import Solver, SolverResult
+from repro.solvers.problem import (
+    CompiledProblem,
+    Deadline,
+    SolveControl,
+    SolverInterrupted,
+    improves,
+)
 
 
 class AlternatingSolver(Solver):
@@ -29,7 +37,7 @@ class AlternatingSolver(Solver):
 
     def __init__(
         self,
-        options: SolverOptions | None = None,
+        options=None,
         sweeps: int = 6,
         penalty_schedule: tuple[float, ...] = (10.0, 100.0, 1_000.0, 10_000.0),
         objective_weight: float = 1.0,
@@ -41,33 +49,28 @@ class AlternatingSolver(Solver):
 
     # -- helpers --------------------------------------------------------------------
 
-    @staticmethod
-    def _blocks(vectorised: VectorisedSystem) -> tuple[np.ndarray, np.ndarray]:
-        template = np.array(
-            [classify_unknown(name) is VariableRole.TEMPLATE for name in vectorised.variables]
-        )
-        return template, ~template
-
     def _minimise_block(
         self,
-        vectorised: VectorisedSystem,
+        problem: CompiledProblem,
         point: np.ndarray,
         mask: np.ndarray,
         rho: float,
+        control: SolveControl,
     ) -> np.ndarray:
         indices = np.flatnonzero(mask)
         if indices.size == 0:
             return point
 
         def fun(sub: np.ndarray) -> float:
+            control.interrupt_if_stopped()
             full = point.copy()
             full[indices] = sub
-            return vectorised.penalty(full, rho, self.objective_weight)
+            return problem.penalty(full, rho, self.objective_weight)
 
         def jac(sub: np.ndarray) -> np.ndarray:
             full = point.copy()
             full[indices] = sub
-            return vectorised.penalty_gradient(full, rho, self.objective_weight)[indices]
+            return problem.penalty_gradient(full, rho, self.objective_weight)[indices]
 
         result = optimize.minimize(
             fun=fun,
@@ -80,58 +83,71 @@ class AlternatingSolver(Solver):
         updated[indices] = result.x
         return updated
 
-    def _initial_point(self, vectorised: VectorisedSystem, rng: np.random.Generator, attempt: int) -> np.ndarray:
-        scale = 0.05 * attempt
-        point = rng.normal(0.0, scale, size=vectorised.dimension) if scale else np.zeros(vectorised.dimension)
-        for position, name in enumerate(vectorised.variables):
-            role = classify_unknown(name)
-            if role is VariableRole.WITNESS:
-                point[position] = max(point[position], 10 * self.options.strict_margin)
-        return point
-
     # -- main loop -------------------------------------------------------------------------
 
-    def solve(self, system: QuadraticSystem) -> SolverResult:
-        vectorised = VectorisedSystem(system, strict_margin=self.options.strict_margin)
-        if vectorised.dimension == 0:
+    def solve_compiled(
+        self, problem: CompiledProblem, control: SolveControl | None = None
+    ) -> SolverResult:
+        options = self.options
+        if control is None:
+            control = SolveControl(
+                deadline=Deadline.after(options.time_limit), tolerance=options.tolerance
+            )
+        if problem.dimension == 0:
             return SolverResult(assignment={}, status="trivial", objective_value=0.0, max_violation=0.0)
 
-        template_mask, certificate_mask = self._blocks(vectorised)
-        rng = np.random.default_rng(self.options.seed)
+        template_mask = problem.template_mask
+        certificate_mask = ~template_mask
+        rng = np.random.default_rng(options.seed)
 
         best_point: np.ndarray | None = None
         best_violation = np.inf
         best_objective = np.inf
         iterations = 0
+        attempt = -1
 
-        for attempt in range(self.options.restarts):
-            point = self._initial_point(vectorised, rng, attempt)
+        for attempt in range(options.restarts):
+            if control.should_stop():
+                break
+            point = problem.initial_point(rng, 0.05 * attempt)
+            interrupted = False
             for rho in self.penalty_schedule:
                 for _ in range(self.sweeps):
-                    point = self._minimise_block(vectorised, point, certificate_mask, rho)
-                    point = self._minimise_block(vectorised, point, template_mask, rho)
+                    try:
+                        point = self._minimise_block(problem, point, certificate_mask, rho, control)
+                        point = self._minimise_block(problem, point, template_mask, rho, control)
+                    except SolverInterrupted:
+                        interrupted = True
+                        break
                     iterations += 1
-                if vectorised.max_violation(point) <= self.options.tolerance:
+                if interrupted or problem.max_violation(point) <= options.tolerance:
                     break
-            violation = vectorised.max_violation(point)
-            objective = vectorised.objective_value(point)
-            improved_feasible = violation <= self.options.tolerance and (
-                best_violation > self.options.tolerance or objective < best_objective
-            )
-            improved_infeasible = best_violation > self.options.tolerance and violation < best_violation
-            if improved_feasible or improved_infeasible:
+            violation = problem.max_violation(point)
+            objective = problem.objective_value(point)
+            if improves(best_violation, best_objective, violation, objective, options.tolerance):
                 best_point, best_violation, best_objective = point.copy(), violation, objective
-            if self.options.verbose:
+            control.report(point, violation, objective, strategy=self.label())
+            if options.verbose:
                 print(f"[alt] restart {attempt}: violation={violation:.3g} objective={objective:.6g}")
+            if interrupted:
+                break
 
         if best_point is None:
-            return SolverResult(assignment=None, status="no-progress", iterations=iterations)
-        feasible = best_violation <= self.options.tolerance
+            return SolverResult(
+                assignment=None,
+                status="no-progress",
+                iterations=iterations,
+                details={"timed_out": float(control.timed_out)},
+                strategy=self.label(),
+            )
+        feasible = best_violation <= options.tolerance
         return SolverResult(
-            assignment=vectorised.assignment(best_point) if feasible else None,
+            assignment=problem.assignment(best_point) if feasible else None,
             status="optimal" if feasible else "infeasible-best-effort",
             objective_value=best_objective,
             max_violation=best_violation,
             iterations=iterations,
-            restarts_used=min(self.options.restarts, attempt + 1),
+            restarts_used=min(options.restarts, attempt + 1),
+            details={"timed_out": float(control.timed_out)},
+            strategy=self.label(),
         )

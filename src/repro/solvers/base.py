@@ -4,9 +4,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.invariants.quadratic_system import QuadraticSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.solvers.problem import CompiledProblem, SolveControl
 
 
 @dataclass(frozen=True)
@@ -30,7 +33,11 @@ class SolverOptions:
     verbose:
         Whether to print progress information.
     time_limit:
-        Soft wall-clock limit in seconds (checked between restarts).
+        Wall-clock limit in seconds.  Enforced *inside* each restart's
+        iteration loop — the evaluation closures check a
+        :class:`~repro.solvers.problem.Deadline` on every call — as well as
+        between restarts, so a solve never overshoots the budget by more than
+        one constraint evaluation.
     stop_at_objective:
         Stop restarting as soon as a feasible point with an objective value at
         or below this threshold has been found (the objectives used for weak
@@ -58,6 +65,7 @@ class SolverResult:
     iterations: int = 0
     restarts_used: int = 0
     details: dict[str, float] = field(default_factory=dict)
+    strategy: str | None = None
 
     @property
     def feasible(self) -> bool:
@@ -75,14 +83,36 @@ class SolverResult:
 
 
 class Solver(ABC):
-    """Interface of every Step-4 solver."""
+    """Interface of every Step-4 solver.
+
+    Solvers operate on the compiled problem IR
+    (:class:`~repro.solvers.problem.CompiledProblem`); :meth:`solve` is a
+    convenience wrapper that compiles (memoised) and delegates to
+    :meth:`solve_compiled`.  Racing callers compile once, build a shared
+    :class:`~repro.solvers.problem.SolveControl` and call
+    :meth:`solve_compiled` directly.
+    """
 
     def __init__(self, options: SolverOptions | None = None):
         self.options = options if options is not None else SolverOptions()
+        #: Portfolio strategy key this instance runs under (set by the portfolio).
+        self.strategy_label: str | None = None
 
-    @abstractmethod
+    def label(self) -> str:
+        """The name this solver reports results under (strategy key or class name)."""
+        return self.strategy_label if self.strategy_label is not None else self.name()
+
     def solve(self, system: QuadraticSystem) -> SolverResult:
         """Find an assignment of the unknowns satisfying ``system`` (best effort)."""
+        from repro.solvers.problem import compile_problem
+
+        return self.solve_compiled(compile_problem(system, self.options.strict_margin))
+
+    @abstractmethod
+    def solve_compiled(
+        self, problem: "CompiledProblem", control: "SolveControl | None" = None
+    ) -> SolverResult:
+        """Solve an already-compiled problem under an optional shared control."""
 
     def name(self) -> str:
         """Short solver name used in reports."""

@@ -1,0 +1,409 @@
+"""The compiled Step-4 problem IR shared by every numeric solver.
+
+Step 3 hands every solver the same :class:`~repro.invariants.quadratic_system.
+QuadraticSystem`; historically each solver privately re-vectorised it (flat
+numpy arrays, strict-margin rewriting, variable classification) before its
+first iteration.  :class:`CompiledProblem` performs that lowering **once** per
+system — through :func:`compile_problem`, which memoises on the system — and
+every solver consumes the compiled form:
+
+* flat residual / constraint-value / penalty closures built from the triplet
+  arrays of :mod:`repro.polynomial.compiled` (no ``Fraction`` arithmetic in
+  any inner loop);
+* strict-inequality rewriting (``p > 0`` becomes ``p >= strict_margin``) and
+  the equality/inequality masks derived from it;
+* the canonical variable ordering plus role masks (template, witness,
+  Cholesky-diagonal unknowns) used for block splits and initial points;
+* the lowered objective and its gradient.
+
+The module also defines the solve-time control plane: :class:`Deadline` (a
+wall-clock budget checked *inside* iteration loops, not just between
+restarts) and :class:`SolveControl` (shared cancellation, best-known-point
+exchange and first-feasible-wins signalling for the solver portfolio).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.invariants.quadratic_system import (
+    ConstraintKind,
+    QuadraticSystem,
+    VariableRole,
+    classify_unknown,
+)
+from repro.polynomial.compiled import lower_quadratic
+from repro.polynomial.polynomial import Polynomial
+
+
+class SolverInterrupted(RuntimeError):
+    """Raised inside solver iteration loops when the solve must stop now.
+
+    Carries no payload: the raising closure records the last iterate it saw,
+    and the catching solver keeps the best point found so far.
+    """
+
+
+class Deadline:
+    """A wall-clock budget usable from the innermost evaluation closures.
+
+    ``Deadline.after(None)`` never expires, so solvers can check
+    unconditionally without branching on whether a limit was configured.
+    """
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, expires_at: float | None = None):
+        self._expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "Deadline":
+        """A deadline ``seconds`` from now (``None`` means no limit)."""
+        if seconds is None:
+            return cls(None)
+        return cls(time.monotonic() + seconds)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        return cls(None)
+
+    def expired(self) -> bool:
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    def remaining(self) -> float | None:
+        """Seconds left, ``None`` when unlimited (never negative)."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+
+def improves(
+    best_violation: float,
+    best_objective: float,
+    violation: float,
+    objective: float,
+    tolerance: float,
+) -> bool:
+    """The shared "is this point better" ordering of every Step-4 solver.
+
+    Feasible points beat infeasible ones; among feasible points a lower
+    objective wins; among infeasible points a lower violation wins.
+    """
+    if violation <= tolerance:
+        return best_violation > tolerance or objective < best_objective
+    return best_violation > tolerance and violation < best_violation
+
+
+class SolveControl:
+    """Shared budget, cancellation and warm-start state of one Step-4 solve.
+
+    A single solver uses it to enforce its deadline inside iteration loops; a
+    :class:`~repro.solvers.portfolio.PortfolioSolver` shares one instance
+    across all racing strategies, which gives first-feasible-wins cancellation
+    (the first strategy to report a feasible point sets the stop event) and
+    warm-start exchange (every strategy can seed a restart from the
+    portfolio's best-known point).
+    """
+
+    def __init__(
+        self,
+        deadline: Deadline | None = None,
+        tolerance: float = 1e-5,
+        stop_on_feasible: bool = False,
+    ):
+        self.deadline = deadline if deadline is not None else Deadline.never()
+        self.tolerance = tolerance
+        self.stop_on_feasible = stop_on_feasible
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._best_point: np.ndarray | None = None
+        self._best_violation = np.inf
+        self._best_objective = np.inf
+        self._winner: str | None = None
+
+    # -- cancellation -----------------------------------------------------------
+
+    def should_stop(self) -> bool:
+        return self._stop.is_set() or self.deadline.expired()
+
+    def interrupt_if_stopped(self) -> None:
+        """Raise :class:`SolverInterrupted` when the solve must end (call from closures)."""
+        if self.should_stop():
+            raise SolverInterrupted()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    @property
+    def timed_out(self) -> bool:
+        return self.deadline.expired()
+
+    # -- best-known-point exchange -----------------------------------------------
+
+    def report(
+        self, point: np.ndarray, violation: float, objective: float, strategy: str | None = None
+    ) -> None:
+        """Record a candidate; feasible reports may trigger first-feasible-wins."""
+        with self._lock:
+            if improves(self._best_violation, self._best_objective, violation, objective, self.tolerance):
+                self._best_point = np.array(point, dtype=float, copy=True)
+                self._best_violation = violation
+                self._best_objective = objective
+                if violation <= self.tolerance and self._winner is None:
+                    self._winner = strategy
+        if self.stop_on_feasible and violation <= self.tolerance:
+            self._stop.set()
+
+    def warm_start(self) -> np.ndarray | None:
+        """A copy of the best-known point so far (``None`` before any report)."""
+        with self._lock:
+            if self._best_point is None:
+                return None
+            return self._best_point.copy()
+
+    @property
+    def best_violation(self) -> float:
+        with self._lock:
+            return self._best_violation
+
+    @property
+    def winner(self) -> str | None:
+        """The strategy that first reported a feasible point (portfolio runs)."""
+        with self._lock:
+            return self._winner
+
+
+class _QuadraticTerms:
+    """Flat triplet representation of all bilinear terms, tagged by constraint row."""
+
+    __slots__ = ("rows", "left", "right", "coefficients")
+
+    def __init__(self, rows: np.ndarray, left: np.ndarray, right: np.ndarray, coefficients: np.ndarray):
+        self.rows = rows
+        self.left = left
+        self.right = right
+        self.coefficients = coefficients
+
+    def values(self, point: np.ndarray, row_count: int) -> np.ndarray:
+        if self.rows.size == 0:
+            return np.zeros(row_count)
+        contributions = self.coefficients * point[self.left] * point[self.right]
+        return np.bincount(self.rows, weights=contributions, minlength=row_count)
+
+    def add_weighted_gradient(
+        self, point: np.ndarray, weights: np.ndarray, gradient: np.ndarray
+    ) -> None:
+        if self.rows.size == 0:
+            return
+        scale = weights[self.rows] * self.coefficients
+        np.add.at(gradient, self.left, scale * point[self.right])
+        np.add.at(gradient, self.right, scale * point[self.left])
+
+
+def _compile_rows(
+    polynomials: Sequence[Polynomial], index: Mapping[str, int], dimension: int
+) -> tuple[np.ndarray, sparse.csr_matrix, _QuadraticTerms]:
+    triplets = lower_quadratic(polynomials, index)
+    linear = sparse.csr_matrix(
+        (triplets.linear_values, (triplets.linear_rows, triplets.linear_cols)),
+        shape=(len(polynomials), dimension),
+    )
+    quadratic = _QuadraticTerms(
+        rows=triplets.quad_rows,
+        left=triplets.quad_left,
+        right=triplets.quad_right,
+        coefficients=triplets.quad_values,
+    )
+    return triplets.constants, linear, quadratic
+
+
+class CompiledProblem:
+    """A :class:`QuadraticSystem` lowered once into solver-ready numeric form.
+
+    Build through :func:`compile_problem` (memoised) rather than directly, so
+    that a portfolio of solvers racing on the same system shares one IR.
+    """
+
+    def __init__(self, system: QuadraticSystem, strict_margin: float = 1e-4):
+        self.system = system
+        self.variables: list[str] = system.variables()
+        self.index: dict[str, int] = {name: i for i, name in enumerate(self.variables)}
+        self.dimension = len(self.variables)
+        self.strict_margin = strict_margin
+
+        polynomials = [constraint.polynomial for constraint in system.constraints]
+        self.constants, self.linear, self.quadratic = _compile_rows(
+            polynomials, self.index, self.dimension
+        )
+        kinds = [constraint.kind for constraint in system.constraints]
+        self.equality_mask = np.array([kind is ConstraintKind.EQUALITY for kind in kinds], dtype=bool)
+        self.nonneg_mask = np.array([kind is ConstraintKind.NONNEGATIVE for kind in kinds], dtype=bool)
+        self.positive_mask = np.array([kind is ConstraintKind.POSITIVE for kind in kinds], dtype=bool)
+        self.row_count = len(polynomials)
+
+        objective_constants, objective_linear, objective_quadratic = _compile_rows(
+            [system.objective], self.index, self.dimension
+        )
+        self.objective_constant = float(objective_constants[0]) if objective_constants.size else 0.0
+        self.objective_linear_dense = np.asarray(objective_linear.todense()).ravel().astype(float)
+        self.objective_quadratic = objective_quadratic
+
+        roles = [classify_unknown(name) for name in self.variables]
+        self.template_mask = np.array([role is VariableRole.TEMPLATE for role in roles], dtype=bool)
+        self.witness_mask = np.array([role is VariableRole.WITNESS for role in roles], dtype=bool)
+        self.cholesky_diagonal_mask = np.array(
+            [
+                role is VariableRole.CHOLESKY and name.rsplit("_", 2)[-2] == name.rsplit("_", 2)[-1]
+                for role, name in zip(roles, self.variables)
+            ],
+            dtype=bool,
+        )
+
+    # -- values ------------------------------------------------------------------
+
+    def constraint_values(self, point: np.ndarray) -> np.ndarray:
+        """The value of every constraint polynomial at ``point``."""
+        if self.row_count == 0:
+            return np.zeros(0)
+        values = self.constants + self.linear.dot(point)
+        values = values + self.quadratic.values(point, self.row_count)
+        return values
+
+    def residuals(self, point: np.ndarray) -> np.ndarray:
+        """Signed residuals: zero exactly when the corresponding constraint holds."""
+        return self._residuals_of(self.constraint_values(point))
+
+    def _residuals_of(self, values: np.ndarray) -> np.ndarray:
+        residuals = np.zeros_like(values)
+        residuals[self.equality_mask] = values[self.equality_mask]
+        nonneg = self.nonneg_mask
+        residuals[nonneg] = np.minimum(values[nonneg], 0.0)
+        positive = self.positive_mask
+        residuals[positive] = np.minimum(values[positive] - self.strict_margin, 0.0)
+        return residuals
+
+    def max_violation(self, point: np.ndarray) -> float:
+        """The largest absolute residual (0 when feasible)."""
+        residuals = self.residuals(point)
+        return float(np.max(np.abs(residuals))) if residuals.size else 0.0
+
+    def objective_value(self, point: np.ndarray) -> float:
+        """Value of the objective polynomial at ``point``."""
+        value = self.objective_constant + float(self.objective_linear_dense @ point)
+        value += float(self.objective_quadratic.values(point, 1)[0])
+        return value
+
+    def objective_gradient(self, point: np.ndarray) -> np.ndarray:
+        gradient = self.objective_linear_dense.copy()
+        self.objective_quadratic.add_weighted_gradient(point, np.ones(1), gradient)
+        return gradient
+
+    # -- penalty function ---------------------------------------------------------
+
+    def penalty(self, point: np.ndarray, rho: float, objective_weight: float = 1.0) -> float:
+        """The exact quadratic-penalty merit function."""
+        residuals = self.residuals(point)
+        return objective_weight * self.objective_value(point) + rho * float(residuals @ residuals)
+
+    def penalty_gradient(
+        self, point: np.ndarray, rho: float, objective_weight: float = 1.0
+    ) -> np.ndarray:
+        """Analytic gradient of :meth:`penalty`."""
+        residuals = self._residuals_of(self.constraint_values(point))
+        weights = 2.0 * rho * residuals
+        gradient = self.linear.T.dot(weights)
+        gradient = np.asarray(gradient).ravel()
+        self.quadratic.add_weighted_gradient(point, weights, gradient)
+        gradient += objective_weight * self.objective_gradient(point)
+        return gradient
+
+    def residual_jacobian(self, point: np.ndarray) -> sparse.csr_matrix:
+        """Sparse Jacobian of :meth:`residuals` (rows of inactive inequalities are zero)."""
+        values = self.constraint_values(point)
+        active = np.ones(self.row_count)
+        active[self.nonneg_mask] = (values[self.nonneg_mask] < 0.0).astype(float)
+        active[self.positive_mask] = (values[self.positive_mask] < self.strict_margin).astype(float)
+
+        jacobian = self.linear
+        if self.quadratic.rows.size:
+            rows = np.concatenate([self.quadratic.rows, self.quadratic.rows])
+            cols = np.concatenate([self.quadratic.left, self.quadratic.right])
+            vals = np.concatenate(
+                [
+                    self.quadratic.coefficients * point[self.quadratic.right],
+                    self.quadratic.coefficients * point[self.quadratic.left],
+                ]
+            )
+            quadratic_part = sparse.coo_matrix(
+                (vals, (rows, cols)), shape=(self.row_count, self.dimension)
+            )
+            jacobian = jacobian + quadratic_part.tocsr()
+        return sparse.diags(active).dot(jacobian).tocsr()
+
+    # -- starting points ------------------------------------------------------------
+
+    def initial_point(self, rng: np.random.Generator, scale: float) -> np.ndarray:
+        """A restart's starting point: optional Gaussian spread plus role floors.
+
+        Witness unknowns start comfortably above the strict margin and the
+        diagonal entries of the Cholesky factors start slightly positive, which
+        keeps the first penalty evaluations away from degenerate stationary
+        points.
+        """
+        if scale:
+            point = rng.normal(0.0, scale, size=self.dimension)
+        else:
+            point = np.zeros(self.dimension)
+        return self.apply_role_floors(point)
+
+    def perturbed(self, point: np.ndarray, rng: np.random.Generator, scale: float) -> np.ndarray:
+        """A warm-start restart: jitter an existing point and re-apply role floors."""
+        jittered = point + rng.normal(0.0, scale, size=self.dimension)
+        return self.apply_role_floors(jittered)
+
+    def apply_role_floors(self, point: np.ndarray) -> np.ndarray:
+        point[self.witness_mask] = np.maximum(point[self.witness_mask], 10 * self.strict_margin)
+        point[self.cholesky_diagonal_mask] = np.abs(point[self.cholesky_diagonal_mask]) + 1e-3
+        return point
+
+    # -- conversions -----------------------------------------------------------------
+
+    def assignment(self, point: np.ndarray) -> dict[str, float]:
+        """Name-to-value view of a solution vector."""
+        return {name: float(value) for name, value in zip(self.variables, point)}
+
+    def vector(self, assignment: Mapping[str, float]) -> np.ndarray:
+        """Vector view of a name-to-value assignment (missing names default to 0)."""
+        return np.array([float(assignment.get(name, 0.0)) for name in self.variables])
+
+
+def compile_problem(system: QuadraticSystem, strict_margin: float = 1e-4) -> CompiledProblem:
+    """The memoised :class:`CompiledProblem` of ``system``.
+
+    The cache lives on the system object itself and is keyed by the strict
+    margin plus the system's mutation counter (every API-level mutation —
+    added constraints, objective assignment — bumps it), so stale entries can
+    never be served while racing solvers share one compilation.  The
+    constraint count stays in the key as a belt-and-braces guard against
+    direct ``system.constraints`` list mutation, which bypasses the counter.
+    """
+    key = (float(strict_margin), system.version, len(system.constraints))
+    cache: dict | None = getattr(system, "_compiled_problems", None)
+    if cache is None:
+        cache = {}
+        try:
+            system._compiled_problems = cache
+        except AttributeError:  # pragma: no cover - systems with __slots__
+            return CompiledProblem(system, strict_margin=strict_margin)
+    problem = cache.get(key)
+    if problem is None:
+        problem = CompiledProblem(system, strict_margin=strict_margin)
+        if len(cache) >= 4:  # systems are compiled under a handful of margins at most
+            cache.clear()
+        cache[key] = problem
+    return problem

@@ -1,27 +1,83 @@
-"""The default QCLP solver: exact penalty + multi-restart L-BFGS.
+"""Penalty and Gauss-Newton solvers over the compiled problem IR.
 
 The paper hands its quadratically-constrained linear programs to the LOQO
-interior-point solver.  This environment has no commercial solver, so we
-minimise the merit function::
+interior-point solver.  This environment has no commercial solver, so
+:class:`PenaltyQCLPSolver` minimises the merit function::
 
     objective(x) + rho * sum_i residual_i(x)^2
 
-over an increasing penalty schedule ``rho``, with analytic gradients from
-:class:`~repro.solvers.numeric.VectorisedSystem` and several random restarts.
-The returned status reports honestly whether the best point found is feasible
-within tolerance.
+over an increasing penalty schedule ``rho``, with analytic gradients from the
+shared :class:`~repro.solvers.problem.CompiledProblem` IR and several random
+restarts.  :class:`GaussNewtonSolver` is the cheap pure-feasibility strategy
+of the portfolio: it skips the penalty schedule entirely and drives the
+residuals to zero with sparse trust-region least squares.  Both enforce
+``SolverOptions.time_limit`` *inside* their iteration loops through
+:class:`~repro.solvers.problem.SolveControl` deadline checks, honour
+portfolio cancellation, and can seed restarts from the portfolio's
+best-known point.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 from scipy import optimize
 
-from repro.invariants.quadratic_system import QuadraticSystem, VariableRole, classify_unknown
-from repro.solvers.base import Solver, SolverOptions, SolverResult
-from repro.solvers.numeric import VectorisedSystem
+from repro.solvers.base import Solver, SolverResult
+from repro.solvers.problem import (
+    CompiledProblem,
+    Deadline,
+    SolveControl,
+    SolverInterrupted,
+    improves,
+)
+
+
+def _trivial_result() -> SolverResult:
+    return SolverResult(assignment={}, status="trivial", objective_value=0.0, max_violation=0.0)
+
+
+class _BestTracker:
+    """Track the best point seen by one solver, mirroring reports to the control."""
+
+    def __init__(self, control: SolveControl, tolerance: float, strategy: str):
+        self.control = control
+        self.tolerance = tolerance
+        self.strategy = strategy
+        self.point: np.ndarray | None = None
+        self.violation = np.inf
+        self.objective = np.inf
+
+    def offer(self, point: np.ndarray, violation: float, objective: float) -> None:
+        if improves(self.violation, self.objective, violation, objective, self.tolerance):
+            self.point = point.copy()
+            self.violation = violation
+            self.objective = objective
+        self.control.report(point, violation, objective, strategy=self.strategy)
+
+    @property
+    def feasible(self) -> bool:
+        return self.violation <= self.tolerance
+
+
+def _restart_point(
+    problem: CompiledProblem,
+    control: SolveControl,
+    rng: np.random.Generator,
+    attempt: int,
+    cold_scale: float,
+    warm_scale: float,
+) -> np.ndarray:
+    """Start from the portfolio's best-known point on odd attempts, else cold-start.
+
+    Alternating keeps the exploration of independent random restarts while
+    still exploiting whatever the portfolio (or this solver's earlier
+    restarts) already found.
+    """
+    if attempt % 2 == 1:
+        warm = control.warm_start()
+        if warm is not None:
+            return problem.perturbed(warm, rng, warm_scale * attempt)
+    return problem.initial_point(rng, cold_scale)
 
 
 class PenaltyQCLPSolver(Solver):
@@ -29,7 +85,7 @@ class PenaltyQCLPSolver(Solver):
 
     def __init__(
         self,
-        options: SolverOptions | None = None,
+        options=None,
         penalty_schedule: tuple[float, ...] = (1.0, 10.0, 100.0, 1_000.0, 10_000.0),
         objective_weight: float = 1.0,
         polish_iterations: int = 1000,
@@ -39,133 +95,244 @@ class PenaltyQCLPSolver(Solver):
         self.objective_weight = objective_weight
         self.polish_iterations = polish_iterations
 
-    # -- initial points ------------------------------------------------------------
-
-    @staticmethod
-    def _role_masks(vectorised: VectorisedSystem) -> tuple[np.ndarray, np.ndarray]:
-        """Boolean masks of the witness and Cholesky-diagonal unknowns.
-
-        Classifying every unknown by name is linear in the system dimension, so
-        it is done once per solve rather than once per restart.
-        """
-        witness = np.zeros(vectorised.dimension, dtype=bool)
-        cholesky_diagonal = np.zeros(vectorised.dimension, dtype=bool)
-        for position, name in enumerate(vectorised.variables):
-            role = classify_unknown(name)
-            if role is VariableRole.WITNESS:
-                witness[position] = True
-            elif role is VariableRole.CHOLESKY and name.rsplit("_", 2)[-2] == name.rsplit("_", 2)[-1]:
-                cholesky_diagonal[position] = True
-        return witness, cholesky_diagonal
-
-    def _initial_point(
-        self,
-        vectorised: VectorisedSystem,
-        rng: np.random.Generator,
-        attempt: int,
-        witness_mask: np.ndarray,
-        cholesky_diagonal_mask: np.ndarray,
-    ) -> np.ndarray:
-        point = np.zeros(vectorised.dimension)
-        # The very first restart of the default seed starts from the origin (good for the
-        # highly structured Step-3 systems); every other restart perturbs randomly so that
-        # multi-seed enumeration explores different connected components.
-        scale = 0.0 if (attempt == 0 and self.options.seed == 0) else 0.1 * max(attempt, 1)
-        if scale:
-            point = rng.normal(0.0, scale, size=vectorised.dimension)
-        point[witness_mask] = np.maximum(point[witness_mask], 10 * self.options.strict_margin)
-        # Diagonal entries of the Cholesky factors start slightly positive.
-        point[cholesky_diagonal_mask] = np.abs(point[cholesky_diagonal_mask]) + 1e-3
-        return point
-
-    def _polish(self, vectorised: VectorisedSystem, point: np.ndarray) -> tuple[np.ndarray, int]:
+    def _polish(
+        self, problem: CompiledProblem, point: np.ndarray, control: SolveControl
+    ) -> tuple[np.ndarray, int]:
         """Drive the residuals to zero with a sparse Gauss-Newton (least-squares) phase."""
+        latest = point
+
+        def residuals(x: np.ndarray) -> np.ndarray:
+            nonlocal latest
+            control.interrupt_if_stopped()
+            latest = x
+            return problem.residuals(x)
+
         try:
             result = optimize.least_squares(
-                fun=vectorised.residuals,
+                fun=residuals,
                 x0=point,
-                jac=vectorised.residual_jacobian,
+                jac=problem.residual_jacobian,
                 method="trf",
-                tr_solver="lsmr" if vectorised.dimension > 2 else None,
+                tr_solver="lsmr" if problem.dimension > 2 else None,
                 max_nfev=self.polish_iterations,
                 xtol=1e-14,
                 ftol=1e-14,
                 gtol=1e-14,
             )
+        except SolverInterrupted:
+            candidate = np.asarray(latest, dtype=float)
+            if problem.max_violation(candidate) <= problem.max_violation(point):
+                return candidate, 0
+            return point, 0
         except Exception:  # pragma: no cover - scipy edge cases on degenerate systems
             return point, 0
-        if vectorised.max_violation(result.x) <= vectorised.max_violation(point):
+        if problem.max_violation(result.x) <= problem.max_violation(point):
             return result.x, int(result.nfev)
         return point, int(result.nfev)
 
     # -- main loop ---------------------------------------------------------------------
 
-    def solve(self, system: QuadraticSystem) -> SolverResult:
-        vectorised = VectorisedSystem(system, strict_margin=self.options.strict_margin)
-        if vectorised.dimension == 0:
-            return SolverResult(assignment={}, status="trivial", objective_value=0.0, max_violation=0.0)
+    def solve_compiled(
+        self, problem: CompiledProblem, control: SolveControl | None = None
+    ) -> SolverResult:
+        options = self.options
+        if control is None:
+            control = SolveControl(
+                deadline=Deadline.after(options.time_limit), tolerance=options.tolerance
+            )
+        if problem.dimension == 0:
+            return _trivial_result()
 
-        rng = np.random.default_rng(self.options.seed)
-        witness_mask, cholesky_diagonal_mask = self._role_masks(vectorised)
-        start_time = time.monotonic()
-        best_point: np.ndarray | None = None
-        best_violation = np.inf
-        best_objective = np.inf
+        rng = np.random.default_rng(options.seed)
+        best = _BestTracker(control, options.tolerance, self.label())
         iterations = 0
         restarts_used = 0
+        interrupted = False
 
-        for attempt in range(self.options.restarts):
-            if self.options.time_limit is not None and time.monotonic() - start_time > self.options.time_limit:
+        for attempt in range(options.restarts):
+            if control.should_stop():
+                interrupted = True
                 break
             restarts_used += 1
-            point = self._initial_point(vectorised, rng, attempt, witness_mask, cholesky_diagonal_mask)
+            # The very first restart of the default seed starts from the origin (good
+            # for the highly structured Step-3 systems); every other restart perturbs
+            # randomly so multi-seed enumeration explores different components.
+            cold_scale = 0.0 if (attempt == 0 and options.seed == 0) else 0.1 * max(attempt, 1)
+            point = _restart_point(problem, control, rng, attempt, cold_scale, warm_scale=0.05)
+
+            latest = point
             for rho in self.penalty_schedule:
-                result = optimize.minimize(
-                    fun=lambda x, rho=rho: vectorised.penalty(x, rho, self.objective_weight),
-                    x0=point,
-                    jac=lambda x, rho=rho: vectorised.penalty_gradient(x, rho, self.objective_weight),
-                    method="L-BFGS-B",
-                    options={"maxiter": self.options.max_iterations, "ftol": 1e-12, "gtol": 1e-10},
-                )
+                def fun(x: np.ndarray, rho: float = rho) -> float:
+                    nonlocal latest
+                    control.interrupt_if_stopped()
+                    latest = x
+                    return problem.penalty(x, rho, self.objective_weight)
+
+                def jac(x: np.ndarray, rho: float = rho) -> np.ndarray:
+                    return problem.penalty_gradient(x, rho, self.objective_weight)
+
+                try:
+                    result = optimize.minimize(
+                        fun=fun,
+                        x0=point,
+                        jac=jac,
+                        method="L-BFGS-B",
+                        options={"maxiter": options.max_iterations, "ftol": 1e-12, "gtol": 1e-10},
+                    )
+                except SolverInterrupted:
+                    point = np.asarray(latest, dtype=float)
+                    interrupted = True
+                    break
                 point = result.x
                 iterations += int(result.nit)
-                if vectorised.max_violation(point) <= self.options.tolerance:
+                if problem.max_violation(point) <= options.tolerance:
                     break
 
-            if vectorised.max_violation(point) > self.options.tolerance:
-                point, polish_steps = self._polish(vectorised, point)
+            if not interrupted and problem.max_violation(point) > options.tolerance:
+                point, polish_steps = self._polish(problem, point, control)
                 iterations += polish_steps
 
-            violation = vectorised.max_violation(point)
-            objective = vectorised.objective_value(point)
-            better_feasible = violation <= self.options.tolerance and (
-                best_violation > self.options.tolerance or objective < best_objective
-            )
-            better_infeasible = best_violation > self.options.tolerance and violation < best_violation
-            if better_feasible or better_infeasible:
-                best_point = point.copy()
-                best_violation = violation
-                best_objective = objective
-            if self.options.verbose:
-                print(
-                    f"[qclp] restart {attempt}: violation={violation:.3g} objective={objective:.6g}"
-                )
-            if best_violation <= self.options.tolerance and (
-                self.objective_weight == 0.0 or best_objective <= self.options.stop_at_objective
+            violation = problem.max_violation(point)
+            objective = problem.objective_value(point)
+            best.offer(point, violation, objective)
+            if options.verbose:
+                print(f"[qclp] restart {attempt}: violation={violation:.3g} objective={objective:.6g}")
+            if interrupted:
+                break
+            if best.feasible and (
+                self.objective_weight == 0.0 or best.objective <= options.stop_at_objective
             ):
                 break
 
-        if best_point is None:
-            return SolverResult(assignment=None, status="no-progress", iterations=iterations)
+        if best.point is None:
+            return SolverResult(
+                assignment=None,
+                status="no-progress",
+                iterations=iterations,
+                details={"timed_out": float(control.timed_out)},
+                strategy=self.label(),
+            )
 
-        feasible = best_violation <= self.options.tolerance
+        feasible = best.feasible
         status = "optimal" if feasible else "infeasible-best-effort"
         return SolverResult(
-            assignment=vectorised.assignment(best_point) if feasible else None,
+            assignment=problem.assignment(best.point) if feasible else None,
             status=status,
-            objective_value=best_objective,
-            max_violation=best_violation,
+            objective_value=best.objective,
+            max_violation=best.violation,
             iterations=iterations,
             restarts_used=restarts_used,
-            details={"dimension": float(vectorised.dimension), "constraints": float(vectorised.row_count)},
+            details={
+                "dimension": float(problem.dimension),
+                "constraints": float(problem.row_count),
+                "timed_out": float(control.timed_out),
+            },
+            strategy=self.label(),
+        )
+
+
+class GaussNewtonSolver(Solver):
+    """Pure-feasibility strategy: sparse trust-region least squares on the residuals.
+
+    This is the cheapest certificate in the portfolio: no penalty schedule, no
+    objective tracking — just drive all residuals to zero from a few starting
+    points.  On the highly structured Step-3 systems it often finds a feasible
+    point long before the penalty solver finishes its first schedule, which is
+    exactly what first-feasible-wins racing exploits.
+    """
+
+    def __init__(self, options=None, max_nfev: int | None = None):
+        super().__init__(options)
+        self.max_nfev = max_nfev
+
+    def solve_compiled(
+        self, problem: CompiledProblem, control: SolveControl | None = None
+    ) -> SolverResult:
+        options = self.options
+        if control is None:
+            control = SolveControl(
+                deadline=Deadline.after(options.time_limit), tolerance=options.tolerance
+            )
+        if problem.dimension == 0:
+            return _trivial_result()
+        if problem.row_count == 0:
+            point = problem.initial_point(np.random.default_rng(options.seed), 0.0)
+            return SolverResult(
+                assignment=problem.assignment(point),
+                status="optimal",
+                objective_value=problem.objective_value(point),
+                max_violation=0.0,
+                strategy=self.label(),
+            )
+
+        rng = np.random.default_rng(options.seed)
+        best = _BestTracker(control, options.tolerance, self.label())
+        iterations = 0
+        restarts_used = 0
+        budget = self.max_nfev if self.max_nfev is not None else max(options.max_iterations, 50)
+
+        for attempt in range(options.restarts):
+            if control.should_stop():
+                break
+            restarts_used += 1
+            cold_scale = 0.0 if (attempt == 0 and options.seed == 0) else 0.2 * attempt
+            point = _restart_point(problem, control, rng, attempt, cold_scale, warm_scale=0.1)
+
+            latest = point
+
+            def residuals(x: np.ndarray) -> np.ndarray:
+                nonlocal latest
+                control.interrupt_if_stopped()
+                latest = x
+                return problem.residuals(x)
+
+            try:
+                result = optimize.least_squares(
+                    fun=residuals,
+                    x0=point,
+                    jac=problem.residual_jacobian,
+                    method="trf",
+                    tr_solver="lsmr" if problem.dimension > 2 else None,
+                    max_nfev=budget,
+                    xtol=1e-14,
+                    ftol=1e-14,
+                    gtol=1e-12,
+                )
+                point = result.x
+                iterations += int(result.nfev)
+            except SolverInterrupted:
+                point = np.asarray(latest, dtype=float)
+            except Exception:  # pragma: no cover - scipy edge cases on degenerate systems
+                continue
+
+            violation = problem.max_violation(point)
+            objective = problem.objective_value(point)
+            best.offer(point, violation, objective)
+            if options.verbose:
+                print(f"[gn] restart {attempt}: violation={violation:.3g}")
+            if best.feasible or control.should_stop():
+                break
+
+        if best.point is None:
+            return SolverResult(
+                assignment=None,
+                status="no-progress",
+                iterations=iterations,
+                details={"timed_out": float(control.timed_out)},
+                strategy=self.label(),
+            )
+        feasible = best.feasible
+        return SolverResult(
+            assignment=problem.assignment(best.point) if feasible else None,
+            status="optimal" if feasible else "infeasible-best-effort",
+            objective_value=best.objective,
+            max_violation=best.violation,
+            iterations=iterations,
+            restarts_used=restarts_used,
+            details={
+                "dimension": float(problem.dimension),
+                "constraints": float(problem.row_count),
+                "timed_out": float(control.timed_out),
+            },
+            strategy=self.label(),
         )

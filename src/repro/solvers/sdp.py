@@ -26,6 +26,7 @@ from repro.polynomial.monomial import Monomial
 from repro.polynomial.ordering import monomials_up_to_degree
 from repro.polynomial.polynomial import Polynomial
 from repro.polynomial.sos import project_to_psd
+from repro.solvers.problem import Deadline
 
 
 @dataclass
@@ -73,11 +74,15 @@ def solve_sos_feasibility(
     max_iterations: int = 6000,
     tolerance: float = 1e-7,
     feasibility_tolerance: float | None = None,
+    deadline: Deadline | None = None,
 ) -> SOSFeasibilityResult:
     """Search for a Putinar certificate of ``assumptions ==> conclusion > 0``.
 
     All polynomials must be numeric (no template unknowns).  Returns the Gram
     matrices of the multipliers ``h_0 .. h_m`` when a certificate is found.
+    A ``deadline`` bounds the wall-clock of the projection loop itself (checked
+    every iteration, like the other Step-4 back-ends); the result then reports
+    whatever residuals the last completed iteration reached.
 
     Certificates that only exist on the boundary of the PSD cone (rank-deficient
     Gram matrices, the common case for tight invariants) make alternating
@@ -135,11 +140,15 @@ def solve_sos_feasibility(
             point[position] = matrices[which][row, col]
         return point
 
+    if deadline is None:
+        deadline = Deadline.never()
     point = np.zeros(column_count)
     affine_residual = np.inf
     psd_residual = np.inf
     iterations = 0
     for iterations in range(1, max_iterations + 1):
+        if deadline.expired():
+            break
         point = project_affine(point)
         affine_residual = float(np.max(np.abs(matrix @ point - rhs), initial=0.0))
         matrices = to_matrices(point)
@@ -171,6 +180,7 @@ def check_putinar_certificate(
     epsilon: float = 1e-6,
     max_iterations: int = 6000,
     tolerance: float = 1e-7,
+    deadline: Deadline | None = None,
 ) -> SOSFeasibilityResult:
     """SOS-certificate check of a *numeric* constraint pair (no unknowns left)."""
     if pair.unknowns():
@@ -186,4 +196,5 @@ def check_putinar_certificate(
         epsilon=epsilon,
         max_iterations=max_iterations,
         tolerance=tolerance,
+        deadline=deadline,
     )

@@ -14,13 +14,14 @@ gracefully into "whatever distinct solutions the budget found".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.invariants.quadratic_system import QuadraticSystem, VariableRole, classify_unknown
 from repro.solvers.base import Solver, SolverOptions, SolverResult
+from repro.solvers.problem import compile_problem
 from repro.solvers.qclp import PenaltyQCLPSolver
 
 
@@ -59,37 +60,28 @@ class RepresentativeEnumerator:
         self.distance_threshold = distance_threshold
 
     def _make_solver(self, seed: int) -> Solver:
+        per_attempt = replace(self.options, restarts=1, seed=seed)
         if self.base_solver is not None:
-            self.base_solver.options = SolverOptions(
-                max_iterations=self.options.max_iterations,
-                restarts=1,
-                tolerance=self.options.tolerance,
-                seed=seed,
-                strict_margin=self.options.strict_margin,
-                verbose=self.options.verbose,
-            )
+            self.base_solver.options = per_attempt
             return self.base_solver
-        return PenaltyQCLPSolver(
-            SolverOptions(
-                max_iterations=self.options.max_iterations,
-                restarts=1,
-                tolerance=self.options.tolerance,
-                seed=seed,
-                strict_margin=self.options.strict_margin,
-                verbose=self.options.verbose,
-            )
-        )
+        return PenaltyQCLPSolver(per_attempt)
 
     def enumerate(self, system: QuadraticSystem) -> EnumerationResult:
-        """Collect representative feasible assignments of ``system``."""
+        """Collect representative feasible assignments of ``system``.
+
+        The system is compiled into the shared
+        :class:`~repro.solvers.problem.CompiledProblem` IR exactly once; the
+        per-attempt solvers all consume that one compilation.
+        """
         template_names = [
             name for name in system.variables() if classify_unknown(name) is VariableRole.TEMPLATE
         ]
+        problem = compile_problem(system, strict_margin=self.options.strict_margin)
         result = EnumerationResult()
         kept_vectors: list[np.ndarray] = []
         for attempt in range(self.attempts):
             solver = self._make_solver(seed=self.options.seed + attempt)
-            solve_result: SolverResult = solver.solve(system)
+            solve_result: SolverResult = solver.solve_compiled(problem)
             result.attempts += 1
             if not solve_result.feasible or solve_result.assignment is None:
                 continue

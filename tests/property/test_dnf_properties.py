@@ -1,0 +1,88 @@
+"""Property tests: DNF conversion preserves guard semantics (repro.cfg.dnf).
+
+Step 2 rewrites every branching guard into disjunctive normal form before
+constraint-pair generation; any semantic drift there silently corrupts every
+downstream constraint.  These tests pit :func:`repro.cfg.dnf.to_dnf` /
+:func:`repro.cfg.dnf.predicate_holds` against the AST's own ``holds``
+reference semantics on random guard trees and random integer valuations
+(integer data keeps float evaluation exact, so strict/non-strict boundaries
+are decided identically on both sides).
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.dnf import AtomicInequality, predicate_holds, to_dnf
+from repro.lang.ast_nodes import BinaryPredicate, Comparison, NegatedPredicate
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.polynomial import Polynomial
+
+VARIABLES = ["x", "y"]
+
+coefficients = st.integers(min_value=-4, max_value=4).map(Fraction)
+
+monomials = st.dictionaries(
+    st.sampled_from(VARIABLES), st.integers(min_value=1, max_value=2), max_size=2
+).map(Monomial)
+
+polynomials = st.dictionaries(monomials, coefficients, max_size=3).map(Polynomial)
+
+comparisons = st.builds(
+    Comparison,
+    left=polynomials,
+    op=st.sampled_from(["<", "<=", ">", ">="]),
+    right=polynomials,
+)
+
+predicates = st.recursive(
+    comparisons,
+    lambda children: st.builds(NegatedPredicate, operand=children)
+    | st.builds(
+        BinaryPredicate,
+        op=st.sampled_from(["and", "or"]),
+        left=children,
+        right=children,
+    ),
+    max_leaves=6,
+)
+
+valuations = st.fixed_dictionaries(
+    {name: st.integers(min_value=-5, max_value=5) for name in VARIABLES}
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(predicates, valuations)
+def test_dnf_preserves_guard_semantics(predicate, valuation):
+    assert predicate_holds(predicate, valuation) == predicate.holds(valuation)
+
+
+@settings(max_examples=120, deadline=None)
+@given(predicates, valuations)
+def test_negated_dnf_is_complement(predicate, valuation):
+    negated = to_dnf(predicate, negate=True)
+    holds_negated = any(all(atom.holds(valuation) for atom in clause) for clause in negated)
+    assert holds_negated == (not predicate.holds(valuation))
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicates)
+def test_dnf_clauses_are_normalised_atoms(predicate):
+    for clause in to_dnf(predicate):
+        seen = set()
+        for atom in clause:
+            assert isinstance(atom, AtomicInequality)
+            key = (atom.polynomial, atom.strict)
+            assert key not in seen  # clauses are deduplicated
+            seen.add(key)
+
+
+@settings(max_examples=120, deadline=None)
+@given(comparisons, valuations)
+def test_atom_negation_is_involutive_and_complementary(comparison, valuation):
+    atoms = to_dnf(comparison)
+    assert len(atoms) == 1 and len(atoms[0]) == 1
+    atom = atoms[0][0]
+    assert atom.negated().negated() == atom
+    assert atom.negated().holds(valuation) == (not atom.holds(valuation))

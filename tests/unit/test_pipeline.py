@@ -110,3 +110,34 @@ def test_stream_yields_in_submission_order():
     pipeline = SynthesisPipeline(solver=small_solver())
     names = [outcome.job.name for outcome in pipeline.stream(jobs)]
     assert names == ["sum", "freire1"]
+
+
+# -- strategy threading -----------------------------------------------------------------
+
+
+def test_jobs_differing_only_in_strategy_share_reduction_not_solve():
+    qclp = job_from_benchmark(get_benchmark("sum"), quick=True, strategy="qclp")
+    gauss = job_from_benchmark(get_benchmark("sum"), quick=True, strategy="gauss-newton")
+    assert qclp.reduction_key() == gauss.reduction_key()
+    assert qclp.solve_key() != gauss.solve_key()
+    pipeline = SynthesisPipeline(solver_options=SolverOptions(restarts=1, max_iterations=60))
+    outcomes = pipeline.run([qclp, gauss])
+    assert pipeline.cache.stats()["misses"] == 1.0  # one shared reduction
+    assert outcomes[1].from_cache and not outcomes[1].shared_solve
+
+
+def test_pipeline_resolves_portfolio_solver_from_options():
+    job = job_from_benchmark(get_benchmark("freire1"), quick=True, strategy="portfolio")
+    pipeline = SynthesisPipeline(solver_options=SolverOptions(restarts=1, max_iterations=80))
+    outcome = pipeline.run([job])[0]
+    assert outcome.ok
+    result = outcome.result
+    assert result.strategy is not None
+    assert any(key.startswith("portfolio_") for key in result.statistics)
+
+
+def test_options_reject_unknown_strategy():
+    with pytest.raises(Exception):
+        SynthesisOptions(strategy="simplex")
+    with pytest.raises(Exception):
+        SynthesisOptions(strategy="portfolio", portfolio=("nope",))

@@ -1,0 +1,164 @@
+"""Tests of the Step-4 solver portfolio (repro.solvers.portfolio)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.invariants.quadratic_system import QuadraticSystem
+from repro.polynomial.parse import parse_polynomial
+from repro.solvers.alternating import AlternatingSolver
+from repro.solvers.base import SolverOptions
+from repro.solvers.portfolio import (
+    DEFAULT_PORTFOLIO,
+    PortfolioSolver,
+    STRATEGIES,
+    make_solver,
+    strategy_names,
+)
+from repro.solvers.problem import Deadline, SolveControl, compile_problem
+from repro.solvers.qclp import GaussNewtonSolver, PenaltyQCLPSolver
+
+
+def bilinear_system():
+    system = QuadraticSystem()
+    system.add_equality(parse_polynomial("$s_f_1_0_0 * $t_c0_0_0 - 1"))
+    system.add_nonnegative(parse_polynomial("$t_c0_0_0"))
+    system.add_nonnegative(parse_polynomial("$s_f_1_0_0"))
+    return system
+
+
+def infeasible_system():
+    system = QuadraticSystem()
+    system.add_equality(parse_polynomial("$s_a_0_0_0 * $s_a_0_0_0 + 1"))
+    return system
+
+
+# -- registry and factory ----------------------------------------------------------------
+
+
+def test_default_portfolio_strategies_are_registered():
+    assert set(DEFAULT_PORTFOLIO) <= set(STRATEGIES)
+    assert set(strategy_names()) == set(STRATEGIES)
+
+
+def test_make_solver_resolves_strategies():
+    assert isinstance(make_solver("qclp"), PenaltyQCLPSolver)
+    assert isinstance(make_solver("gauss-newton"), GaussNewtonSolver)
+    assert isinstance(make_solver("alternating"), AlternatingSolver)
+    feasibility = make_solver("qclp-feasibility")
+    assert isinstance(feasibility, PenaltyQCLPSolver) and feasibility.objective_weight == 0.0
+    portfolio = make_solver("portfolio", portfolio=("qclp", "alternating"))
+    assert isinstance(portfolio, PortfolioSolver)
+    assert portfolio.strategies == ("qclp", "alternating")
+
+
+def test_make_solver_rejects_unknown_strategy():
+    with pytest.raises(SynthesisError):
+        make_solver("simplex")
+
+
+def test_portfolio_validates_configuration():
+    with pytest.raises(SynthesisError):
+        PortfolioSolver(strategies=())
+    with pytest.raises(SynthesisError):
+        PortfolioSolver(strategies=("qclp", "nope"))
+    with pytest.raises(SynthesisError):
+        PortfolioSolver(strategies=("qclp", "qclp"))  # outcomes are keyed by name
+    with pytest.raises(SynthesisError):
+        PortfolioSolver(executor="fibers")
+
+
+# -- racing ------------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("executor", ["sequential", "thread"])
+def test_portfolio_solves_bilinear_system(executor):
+    solver = PortfolioSolver(SolverOptions(restarts=2, max_iterations=150), executor=executor)
+    result = solver.solve(bilinear_system())
+    assert result.feasible
+    assert result.strategy in STRATEGIES
+    product = result.assignment["$s_f_1_0_0"] * result.assignment["$t_c0_0_0"]
+    assert product == pytest.approx(1.0, abs=1e-3)
+    # Every raced strategy left a wall-clock column.
+    for name in solver.strategies:
+        assert f"portfolio_{name}_seconds" in result.details
+        assert f"portfolio_{name}_feasible" in result.details
+
+
+def test_portfolio_first_feasible_wins_skips_later_sequential_strategies():
+    solver = PortfolioSolver(
+        SolverOptions(restarts=2, max_iterations=150),
+        strategies=("qclp", "alternating"),
+        executor="sequential",
+    )
+    result = solver.solve(bilinear_system())
+    assert result.feasible
+    assert result.strategy == "qclp"
+    # The remaining strategy was cancelled before it started.
+    assert result.details["portfolio_alternating_feasible"] == -1.0
+
+
+def test_portfolio_reports_infeasible_best_effort():
+    solver = PortfolioSolver(
+        SolverOptions(restarts=1, max_iterations=60), strategies=("qclp", "gauss-newton")
+    )
+    result = solver.solve(infeasible_system())
+    assert not result.feasible
+    assert result.status in ("infeasible-best-effort", "no-progress")
+
+
+def test_portfolio_trivial_system():
+    result = PortfolioSolver().solve(QuadraticSystem())
+    assert result.status == "trivial"
+
+
+def test_portfolio_shares_one_compilation():
+    system = bilinear_system()
+    problem = compile_problem(system)
+    solver = PortfolioSolver(SolverOptions(restarts=1, max_iterations=100))
+    result = solver.solve(system)
+    assert result.feasible
+    assert compile_problem(system) is problem  # memo entry untouched by the race
+
+
+def test_portfolio_respects_shared_deadline():
+    control = SolveControl(deadline=Deadline.after(0.0), tolerance=1e-5)
+    solver = PortfolioSolver(SolverOptions(restarts=3, max_iterations=5000), executor="sequential")
+    result = solver.solve_compiled(compile_problem(bilinear_system()), control)
+    assert result.details.get("timed_out") == 1.0 or result.status == "no-progress"
+
+
+def test_portfolio_solver_is_picklable():
+    solver = PortfolioSolver(SolverOptions(restarts=2), strategies=("qclp", "gauss-newton"))
+    clone = pickle.loads(pickle.dumps(solver))
+    assert clone.strategies == solver.strategies
+    assert clone.solve(bilinear_system()).feasible
+
+
+# -- warm-start exchange ------------------------------------------------------------------
+
+
+def test_warm_start_exchange_through_control():
+    problem = compile_problem(bilinear_system())
+    control = SolveControl(tolerance=1e-5)
+    assert control.warm_start() is None
+    point = problem.vector({"$s_f_1_0_0": 2.0, "$t_c0_0_0": 0.5})
+    control.report(point, violation=0.0, objective=0.0, strategy="qclp")
+    warm = control.warm_start()
+    assert warm is not None and warm is not point
+    assert control.winner == "qclp"
+    # A worse report must not displace the best-known point.
+    control.report(problem.vector({}), violation=5.0, objective=0.0, strategy="alternating")
+    assert control.best_violation == 0.0
+    assert control.winner == "qclp"
+
+
+def test_first_feasible_sets_stop_event():
+    control = SolveControl(tolerance=1e-5, stop_on_feasible=True)
+    assert not control.should_stop()
+    control.report(compile_problem(bilinear_system()).vector({}), violation=2.0, objective=0.0)
+    assert not control.should_stop()
+    point = compile_problem(bilinear_system()).vector({"$s_f_1_0_0": 2.0, "$t_c0_0_0": 0.5})
+    control.report(point, violation=0.0, objective=0.0)
+    assert control.should_stop()

@@ -1,15 +1,19 @@
 """Unit tests for the Step-4 solvers on small hand-written systems."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.invariants.quadratic_system import QuadraticSystem
+from repro.invariants.synthesis import build_task
 from repro.polynomial.parse import parse_polynomial
 from repro.solvers.alternating import AlternatingSolver
 from repro.solvers.base import SolverOptions
-from repro.solvers.numeric import VectorisedSystem
-from repro.solvers.qclp import PenaltyQCLPSolver
+from repro.solvers.problem import CompiledProblem, Deadline, compile_problem
+from repro.solvers.qclp import GaussNewtonSolver, PenaltyQCLPSolver
 from repro.solvers.strong import RepresentativeEnumerator
+from repro.suite.registry import get_benchmark
 
 
 def bilinear_system():
@@ -29,24 +33,24 @@ def objective_system():
     return system
 
 
-# -- VectorisedSystem -----------------------------------------------------------------
+# -- CompiledProblem -----------------------------------------------------------------
 
 
-def test_vectorised_values_and_residuals():
+def test_compiled_values_and_residuals():
     system = bilinear_system()
-    vectorised = VectorisedSystem(system)
-    point = vectorised.vector({"$s_f_1_0_0": 2.0, "$t_c0_0_0": 0.5})
-    assert vectorised.max_violation(point) == pytest.approx(0.0, abs=1e-12)
-    bad = vectorised.vector({"$s_f_1_0_0": 2.0, "$t_c0_0_0": -1.0})
-    assert vectorised.max_violation(bad) > 1.0
+    problem = compile_problem(system)
+    point = problem.vector({"$s_f_1_0_0": 2.0, "$t_c0_0_0": 0.5})
+    assert problem.max_violation(point) == pytest.approx(0.0, abs=1e-12)
+    bad = problem.vector({"$s_f_1_0_0": 2.0, "$t_c0_0_0": -1.0})
+    assert problem.max_violation(bad) > 1.0
 
 
-def test_vectorised_penalty_gradient_matches_finite_difference():
+def test_compiled_penalty_gradient_matches_finite_difference():
     system = bilinear_system()
-    vectorised = VectorisedSystem(system)
+    problem = compile_problem(system)
     rng = np.random.default_rng(0)
-    point = rng.normal(size=vectorised.dimension)
-    analytic = vectorised.penalty_gradient(point, rho=10.0)
+    point = rng.normal(size=problem.dimension)
+    analytic = problem.penalty_gradient(point, rho=10.0)
     numeric = np.zeros_like(point)
     step = 1e-6
     for i in range(point.size):
@@ -54,24 +58,71 @@ def test_vectorised_penalty_gradient_matches_finite_difference():
         forward[i] += step
         backward = point.copy()
         backward[i] -= step
-        numeric[i] = (vectorised.penalty(forward, 10.0) - vectorised.penalty(backward, 10.0)) / (2 * step)
+        numeric[i] = (problem.penalty(forward, 10.0) - problem.penalty(backward, 10.0)) / (2 * step)
     assert np.allclose(analytic, numeric, rtol=1e-4, atol=1e-5)
 
 
-def test_vectorised_objective():
+def test_compiled_objective():
     system = objective_system()
-    vectorised = VectorisedSystem(system)
-    point = vectorised.vector({"$s_f_1_0_0": 3.0})
-    assert vectorised.objective_value(point) == pytest.approx(0.0)
-    assert vectorised.objective_value(vectorised.vector({"$s_f_1_0_0": 5.0})) == pytest.approx(4.0)
+    problem = compile_problem(system)
+    point = problem.vector({"$s_f_1_0_0": 3.0})
+    assert problem.objective_value(point) == pytest.approx(0.0)
+    assert problem.objective_value(problem.vector({"$s_f_1_0_0": 5.0})) == pytest.approx(4.0)
 
 
-def test_vectorised_residual_jacobian_masks_inactive_inequalities():
+def test_compiled_residual_jacobian_masks_inactive_inequalities():
     system = objective_system()
-    vectorised = VectorisedSystem(system)
-    satisfied = vectorised.vector({"$s_f_1_0_0": 5.0})
-    jacobian = vectorised.residual_jacobian(satisfied)
+    problem = compile_problem(system)
+    satisfied = problem.vector({"$s_f_1_0_0": 5.0})
+    jacobian = problem.residual_jacobian(satisfied)
     assert jacobian.nnz == 0  # inequality inactive: row is zeroed
+
+
+def test_compile_problem_is_memoised_per_system():
+    system = bilinear_system()
+    assert compile_problem(system) is compile_problem(system)
+    # A different margin is a different compilation.
+    assert compile_problem(system, strict_margin=1e-3) is not compile_problem(system)
+    # Mutating the system invalidates the memo key.
+    before = compile_problem(system)
+    system.add_nonnegative(parse_polynomial("$s_f_1_0_0 - 1"))
+    after = compile_problem(system)
+    assert after is not before
+    assert after.row_count == before.row_count + 1
+    # Reassigning the objective (same constraint count) also invalidates it.
+    system.objective = parse_polynomial("$s_f_1_0_0 * $s_f_1_0_0")
+    reassigned = compile_problem(system)
+    assert reassigned is not after
+    assert reassigned.objective_value(reassigned.vector({"$s_f_1_0_0": 2.0})) == pytest.approx(4.0)
+
+
+def test_compiled_problem_cache_never_pickles():
+    import pickle
+
+    system = bilinear_system()
+    compile_problem(system)
+    clone = pickle.loads(pickle.dumps(system))
+    assert not hasattr(clone, "_compiled_problems")
+    assert clone.size == system.size
+
+
+def test_compiled_role_masks():
+    system = bilinear_system()
+    problem = compile_problem(system)
+    by_name = dict(zip(problem.variables, problem.template_mask))
+    assert by_name["$s_f_1_0_0"] and not by_name["$t_c0_0_0"]
+
+
+# -- Deadline ---------------------------------------------------------------------------
+
+
+def test_deadline_never_and_after():
+    assert not Deadline.never().expired()
+    assert Deadline.never().remaining() is None
+    expired = Deadline.after(0.0)
+    assert expired.expired()
+    assert expired.remaining() == 0.0
+    assert not Deadline.after(60.0).expired()
 
 
 # -- PenaltyQCLPSolver -----------------------------------------------------------------
@@ -106,6 +157,48 @@ def test_penalty_solver_trivial_system():
     result = PenaltyQCLPSolver().solve(QuadraticSystem())
     assert result.feasible
     assert result.status == "trivial"
+
+
+def test_time_limit_is_enforced_inside_iteration_loops():
+    """Regression: a restart's inner optimisation loop must respect the deadline.
+
+    The ``sum`` system grinds for several seconds in a single restart at this
+    iteration budget; the historical implementation only checked the limit
+    *between* restarts, so with ``restarts=1`` a tiny ``time_limit`` was
+    ignored entirely.  The deadline checks now live in the evaluation
+    closures, so the solve returns almost immediately.
+    """
+    benchmark = get_benchmark("sum")
+    task = build_task(benchmark.source, benchmark.precondition, benchmark.objective(),
+                      benchmark.options(upsilon=1))
+    solver = PenaltyQCLPSolver(
+        SolverOptions(restarts=1, max_iterations=100_000, time_limit=0.25)
+    )
+    start = time.monotonic()
+    result = solver.solve(task.system)
+    elapsed = time.monotonic() - start
+    assert elapsed < 3.0  # generous CI margin over the 0.25s budget
+    assert result.restarts_used == 1  # the limit struck inside the restart
+    assert result.details["timed_out"] == 1.0
+
+
+# -- GaussNewtonSolver ------------------------------------------------------------------
+
+
+def test_gauss_newton_solver_on_bilinear_system():
+    solver = GaussNewtonSolver(SolverOptions(restarts=4, max_iterations=200, seed=1))
+    result = solver.solve(bilinear_system())
+    assert result.feasible
+    product = result.assignment["$s_f_1_0_0"] * result.assignment["$t_c0_0_0"]
+    assert product == pytest.approx(1.0, abs=1e-3)
+
+
+def test_gauss_newton_solver_trivial_and_unconstrained():
+    assert GaussNewtonSolver().solve(QuadraticSystem()).status == "trivial"
+    unconstrained = QuadraticSystem()
+    unconstrained.objective = parse_polynomial("$s_f_1_0_0 * $s_f_1_0_0")
+    result = GaussNewtonSolver().solve(unconstrained)
+    assert result.feasible and result.max_violation == 0.0
 
 
 # -- AlternatingSolver ------------------------------------------------------------------

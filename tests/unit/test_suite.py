@@ -112,7 +112,7 @@ def test_measure_many_survives_solver_failure():
     from repro.solvers.base import Solver
 
     class ExplodingSolver(Solver):
-        def solve(self, system):
+        def solve_compiled(self, problem, control=None):
             raise RuntimeError("boom")
 
     benchmark = get_benchmark("freire1")
