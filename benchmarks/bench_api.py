@@ -1,0 +1,160 @@
+"""Service-API overhead benchmark: Engine submit/stream vs direct calls.
+
+For the quick-preset suite subset this script measures, per benchmark:
+
+* **direct** — ``weak_inv_synth`` with an explicit solver (the historical
+  entry point, which now also routes through the default engine),
+* **engine** — the same work as typed requests streamed through
+  ``Engine.map``,
+* **codec**  — request/response JSON encode + decode + validate throughput,
+
+and reports the per-request envelope overhead (engine wall-clock minus the
+solve + reduction it wraps).  Emits machine-readable JSON
+(``BENCH_api.json`` by default) so the overhead trajectory is tracked across
+PRs::
+
+    python benchmarks/bench_api.py --quick --limit 6
+    python benchmarks/bench_api.py --output BENCH_api.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+
+import _bench_config  # noqa: F401  (sys.path setup)
+
+from repro.api import Engine, SynthesisRequest, SynthesisResponse
+from repro.api.engine import reset_default_engine
+from repro.invariants.synthesis import weak_inv_synth
+from repro.solvers.base import SolverOptions
+from repro.solvers.qclp import PenaltyQCLPSolver
+from repro.suite.registry import all_benchmarks
+
+SOLVE_BUDGET = SolverOptions(restarts=1, max_iterations=100, time_limit=10.0)
+
+
+def _requests(benchmarks) -> list[SynthesisRequest]:
+    return [
+        SynthesisRequest(
+            program=benchmark.source,
+            mode="weak",
+            precondition=benchmark.precondition,
+            objective=benchmark.objective(),
+            options=benchmark.options(upsilon=1),
+            solver_options=SOLVE_BUDGET,
+            request_id=benchmark.name,
+        )
+        for benchmark in benchmarks
+    ]
+
+
+def run(quick: bool = True, limit: int | None = None, limit_variables: int = 8, codec_repeat: int = 50) -> dict:
+    benchmarks = all_benchmarks()
+    if quick:
+        benchmarks = [b for b in benchmarks if b.variable_count() <= limit_variables]
+    if limit is not None:
+        benchmarks = benchmarks[:limit]
+
+    # -- direct path: the paper-named function, fresh default engine ------------
+    reset_default_engine()
+    direct_seconds: dict[str, float] = {}
+    start_direct = time.perf_counter()
+    for benchmark in benchmarks:
+        start = time.perf_counter()
+        weak_inv_synth(
+            benchmark.source,
+            benchmark.precondition,
+            benchmark.objective(),
+            benchmark.options(upsilon=1),
+            solver=PenaltyQCLPSolver(SOLVE_BUDGET),
+        )
+        direct_seconds[benchmark.name] = time.perf_counter() - start
+    direct_total = time.perf_counter() - start_direct
+    reset_default_engine()
+
+    # -- engine path: typed requests streamed through Engine.map ----------------
+    requests = _requests(benchmarks)
+    engine_seconds: dict[str, float] = {}
+    envelope_overhead: dict[str, float] = {}
+    start_engine = time.perf_counter()
+    with Engine() as engine:
+        for response in engine.map(requests):
+            name = response.request_id
+            engine_seconds[name] = response.timings["total_seconds"]
+            inner = response.timings.get("reduction_seconds", 0.0) + response.timings.get("solve_seconds", 0.0)
+            envelope_overhead[name] = response.timings["total_seconds"] - inner
+    engine_total = time.perf_counter() - start_engine
+
+    # -- codec path: JSON round-trip throughput ---------------------------------
+    codec = {}
+    encode_times, decode_times = [], []
+    for request in requests:
+        for _ in range(codec_repeat):
+            start = time.perf_counter()
+            document = request.to_json()
+            encode_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            SynthesisRequest.from_json(document)
+            decode_times.append(time.perf_counter() - start)
+    codec["request_encode_median_us"] = statistics.median(encode_times) * 1e6
+    codec["request_decode_validate_median_us"] = statistics.median(decode_times) * 1e6
+
+    per_benchmark = {
+        name: {
+            "direct_seconds": direct_seconds[name],
+            "engine_seconds": engine_seconds[name],
+            "envelope_overhead_seconds": envelope_overhead[name],
+        }
+        for name in direct_seconds
+    }
+    overheads = list(envelope_overhead.values())
+    report = {
+        "benchmark": "service-api-overhead",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": quick,
+        "benchmarks": per_benchmark,
+        "summary": {
+            "programs": len(benchmarks),
+            "direct_total_seconds": direct_total,
+            "engine_total_seconds": engine_total,
+            "engine_vs_direct_ratio": engine_total / direct_total if direct_total else None,
+            "envelope_overhead_median_ms": statistics.median(overheads) * 1e3 if overheads else None,
+            "envelope_overhead_max_ms": max(overheads) * 1e3 if overheads else None,
+        },
+        "codec": codec,
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", default=True, help="small benchmarks only (default)")
+    parser.add_argument("--full", dest="quick", action="store_false", help="include the large benchmarks")
+    parser.add_argument("--limit", type=int, default=None, help="only the first N programs")
+    parser.add_argument("--output", default="BENCH_api.json", help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick, limit=args.limit)
+    summary = report["summary"]
+    print(f"programs            : {summary['programs']}")
+    print(f"direct total        : {summary['direct_total_seconds']:.2f}s")
+    print(f"engine total        : {summary['engine_total_seconds']:.2f}s")
+    print(f"engine/direct ratio : {summary['engine_vs_direct_ratio']:.3f}")
+    print(f"envelope overhead   : median {summary['envelope_overhead_median_ms']:.2f}ms, "
+          f"max {summary['envelope_overhead_max_ms']:.2f}ms per request")
+    print(f"request JSON encode : {report['codec']['request_encode_median_us']:.0f}us median")
+    print(f"request JSON decode : {report['codec']['request_decode_validate_median_us']:.0f}us median (validated)")
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

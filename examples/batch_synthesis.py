@@ -1,16 +1,19 @@
-"""Batch synthesis: run the whole benchmark suite through one pipeline call.
+"""Batch synthesis: stream the whole benchmark suite through one Engine.
 
-The :class:`repro.pipeline.SynthesisPipeline` accepts many (program,
-precondition, objective) jobs at once, deduplicates shared Step 1-3
-reductions through its task cache, fans the numeric Step-4 solves out across
-a process pool and streams per-job results back in submission order::
+The :class:`repro.api.Engine` accepts many typed
+:class:`~repro.api.request.SynthesisRequest` values at once, deduplicates
+shared Step 1-3 reductions through its task cache, fans the numeric Step-4
+solves out across a worker pool and streams per-request responses back **as
+they finish** (out of submission order, each stamped with its submission
+id)::
 
     PYTHONPATH=src python examples/batch_synthesis.py              # quick preset
     PYTHONPATH=src python examples/batch_synthesis.py --workers 8  # parallel solves
     PYTHONPATH=src python examples/batch_synthesis.py --full       # paper parameters
 
 Every result is identical to what a sequential ``weak_inv_synth`` call would
-produce for the same job — batching changes the throughput, not the answers.
+produce for the same request — batching changes the throughput, not the
+answers.
 """
 
 from __future__ import annotations
@@ -22,7 +25,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro.pipeline import SynthesisPipeline, job_from_benchmark
+from repro.api import Engine, SynthesisRequest
+from repro.pipeline import job_from_benchmark
 from repro.solvers.base import SolverOptions
 from repro.solvers.portfolio import parse_strategy, strategy_names
 from repro.suite.registry import all_benchmarks
@@ -31,7 +35,7 @@ from repro.suite.registry import all_benchmarks
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="Synthesize invariants for the whole suite in one batch.")
     parser.add_argument("--workers", type=int, default=0,
-                        help="worker processes for the Step-4 solves (0 = sequential)")
+                        help="concurrent requests (0 = sequential)")
     parser.add_argument("--full", action="store_true",
                         help="use the paper's full parameters instead of the quick preset")
     parser.add_argument("--limit", type=int, default=None,
@@ -51,42 +55,49 @@ def main(argv: list[str] | None = None) -> int:
     if args.translation:
         overrides["translation"] = args.translation
 
-    # One job per suite program; the quick preset (multiplier degree 1) keeps
-    # every reduction cheap enough for a laptop run of the entire registry.
-    jobs = [
-        job_from_benchmark(benchmark, quick=not args.full, **overrides)
-        for benchmark in benchmarks
-    ]
+    # One typed request per suite program; the quick preset (multiplier degree
+    # 1) keeps every reduction cheap enough for a laptop run of the registry.
+    requests = []
+    for benchmark in benchmarks:
+        job = job_from_benchmark(benchmark, quick=not args.full, **overrides)
+        requests.append(
+            SynthesisRequest(
+                program=job.source,
+                mode="weak",
+                precondition=job.precondition,
+                objective=job.objective,
+                options=job.options,
+                request_id=job.name,
+            )
+        )
 
-    # No explicit solver: each job's Step-4 back-end follows its options'
-    # strategy/portfolio knobs under a short per-job budget.
-    pipeline = SynthesisPipeline(
-        workers=args.workers,
-        solver_options=SolverOptions(restarts=1, max_iterations=200, time_limit=60.0),
-    )
-
-    print(f"running {len(jobs)} synthesis jobs "
+    print(f"running {len(requests)} synthesis requests "
           f"({'full' if args.full else 'quick'} preset, workers={args.workers})\n")
     start = time.perf_counter()
     succeeded = 0
-    for outcome in pipeline.stream(jobs):
-        if not outcome.ok:
-            first_error_line = outcome.error.strip().splitlines()[-1]
-            print(f"  {outcome.job.name:28s} ERROR: {first_error_line}")
-            continue
-        result = outcome.result
-        status = result.solver_status
-        if result.success:
-            succeeded += 1
-        label = "invariant" if result.success else "no invariant"
-        timing = f"reduce={outcome.reduction_seconds:.2f}s solve={outcome.solve_seconds:.2f}s"
-        cached = " [cached reduction]" if outcome.from_cache else ""
-        winner = f" via {result.strategy}" if result.strategy else ""
-        print(f"  {outcome.job.name:28s} |S|={result.system_size:<5d} {timing}  {label} ({status}{winner}){cached}")
+    # No explicit solver: each request's Step-4 back-end follows its options'
+    # strategy/portfolio knobs under a short per-request budget.
+    with Engine(workers=args.workers,
+                solver_options=SolverOptions(restarts=1, max_iterations=200, time_limit=60.0)) as engine:
+        for response in engine.map(requests):
+            tag = f"#{response.submission_id:<3d} {response.request_id:24s}"
+            if not response.ok:
+                reason = (response.error.message.splitlines() or ["<no message>"])[0]
+                print(f"  {tag} ERROR: {response.error.type}: {reason}")
+                continue
+            if response.success:
+                succeeded += 1
+            label = "invariant" if response.success else "no invariant"
+            timing = (f"reduce={response.timings['reduction_seconds']:.2f}s "
+                      f"solve={response.timings['solve_seconds']:.2f}s")
+            cached = " [cached reduction]" if response.from_cache else ""
+            winner = f" via {response.strategy}" if response.strategy else ""
+            print(f"  {tag} |S|={response.system_size:<5d} {timing}  "
+                  f"{label} ({response.solver_status}{winner}){cached}")
 
-    elapsed = time.perf_counter() - start
-    stats = pipeline.cache.stats()
-    print(f"\n{succeeded}/{len(jobs)} jobs produced an invariant in {elapsed:.1f}s "
+        elapsed = time.perf_counter() - start
+        stats = engine.stats()
+    print(f"\n{succeeded}/{len(requests)} requests produced an invariant in {elapsed:.1f}s "
           f"(task cache: {int(stats['misses'])} reductions built, {int(stats['hits'])} reused)")
     return 0
 

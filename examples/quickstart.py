@@ -24,13 +24,14 @@ from __future__ import annotations
 import argparse
 
 from repro import (
+    Engine,
     SynthesisOptions,
+    SynthesisRequest,
     TargetInvariantObjective,
     build_cfg,
     build_task,
     check_invariant,
     parse_program,
-    weak_inv_synth,
 )
 from repro.invariants.result import Invariant
 from repro.polynomial import parse_polynomial
@@ -85,13 +86,26 @@ def main() -> None:
     print(f"  {report.summary()}")
 
     if args.solve:
-        print("\n=== Step 4: QCLP solve (this can take a while) ===")
-        solver = PenaltyQCLPSolver(SolverOptions(restarts=2, max_iterations=400, time_limit=600))
-        result = weak_inv_synth(SUM_SOURCE, task=task, solver=solver)
-        print(f"  solver status: {result.solver_status}")
-        if result.invariant is not None:
+        print("\n=== Step 4: QCLP solve through the service Engine (this can take a while) ===")
+        request = SynthesisRequest(
+            program=SUM_SOURCE,
+            mode="weak",
+            precondition={"sum": {1: "n >= 1"}},
+            objective=objective,
+            options=options,
+            solver_options=SolverOptions(restarts=2, max_iterations=400),
+            deadline=600.0,
+            request_id="quickstart",
+        )
+        with Engine() as engine:
+            # The request is pure data (request.to_json() is a valid service
+            # payload); the task= escape hatch reuses the reduction built above.
+            response = engine.synthesize(request, solver=PenaltyQCLPSolver(request.solver_options), task=task)
+        print(f"  response status: {response.status}")
+        print(f"  solver status  : {response.solver_status}")
+        if response.result is not None and response.result.invariant is not None:
             print("  synthesized invariant at label 9:")
-            print(f"    {result.invariant.at_index('sum', 9)}")
+            print(f"    {response.result.invariant.at_index('sum', 9)}")
     else:
         print("\n(pass --solve to also run the Step-4 QCLP solver)")
 

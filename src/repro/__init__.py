@@ -8,7 +8,10 @@ A faithful, pure-Python reproduction of
 
 Quickstart
 ----------
->>> from repro import weak_inv_synth, SynthesisOptions, TargetInvariantObjective
+All four paper algorithms go through one typed front door — the
+:class:`~repro.api.engine.Engine`:
+
+>>> from repro import Engine, SynthesisRequest, SynthesisOptions, TargetInvariantObjective
 >>> from repro.polynomial import parse_polynomial
 >>> source = '''
 ... sum(n) {
@@ -20,11 +23,24 @@ Quickstart
 ...     return s
 ... }
 ... '''
->>> objective = TargetInvariantObjective(
-...     function="sum", label_index=9,
-...     target=parse_polynomial("1 + 0.5*n_init + 0.5*n_init^2 - ret_sum"))
->>> result = weak_inv_synth(source, {"sum": {1: "n >= 0"}}, objective,
-...                         SynthesisOptions(degree=2))            # doctest: +SKIP
+>>> request = SynthesisRequest(
+...     program=source, mode="weak",
+...     precondition={"sum": {1: "n >= 0"}},
+...     objective=TargetInvariantObjective(
+...         function="sum", label_index=9,
+...         target=parse_polynomial("1 + 0.5*n_init + 0.5*n_init^2 - ret_sum")),
+...     options=SynthesisOptions(degree=2))
+>>> with Engine() as engine:                                       # doctest: +SKIP
+...     response = engine.synthesize(request)
+...     print(response.status, response.to_json())
+
+Requests and responses round-trip through JSON; ``Engine.map(requests)``
+streams completed responses as they finish; ``Engine.submit`` returns a
+future-style handle.  The paper-named functions (:func:`weak_inv_synth` and
+friends) remain as thin wrappers over a shared module-level engine:
+
+>>> from repro import weak_inv_synth
+>>> result = weak_inv_synth(source, {"sum": {1: "n >= 0"}})        # doctest: +SKIP
 
 See ``examples/`` for complete runnable scenarios and ``DESIGN.md`` for the
 mapping between the paper's sections and the packages of this library.
@@ -40,6 +56,16 @@ from repro.errors import (
     SpecificationError,
     SynthesisError,
     ValidationError,
+)
+from repro.api import (
+    Engine,
+    ErrorInfo,
+    RequestValidationError,
+    SynthesisHandle,
+    SynthesisRequest,
+    SynthesisResponse,
+    default_engine,
+    reset_default_engine,
 )
 from repro.cfg import build_cfg
 from repro.invariants import (
@@ -87,6 +113,8 @@ __all__ = [
     "CheckReport",
     "CompiledProblem",
     "ConjunctiveAssertion",
+    "Engine",
+    "ErrorInfo",
     "FeasibilityObjective",
     "GaussNewtonSolver",
     "InfeasibleError",
@@ -103,13 +131,17 @@ __all__ = [
     "QuadraticSystem",
     "RepresentativeEnumerator",
     "ReproError",
+    "RequestValidationError",
     "SemanticsError",
     "SolverError",
     "SpecificationError",
     "SynthesisError",
+    "SynthesisHandle",
     "SynthesisJob",
     "SynthesisOptions",
     "SynthesisPipeline",
+    "SynthesisRequest",
+    "SynthesisResponse",
     "SynthesisResult",
     "SynthesisTask",
     "TaskCache",
@@ -120,6 +152,7 @@ __all__ = [
     "build_task",
     "check_invariant",
     "compile_problem",
+    "default_engine",
     "generate_constraint_pairs",
     "job_from_benchmark",
     "parse_assertion",
@@ -128,6 +161,7 @@ __all__ = [
     "pretty_print",
     "rec_strong_inv_synth",
     "rec_weak_inv_synth",
+    "reset_default_engine",
     "strong_inv_synth",
     "weak_inv_synth",
     "__version__",

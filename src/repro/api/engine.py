@@ -1,0 +1,471 @@
+"""The Engine: one service-grade front door for every synthesis caller.
+
+An :class:`Engine` is a long-lived session object that owns the Step 1-3
+:class:`~repro.pipeline.cache.TaskCache` and the Step-4 worker pool, and
+executes typed :class:`~repro.api.request.SynthesisRequest` values:
+
+* :meth:`Engine.synthesize` — one request, blocking, returns a
+  :class:`~repro.api.response.SynthesisResponse` (never raises for
+  per-request failures; they arrive as structured errors on the envelope);
+* :meth:`Engine.submit` — non-blocking, returns a :class:`SynthesisHandle`;
+* :meth:`Engine.map` — many requests, streaming completed responses **as
+  they finish** (out of order, each stamped with its submission id);
+* :meth:`Engine.close` / context-manager lifecycle.
+
+Identical requests share work at two levels: reductions are deduplicated
+through the task cache, and solves through a per-``(reduction, strategy,
+solver options)`` result table — the second of two identical requests
+reports ``shared_solve=True`` and reuses the first's solver result.
+
+The four paper-named functions in :mod:`repro.invariants.synthesis`, the
+batch :class:`~repro.pipeline.SynthesisPipeline` and the ``repro.bench``
+runner are all thin layers over this class; a future HTTP/queue front-end
+binds here as well.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import replace
+from typing import Iterable, Iterator
+
+from repro.api.errors import EngineClosedError, RequestValidationError
+from repro.api.request import STRONG_MODES, SynthesisRequest
+from repro.api.response import ErrorInfo, SynthesisResponse, response_from_result
+from repro.invariants.synthesis import (
+    SynthesisTask,
+    enumerate_task,
+    result_from_solution,
+)
+from repro.pipeline.cache import TaskCache
+from repro.solvers.base import Solver, SolverOptions, SolverResult
+from repro.solvers.portfolio import make_solver
+from repro.solvers.strong import RepresentativeEnumerator
+
+EXECUTORS = ("auto", "thread", "process")
+
+
+def _solve_system(solver: Solver, system) -> tuple[SolverResult, float]:
+    """Worker entry point: one Step-4 solve (module-level for picklability).
+
+    Returns the result with the solve's own compute time, so pooled runs
+    report per-request solver time rather than queue latency.
+    """
+    start = time.perf_counter()
+    result = solver.solve(system)
+    return result, time.perf_counter() - start
+
+
+class SynthesisHandle:
+    """A submitted request: a future-style handle onto its response.
+
+    ``result()`` never raises for synthesis failures — those come back as an
+    ``status="error"`` response — only for caller-side problems such as a
+    ``timeout``.
+    """
+
+    def __init__(self, submission_id: int, request: SynthesisRequest, future: Future):
+        self.submission_id = submission_id
+        self.request = request
+        self._future = future
+
+    def done(self) -> bool:
+        """Whether the response is ready."""
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> SynthesisResponse:
+        """Block until the response is ready and return it."""
+        return self._future.result(timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done() else "pending"
+        return f"SynthesisHandle(id={self.submission_id}, {state})"
+
+
+class Engine:
+    """A synthesis session: persistent task cache plus a Step-4 worker pool.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` or ``1`` executes requests synchronously in the submitting
+        thread; ``n > 1`` runs up to ``n`` requests concurrently.
+    cache:
+        The Step 1-3 task cache; pass a shared instance to reuse reductions
+        across engines (e.g. between a service and its warm-up script).
+    solver:
+        An explicit Step-4 solver applied to every weak-mode request.  When
+        ``None`` (the default) each request's solver is resolved from its
+        options' ``strategy``/``portfolio`` knobs.
+    solver_options:
+        Default Step-4 solver knobs for resolved solvers; a request's own
+        ``solver_options``/``deadline`` override/tighten these.
+    executor:
+        ``"thread"`` (default under ``"auto"``) solves inside the worker
+        threads — the numeric closures release the GIL for most of their
+        work; ``"process"`` fans the (picklable) solves out across a process
+        pool of the same width, which also isolates native crashes.
+    max_cached_solves:
+        Size bound of the solve-dedup result table (oldest entries evicted
+        first), so a long-lived engine's memory stays bounded.  ``None``
+        disables eviction.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: TaskCache | None = None,
+        solver: Solver | None = None,
+        solver_options: SolverOptions | None = None,
+        executor: str = "auto",
+        max_cached_solves: int | None = 512,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
+        if executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; known executors: {', '.join(EXECUTORS)}")
+        self.workers = workers
+        self.cache = cache if cache is not None else TaskCache()
+        self.max_cached_solves = max_cached_solves
+        self.solver = solver
+        self.solver_options = solver_options
+        self._executor_kind = "thread" if executor == "auto" else executor
+        self._threads: ThreadPoolExecutor | None = None
+        self._processes: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._solves: dict[tuple, Future] = {}
+        self._solve_lock = threading.Lock()
+        self._submit_lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self, wait_for_pending: bool = True) -> None:
+        """Shut the worker pools down; further submissions raise :class:`EngineClosedError`."""
+        self._closed = True
+        self.shutdown_pools(wait_for_pending=wait_for_pending)
+
+    def shutdown_pools(self, wait_for_pending: bool = True) -> None:
+        """Release the worker pools without closing the engine.
+
+        The caches survive and the pools are lazily recreated on the next
+        submission — this is how batch-scoped callers (e.g.
+        :class:`~repro.pipeline.SynthesisPipeline`) avoid keeping worker
+        processes alive between batches.
+        """
+        with self._pool_lock:
+            threads, self._threads = self._threads, None
+            processes, self._processes = self._processes, None
+        if threads is not None:
+            threads.shutdown(wait=wait_for_pending)
+        if processes is not None:
+            processes.shutdown(wait=wait_for_pending)
+
+    def stats(self) -> dict[str, float]:
+        """Cache and dedup counters (for service dashboards)."""
+        stats = self.cache.stats()
+        with self._solve_lock:
+            stats["solves_cached"] = float(len(self._solves))
+        stats["submissions"] = float(self._next_id)
+        return stats
+
+    # -- submission --------------------------------------------------------------
+
+    def synthesize(
+        self,
+        request: SynthesisRequest,
+        *,
+        solver: Solver | None = None,
+        task: SynthesisTask | None = None,
+        enumerator: RepresentativeEnumerator | None = None,
+    ) -> SynthesisResponse:
+        """Execute one request and return its response (blocking).
+
+        The keyword-only ``solver``/``task``/``enumerator`` escape hatches
+        carry live in-process objects (a pre-built Step 1-3 reduction, a
+        hand-configured solver); they are not part of the wire format and
+        bypass the solve-dedup table.
+        """
+        return self.submit(request, solver=solver, task=task, enumerator=enumerator).result()
+
+    def submit(
+        self,
+        request: SynthesisRequest,
+        *,
+        solver: Solver | None = None,
+        task: SynthesisTask | None = None,
+        enumerator: RepresentativeEnumerator | None = None,
+    ) -> SynthesisHandle:
+        """Schedule one request; returns a handle whose ``result()`` is the response."""
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        if not isinstance(request, SynthesisRequest):
+            raise RequestValidationError.single("$", "expected a SynthesisRequest")
+        with self._submit_lock:
+            submission_id = self._next_id
+            self._next_id += 1
+        if self.workers > 1:
+            pool = self._thread_pool()
+            future = pool.submit(self._execute, request, submission_id, solver, task, enumerator)
+        else:
+            future: Future = Future()
+            future.set_result(self._execute(request, submission_id, solver, task, enumerator))
+        return SynthesisHandle(submission_id, request, future)
+
+    def map(
+        self, requests: Iterable[SynthesisRequest], ordered: bool = False
+    ) -> Iterator[SynthesisResponse]:
+        """Stream responses for many requests as they finish.
+
+        By default completed responses are yielded **out of submission
+        order** — whichever request finishes first arrives first, stamped
+        with its ``submission_id`` so callers can match them back.  Pass
+        ``ordered=True`` for submission-order delivery (still streaming: each
+        response is yielded as soon as it and all its predecessors are done).
+        A failing request yields an ``status="error"`` response; it never
+        raises out of the iterator.
+        """
+        if self.workers <= 1:
+            # Sequential engines execute on submit; stream lazily, one by one.
+            for request in requests:
+                yield self.submit(request).result()
+            return
+        handles = [self.submit(request) for request in requests]
+        if ordered:
+            for handle in handles:
+                yield handle.result()
+            return
+        pending = {handle._future: handle for handle in handles}
+        while pending:
+            done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                handle = pending.pop(future)
+                yield handle.result()
+
+    # -- execution ---------------------------------------------------------------
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise EngineClosedError("engine is closed")
+            if self._threads is None:
+                self._threads = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-engine"
+                )
+            return self._threads
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise EngineClosedError("engine is closed")
+            if self._processes is None:
+                self._processes = ProcessPoolExecutor(max_workers=max(2, self.workers))
+            return self._processes
+
+    def _effective_solver_options(self, request: SynthesisRequest) -> SolverOptions | None:
+        """Request solver options over engine defaults, tightened by the deadline."""
+        options = request.solver_options if request.solver_options is not None else self.solver_options
+        if request.deadline is not None:
+            options = options if options is not None else SolverOptions()
+            limit = (
+                float(request.deadline)
+                if options.time_limit is None
+                else min(options.time_limit, float(request.deadline))
+            )
+            options = replace(options, time_limit=limit)
+        return options
+
+    def _execute(
+        self,
+        request: SynthesisRequest,
+        submission_id: int,
+        solver: Solver | None,
+        task: SynthesisTask | None,
+        enumerator: RepresentativeEnumerator | None,
+    ) -> SynthesisResponse:
+        total_start = time.perf_counter()
+        timings: dict[str, float] = {}
+        built: SynthesisTask | None = None
+        try:
+            job = request.job()
+            if task is not None:
+                built, from_cache = task, False
+                timings["reduction_seconds"] = 0.0
+            else:
+                start = time.perf_counter()
+                built, from_cache = self.cache.get_or_build(job)
+                timings["reduction_seconds"] = time.perf_counter() - start
+
+            if request.reduce_only:
+                timings["total_seconds"] = time.perf_counter() - total_start
+                return SynthesisResponse(
+                    mode=request.mode,
+                    status="reduced",
+                    request_id=request.request_id,
+                    submission_id=submission_id,
+                    statistics=dict(built.statistics),
+                    timings=timings,
+                    system_size=built.system.size,
+                    from_cache=from_cache,
+                    task=built,
+                )
+
+            if request.mode in STRONG_MODES:
+                start = time.perf_counter()
+                chosen = enumerator
+                if chosen is None:
+                    options = self._effective_solver_options(request)
+                    chosen = (
+                        RepresentativeEnumerator(options=options)
+                        if options is not None
+                        else RepresentativeEnumerator()
+                    )
+                result = enumerate_task(built, chosen)
+                timings["solve_seconds"] = time.perf_counter() - start
+                shared = False
+            else:
+                solve_result, solve_seconds, shared = self._weak_solve(request, job, built, solver, task)
+                timings["solve_seconds"] = solve_seconds
+                result = result_from_solution(built, solve_result, solve_seconds=solve_seconds)
+
+            timings["total_seconds"] = time.perf_counter() - total_start
+            return response_from_result(
+                request,
+                result,
+                submission_id=submission_id,
+                timings=timings,
+                from_cache=from_cache,
+                shared_solve=shared,
+                task=built,
+            )
+        except Exception as exc:  # per-request failures become structured errors
+            timings["total_seconds"] = time.perf_counter() - total_start
+            return SynthesisResponse(
+                mode=request.mode,
+                status="error",
+                request_id=request.request_id,
+                submission_id=submission_id,
+                timings=timings,
+                error=ErrorInfo.from_exception(exc),
+                task=built,
+                exception=exc,
+            )
+
+    def _weak_solve(
+        self,
+        request: SynthesisRequest,
+        job,
+        task: SynthesisTask,
+        solver_override: Solver | None,
+        task_override: SynthesisTask | None,
+    ) -> tuple[SolverResult, float, bool]:
+        """Run (or share) the Step-4 solve; returns (result, seconds, shared)."""
+        options = self._effective_solver_options(request)
+        if solver_override is not None or self.solver is not None:
+            solver = solver_override if solver_override is not None else self.solver
+            # An explicit solver keeps its own options, but the request's
+            # deadline is a hard per-request bound: tighten the solver's
+            # time_limit on a copy (never mutate a caller's solver).
+            if request.deadline is not None:
+                deadline = float(request.deadline)
+                limit = (
+                    deadline
+                    if solver.options.time_limit is None
+                    else min(solver.options.time_limit, deadline)
+                )
+                if limit != solver.options.time_limit:
+                    solver = copy.copy(solver)
+                    solver.options = replace(solver.options, time_limit=limit)
+        else:
+            solver = make_solver(job.options.strategy, options=options, portfolio=job.options.portfolio)
+
+        # Escape-hatch submissions (live solver or pre-built task) bypass the
+        # dedup table: their inputs are not captured by the request's keys.
+        if solver_override is not None or task_override is not None:
+            result, seconds = self._run_solve(solver, task.system)
+            return result, seconds, False
+
+        key = (
+            job.solve_key(),
+            ("engine-solver", request.deadline)
+            if self.solver is not None
+            else ("resolved", repr(options)),
+        )
+        with self._solve_lock:
+            future = self._solves.get(key)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._solves[key] = future
+                if self.max_cached_solves is not None:
+                    # FIFO bound: dicts preserve insertion order, so the
+                    # oldest entries are evicted first.  An evicted in-flight
+                    # future stays alive for whoever already holds it.
+                    while len(self._solves) > self.max_cached_solves:
+                        self._solves.pop(next(iter(self._solves)))
+        if not owner:
+            result, seconds = future.result()
+            return result, seconds, True
+        try:
+            pair = self._run_solve(solver, task.system)
+        except BaseException as exc:
+            future.set_exception(exc)
+            with self._solve_lock:
+                # Failed solves are not cached: a resubmission retries.
+                self._solves.pop(key, None)
+            raise
+        future.set_result(pair)
+        return pair[0], pair[1], False
+
+    def _run_solve(self, solver: Solver, system) -> tuple[SolverResult, float]:
+        if self._executor_kind == "process" and self.workers > 1:
+            return self._process_pool().submit(_solve_system, solver, system).result()
+        return _solve_system(solver, system)
+
+
+# ---------------------------------------------------------------------------
+# The module-level default engine (what the paper-named functions run on)
+# ---------------------------------------------------------------------------
+
+_default_engine: Engine | None = None
+_default_engine_lock = threading.Lock()
+
+
+def default_engine() -> Engine:
+    """The shared module-level engine backing the four paper-named functions.
+
+    Sequential (``workers=0``) and lazily created; its task cache persists
+    across calls, so repeated syntheses of the same program reuse the Step 1-3
+    reduction.  Both of its caches are size-bounded (FIFO) so a long-running
+    process calling the paper-named functions over many distinct programs
+    stays at a bounded footprint; use :func:`reset_default_engine` to drop
+    the state entirely.
+    """
+    global _default_engine
+    with _default_engine_lock:
+        if _default_engine is None or _default_engine.closed:
+            _default_engine = Engine(cache=TaskCache(max_entries=128), max_cached_solves=256)
+        return _default_engine
+
+
+def reset_default_engine() -> None:
+    """Close and discard the module-level engine (and its caches)."""
+    global _default_engine
+    with _default_engine_lock:
+        if _default_engine is not None:
+            _default_engine.close()
+            _default_engine = None

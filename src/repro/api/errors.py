@@ -1,0 +1,43 @@
+"""Structured errors of the service API surface."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError, ValidationError
+
+
+class RequestValidationError(ValidationError):
+    """A synthesis request (or its JSON form) is malformed.
+
+    Unlike a bare message, the error carries one structured entry per
+    offending field so a service front-end can map failures back onto the
+    request document::
+
+        try:
+            SynthesisRequest.from_json(payload)
+        except RequestValidationError as exc:
+            for entry in exc.errors:
+                report(field=entry["field"], reason=entry["reason"])
+
+    Attributes
+    ----------
+    errors:
+        A list of ``{"field": <dotted path>, "reason": <human text>}`` dicts,
+        one per violation, in document order.
+    """
+
+    def __init__(self, errors: Iterable[Mapping[str, str]], message: str | None = None):
+        self.errors: list[dict[str, str]] = [dict(entry) for entry in errors]
+        if message is None:
+            message = "; ".join(f"{entry['field']}: {entry['reason']}" for entry in self.errors)
+        super().__init__(f"invalid synthesis request: {message}")
+
+    @staticmethod
+    def single(field: str, reason: str) -> "RequestValidationError":
+        """A one-violation error (convenience for validators)."""
+        return RequestValidationError([{"field": field, "reason": reason}])
+
+
+class EngineClosedError(ReproError):
+    """Raised when a request is submitted to an :class:`~repro.api.engine.Engine` after ``close()``."""

@@ -1,0 +1,275 @@
+"""The synthesis response envelope: status, results and structured errors.
+
+A :class:`SynthesisResponse` is what the :class:`~repro.api.engine.Engine`
+returns for every request — including failed ones, which carry an
+:class:`ErrorInfo` instead of raising, so one bad request can never take down
+a batch.  The envelope is JSON-serialisable: invariants are rendered both
+pretty-printed (per-label assertion text) and machine-readable (per-atom
+polynomial text + strictness), alongside the raw numeric assignment.
+
+In-process consumers additionally get the rich
+:class:`~repro.invariants.result.SynthesisResult` (and the underlying
+:class:`~repro.invariants.synthesis.SynthesisTask`) on the ``result`` /
+``task`` fields; those fields do not travel through JSON.
+
+Two responses compare equal when their :meth:`SynthesisResponse.fingerprint`
+matches — the semantic payload (mode, status, invariants, assignment, solver
+status, strategy) — ignoring volatile bookkeeping such as timings, cache
+flags and submission ids.  This is the equality used by the round-trip
+guarantee: serialise a request, deserialise it, re-synthesise, and the new
+response equals the old one.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.api.errors import RequestValidationError
+from repro.invariants.result import Invariant
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.request import SynthesisRequest
+    from repro.invariants.result import SynthesisResult
+    from repro.invariants.synthesis import SynthesisTask
+
+#: The statuses a response can report.
+STATUSES = ("ok", "no_invariant", "reduced", "error")
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Structured per-request failure information (instead of a raised exception)."""
+
+    type: str
+    message: str
+    traceback: str | None = None
+
+    @staticmethod
+    def from_exception(exc: BaseException) -> "ErrorInfo":
+        return ErrorInfo(type=type(exc).__name__, message=str(exc), traceback=_traceback.format_exc())
+
+    def to_dict(self) -> dict:
+        return {"type": self.type, "message": self.message, "traceback": self.traceback}
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "ErrorInfo":
+        return ErrorInfo(
+            type=str(payload.get("type", "Exception")),
+            message=str(payload.get("message", "")),
+            traceback=payload.get("traceback"),
+        )
+
+
+def invariant_to_dict(invariant: Invariant) -> dict:
+    """Serialise an invariant: pretty text plus machine-readable atoms per label."""
+    assertions = []
+    for label, assertion in invariant:
+        assertions.append(
+            {
+                "function": label.function,
+                "index": label.index,
+                "kind": label.kind.value,
+                "text": str(assertion),
+                "atoms": [
+                    {"polynomial": str(atom.polynomial), "strict": atom.strict} for atom in assertion
+                ],
+            }
+        )
+    postconditions = [
+        {
+            "function": function,
+            "text": str(assertion),
+            "atoms": [{"polynomial": str(atom.polynomial), "strict": atom.strict} for atom in assertion],
+        }
+        for function, assertion in sorted(invariant.postconditions.items())
+    ]
+    return {"assertions": assertions, "postconditions": postconditions}
+
+
+@dataclass(eq=False)
+class SynthesisResponse:
+    """Everything the engine reports for one request.
+
+    Attributes
+    ----------
+    mode, request_id:
+        Echoed from the request.
+    submission_id:
+        The engine's monotonically-increasing id for this submission (the key
+        for matching out-of-order :meth:`~repro.api.engine.Engine.map`
+        results back to their requests).
+    status:
+        ``"ok"`` (invariant found), ``"no_invariant"`` (solver finished
+        without one), ``"reduced"`` (reduce-only run) or ``"error"``.
+    solver_status, strategy:
+        The Step-4 solver's own status string and the winning strategy.
+    invariants:
+        JSON-ready invariant renderings (see :func:`invariant_to_dict`).
+    assignment:
+        The numeric values of all unknowns in the best solution.
+    statistics:
+        Timings and counts recorded by the reduction and the solver.
+    timings:
+        ``reduction_seconds`` / ``solve_seconds`` / ``total_seconds`` as
+        observed by the engine.
+    system_size:
+        The paper's ``|S|`` (size of the Step-3 quadratic system).
+    from_cache, shared_solve:
+        Whether the reduction was reused from the task cache, and whether the
+        solve was shared with an identical in-flight/completed request.
+    error:
+        Structured failure info when ``status == "error"``.
+    result, task, exception:
+        In-process extras (the rich result, the Step 1-3 task and the original
+        exception object); excluded from the JSON form.
+    """
+
+    mode: str
+    status: str
+    request_id: str | None = None
+    submission_id: int | None = None
+    solver_status: str = ""
+    strategy: str | None = None
+    invariants: list[dict] = field(default_factory=list)
+    assignment: dict[str, float] | None = None
+    statistics: dict[str, float] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    system_size: int | None = None
+    from_cache: bool = False
+    shared_solve: bool = False
+    error: ErrorInfo | None = None
+    result: "SynthesisResult | None" = field(default=None, repr=False)
+    task: "SynthesisTask | None" = field(default=None, repr=False)
+    exception: BaseException | None = field(default=None, repr=False)
+
+    # -- outcome queries ---------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request executed without error (an invariant may still be absent)."""
+        return self.status != "error"
+
+    @property
+    def success(self) -> bool:
+        """Whether at least one invariant was synthesized."""
+        return self.status == "ok"
+
+    # -- equality ----------------------------------------------------------------
+
+    def fingerprint(self) -> dict:
+        """The semantic payload used for equality (volatile bookkeeping excluded)."""
+        return {
+            "mode": self.mode,
+            "status": self.status,
+            "request_id": self.request_id,
+            "solver_status": self.solver_status,
+            "strategy": self.strategy,
+            "invariants": self.invariants,
+            "assignment": self.assignment,
+            "system_size": self.system_size,
+            "error": (self.error.type, self.error.message) if self.error else None,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SynthesisResponse):
+            return NotImplemented
+        return self.fingerprint() == other.fingerprint()
+
+    def __hash__(self) -> int:
+        # Hash follows fingerprint equality (a custom __eq__ would otherwise
+        # set __hash__ to None and make responses unusable in sets/dicts).
+        # Envelopes are treated as read-only once emitted.
+        return hash(json.dumps(self.fingerprint(), sort_keys=True))
+
+    # -- JSON round-trip ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The JSON-ready form (in-process ``result``/``task`` fields excluded)."""
+        return {
+            "mode": self.mode,
+            "status": self.status,
+            "request_id": self.request_id,
+            "submission_id": self.submission_id,
+            "solver_status": self.solver_status,
+            "strategy": self.strategy,
+            "invariants": self.invariants,
+            "assignment": self.assignment,
+            "statistics": self.statistics,
+            "timings": self.timings,
+            "system_size": self.system_size,
+            "from_cache": self.from_cache,
+            "shared_solve": self.shared_solve,
+            "error": self.error.to_dict() if self.error else None,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "SynthesisResponse":
+        """Rebuild a response envelope from its JSON form."""
+        if not isinstance(payload, Mapping):
+            raise RequestValidationError.single("$", "expected a JSON object")
+        status = payload.get("status")
+        if status not in STATUSES:
+            raise RequestValidationError.single(
+                "status", f"unknown status {status!r}; known statuses: {', '.join(STATUSES)}"
+            )
+        error = payload.get("error")
+        return SynthesisResponse(
+            mode=str(payload.get("mode", "weak")),
+            status=status,
+            request_id=payload.get("request_id"),
+            submission_id=payload.get("submission_id"),
+            solver_status=str(payload.get("solver_status", "")),
+            strategy=payload.get("strategy"),
+            invariants=list(payload.get("invariants") or []),
+            assignment=dict(payload["assignment"]) if payload.get("assignment") is not None else None,
+            statistics=dict(payload.get("statistics") or {}),
+            timings=dict(payload.get("timings") or {}),
+            system_size=payload.get("system_size"),
+            from_cache=bool(payload.get("from_cache", False)),
+            shared_solve=bool(payload.get("shared_solve", False)),
+            error=ErrorInfo.from_dict(error) if error else None,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "SynthesisResponse":
+        try:
+            payload = json.loads(text)
+        except (TypeError, json.JSONDecodeError) as exc:
+            raise RequestValidationError.single("$", f"not valid JSON: {exc}") from exc
+        return SynthesisResponse.from_dict(payload)
+
+
+def response_from_result(
+    request: "SynthesisRequest",
+    result: "SynthesisResult",
+    *,
+    submission_id: int | None = None,
+    timings: dict[str, float] | None = None,
+    from_cache: bool = False,
+    shared_solve: bool = False,
+    task: "SynthesisTask | None" = None,
+) -> SynthesisResponse:
+    """Wrap a rich :class:`~repro.invariants.result.SynthesisResult` into an envelope."""
+    return SynthesisResponse(
+        mode=request.mode,
+        status="ok" if result.success else "no_invariant",
+        request_id=request.request_id,
+        submission_id=submission_id,
+        solver_status=result.solver_status,
+        strategy=result.strategy,
+        invariants=[invariant_to_dict(invariant) for invariant in result.invariants],
+        assignment=dict(result.assignment) if result.assignment is not None else None,
+        statistics=dict(result.statistics),
+        timings=dict(timings or {}),
+        system_size=result.system_size,
+        from_cache=from_cache,
+        shared_solve=shared_solve,
+        result=result,
+        task=task,
+    )

@@ -11,26 +11,30 @@ Use the command line entry point::
 
 or the programmatic API in :mod:`repro.bench.runner` and
 :mod:`repro.bench.tables`.  The runner is a thin measurement layer over
-:class:`repro.pipeline.SynthesisPipeline`, so whole tables share Step 1-3
-reductions and can fan their solves out across a process pool.
+:class:`repro.api.Engine`, so whole tables share Step 1-3 reductions and can
+fan their solves out across the engine's process pool.
 """
 
 from repro.bench.runner import (
     Measurement,
+    bench_engine,
     default_bench_solver,
     measure_benchmark,
     measure_many,
-    measurement_from_outcome,
+    measurement_from_response,
+    request_from_benchmark,
 )
 from repro.bench.tables import render_measurements, render_table1, table_rows
 
 __all__ = [
     "Measurement",
+    "bench_engine",
     "default_bench_solver",
     "measure_benchmark",
     "measure_many",
-    "measurement_from_outcome",
+    "measurement_from_response",
     "render_measurements",
     "render_table1",
+    "request_from_benchmark",
     "table_rows",
 ]

@@ -5,7 +5,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.runner import Measurement, measure_many, quick_subset
+from repro.api.engine import Engine
+from repro.bench.runner import Measurement, bench_engine, measure_many, quick_subset
 from repro.bench.tables import render_measurements, render_strategy_summary, render_table1
 from repro.invariants.handelman import handelman_translate
 from repro.invariants.putinar import putinar_translate
@@ -38,7 +39,7 @@ def _render(measurements: list[Measurement], title: str) -> str:
     return report
 
 
-def _run_table(category: str, title: str, args: argparse.Namespace) -> str:
+def _run_table(category: str, title: str, args: argparse.Namespace, engine: Engine) -> str:
     benchmarks = _select(args.names, category)
     if args.quick:
         benchmarks = quick_subset(benchmarks)
@@ -47,13 +48,13 @@ def _run_table(category: str, title: str, args: argparse.Namespace) -> str:
         solve=args.solve,
         quick=args.quick,
         verbose=not args.no_progress,
-        workers=args.workers,
+        engine=engine,
         option_overrides=_overrides(args),
     )
     return _render(measurements, title)
 
 
-def _run_table3(args: argparse.Namespace) -> str:
+def _run_table3(args: argparse.Namespace, engine: Engine) -> str:
     benchmarks = []
     if not args.names:
         benchmarks = benchmarks_by_category("reinforcement") + benchmarks_by_category("recursive")
@@ -66,7 +67,7 @@ def _run_table3(args: argparse.Namespace) -> str:
         solve=args.solve,
         quick=args.quick,
         verbose=not args.no_progress,
-        workers=args.workers,
+        engine=engine,
         option_overrides=_overrides(args),
     )
     return _render(measurements, "Table 3 - recursive and reinforcement-learning benchmarks")
@@ -130,14 +131,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     sections: list[str] = []
-    if args.command in ("table1", "all"):
-        sections.append("## Table 1 - literature summary\n\n" + render_table1() + "\n")
-    if args.command in ("table2", "all"):
-        sections.append(_run_table("nonrecursive", "Table 2 - non-recursive benchmarks", args))
-    if args.command in ("table3", "all"):
-        sections.append(_run_table3(args))
-    if args.command in ("ablation", "all"):
-        sections.append(_run_ablation(args))
+    # One engine for the whole invocation: every table command shares its task
+    # cache (and, with --workers, its process pool).
+    with bench_engine(workers=args.workers) as engine:
+        if args.command in ("table1", "all"):
+            sections.append("## Table 1 - literature summary\n\n" + render_table1() + "\n")
+        if args.command in ("table2", "all"):
+            sections.append(_run_table("nonrecursive", "Table 2 - non-recursive benchmarks", args, engine))
+        if args.command in ("table3", "all"):
+            sections.append(_run_table3(args, engine))
+        if args.command in ("ablation", "all"):
+            sections.append(_run_ablation(args))
 
     report = "\n".join(sections)
     print(report)

@@ -1,10 +1,11 @@
 """Measurement runner: execute the reduction (and optionally a solve) per benchmark.
 
-Since the batch-pipeline refactor this module is a thin measurement layer on
-top of :class:`~repro.pipeline.SynthesisPipeline`: benchmarks become
-:class:`~repro.pipeline.jobs.SynthesisJob` values, reductions are deduplicated
-through the pipeline's task cache, and with ``workers > 1`` the Step-4 solves
-of a whole table run concurrently across a process pool.
+Since the service-API refactor this module is a thin measurement layer on top
+of :class:`repro.api.Engine`: benchmarks become typed
+:class:`~repro.api.request.SynthesisRequest` values, reductions are
+deduplicated through the engine's task cache, and with ``workers > 1`` the
+Step-4 solves of a whole table run concurrently across the engine's process
+pool while results stream back.
 """
 
 from __future__ import annotations
@@ -12,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.api.engine import Engine
+from repro.api.request import SynthesisRequest
+from repro.api.response import SynthesisResponse
 from repro.invariants.synthesis import SynthesisOptions
-from repro.pipeline.jobs import SynthesisJob, job_from_benchmark
-from repro.pipeline.pipeline import PipelineOutcome, SynthesisPipeline
+from repro.pipeline.jobs import job_from_benchmark
 from repro.solvers.base import Solver, SolverOptions
 from repro.solvers.qclp import PenaltyQCLPSolver
 from repro.suite.base import Benchmark
@@ -58,13 +61,48 @@ def default_bench_solver() -> Solver:
     return PenaltyQCLPSolver(bench_solver_options())
 
 
-def measurement_from_outcome(benchmark: Benchmark, outcome: PipelineOutcome) -> Measurement:
-    """Convert one pipeline outcome into a table row."""
-    if outcome.task is None:
-        raise RuntimeError(
-            f"benchmark {benchmark.name!r} failed during reduction:\n{outcome.error}"
-        )
-    task = outcome.task
+def bench_engine(workers: int = 0, solver: Solver | None = None) -> Engine:
+    """An engine configured like the benchmark runner uses it.
+
+    Pass the same engine to several :func:`measure_many` calls (or table
+    commands) to share its task cache and solve-dedup table between them.
+    """
+    return Engine(
+        workers=workers,
+        solver=solver,
+        solver_options=bench_solver_options(),
+        executor="process" if workers > 1 else "thread",
+    )
+
+
+def request_from_benchmark(
+    benchmark: Benchmark,
+    solve: bool = True,
+    quick: bool = False,
+    options: SynthesisOptions | None = None,
+    **option_overrides,
+) -> SynthesisRequest:
+    """The typed request that measures one suite benchmark."""
+    if options is None:
+        job = job_from_benchmark(benchmark, quick=quick, **option_overrides)
+        options = job.options
+    return SynthesisRequest(
+        program=benchmark.source,
+        mode="weak",
+        precondition=benchmark.precondition,
+        objective=benchmark.objective(),
+        options=options,
+        request_id=benchmark.name,
+        reduce_only=not solve,
+    )
+
+
+def measurement_from_response(benchmark: Benchmark, response: SynthesisResponse) -> Measurement:
+    """Convert one engine response into a table row."""
+    if response.task is None:
+        error = response.error.traceback if response.error else response.solver_status
+        raise RuntimeError(f"benchmark {benchmark.name!r} failed during reduction:\n{error}")
+    task = response.task
     counts = task.system.counts()
     solver_status = None
     strategy = None
@@ -73,19 +111,19 @@ def measurement_from_outcome(benchmark: Benchmark, outcome: PipelineOutcome) -> 
         "equalities": float(counts["equalities"]),
         "inequalities": float(counts["inequalities"]),
     }
-    if outcome.result is not None:
-        solver_status = outcome.result.solver_status
-        strategy = outcome.result.strategy
+    if response.result is not None:
+        solver_status = response.result.solver_status
+        strategy = response.result.strategy
         # Per-strategy racing columns (portfolio solves record one wall-clock
         # and one feasibility flag per raced strategy).
         extra.update(
             {
                 key: value
-                for key, value in outcome.result.statistics.items()
+                for key, value in response.result.statistics.items()
                 if key.startswith("portfolio_")
             }
         )
-    elif outcome.error is not None:
+    elif response.error is not None:
         solver_status = "error"
     return Measurement(
         name=benchmark.name,
@@ -96,8 +134,8 @@ def measurement_from_outcome(benchmark: Benchmark, outcome: PipelineOutcome) -> 
         constraint_pairs=len(task.pairs),
         system_size=task.system.size,
         unknowns=counts["variables"],
-        reduction_seconds=outcome.reduction_seconds,
-        solve_seconds=outcome.solve_seconds,
+        reduction_seconds=response.timings.get("reduction_seconds", 0.0),
+        solve_seconds=response.timings.get("solve_seconds"),
         solver_status=solver_status,
         strategy=strategy,
         paper_system_size=benchmark.paper.system_size if benchmark.paper else None,
@@ -141,70 +179,65 @@ def measure_many(
     verbose: bool = True,
     workers: int = 0,
     options: SynthesisOptions | None = None,
-    pipeline: SynthesisPipeline | None = None,
+    engine: Engine | None = None,
     option_overrides: dict | None = None,
 ) -> list[Measurement]:
-    """Measure a collection of benchmarks through the batch pipeline.
+    """Measure a collection of benchmarks through the service engine.
 
     The quick preset lowers the multiplier degree (Upsilon) to 1, which keeps
     every reduction under a few seconds; it is used by the default pytest
     benchmark run so that CI stays fast.  The full preset (``quick=False``)
     reproduces the paper's parameters.  ``workers > 1`` fans the Step-4 solves
-    out across a process pool; pass a ``pipeline`` to share its task cache
-    between calls.
+    out across the engine's process pool; pass an ``engine`` (see
+    :func:`bench_engine`) to share its task cache between calls.
 
     ``option_overrides`` patches individual synthesis options per benchmark
     (e.g. ``{"translation": "handelman", "strategy": "portfolio"}``).  When no
-    explicit ``solver`` is given, each job's Step-4 back-end follows its
+    explicit ``solver`` is given, each request's Step-4 back-end follows its
     options' ``strategy``/``portfolio`` knobs under the short bench budget of
     :func:`bench_solver_options`.
     """
     benchmarks = list(benchmarks)
-    jobs = []
-    for benchmark in benchmarks:
-        if options is not None:
-            jobs.append(
-                SynthesisJob(
-                    name=benchmark.name,
-                    source=benchmark.source,
-                    precondition=benchmark.precondition,
-                    objective=benchmark.objective(),
-                    options=options,
-                )
-            )
-        else:
-            jobs.append(job_from_benchmark(benchmark, quick=quick, **(option_overrides or {})))
-    if pipeline is None:
-        pipeline = SynthesisPipeline(
-            solver=solver,
-            workers=workers,
-            solver_options=bench_solver_options(),
+    requests = [
+        request_from_benchmark(
+            benchmark, solve=solve, quick=quick, options=options, **(option_overrides or {})
         )
+        for benchmark in benchmarks
+    ]
+    owns_engine = engine is None
+    if engine is None:
+        engine = bench_engine(workers=workers, solver=solver)
 
-    measurements: list[Measurement] = []
-    for benchmark, job, outcome in zip(benchmarks, jobs, pipeline.stream(jobs, solve=solve)):
-        if verbose:
-            print(
-                f"[bench] {benchmark.name} (d={job.options.degree}, n={job.options.conjuncts}, "
-                f"Y={job.options.upsilon}) ..."
-            )
-        measurement = measurement_from_outcome(benchmark, outcome)
-        if verbose:
-            cached = " (cached reduction)" if outcome.from_cache else ""
-            if not solve:
-                solve_note = ""
-            elif measurement.solve_seconds is not None:
-                solve_note = f" solve={measurement.solve_seconds:.2f}s [{measurement.solver_status}]"
-            else:
-                solve_note = f" solve failed [{measurement.solver_status}]"
-            print(
-                f"         |V|={measurement.variables} pairs={measurement.constraint_pairs} "
-                f"|S|={measurement.system_size} reduction={measurement.reduction_seconds:.2f}s"
-                + solve_note
-                + cached
-            )
-        measurements.append(measurement)
-    return measurements
+    try:
+        measurements: list[Measurement] = []
+        for benchmark, request, response in zip(
+            benchmarks, requests, engine.map(requests, ordered=True)
+        ):
+            if verbose:
+                print(
+                    f"[bench] {benchmark.name} (d={request.options.degree}, "
+                    f"n={request.options.conjuncts}, Y={request.options.upsilon}) ..."
+                )
+            measurement = measurement_from_response(benchmark, response)
+            if verbose:
+                cached = " (cached reduction)" if response.from_cache else ""
+                if not solve:
+                    solve_note = ""
+                elif measurement.solve_seconds is not None and response.ok:
+                    solve_note = f" solve={measurement.solve_seconds:.2f}s [{measurement.solver_status}]"
+                else:
+                    solve_note = f" solve failed [{measurement.solver_status}]"
+                print(
+                    f"         |V|={measurement.variables} pairs={measurement.constraint_pairs} "
+                    f"|S|={measurement.system_size} reduction={measurement.reduction_seconds:.2f}s"
+                    + solve_note
+                    + cached
+                )
+            measurements.append(measurement)
+        return measurements
+    finally:
+        if owns_engine:
+            engine.close()
 
 
 def quick_subset(benchmarks: Sequence[Benchmark], limit_variables: int = 8) -> list[Benchmark]:
@@ -214,11 +247,13 @@ def quick_subset(benchmarks: Sequence[Benchmark], limit_variables: int = 8) -> l
 
 __all__ = [
     "Measurement",
+    "bench_engine",
     "bench_solver_options",
     "default_bench_solver",
     "job_from_benchmark",
     "measure_benchmark",
     "measure_many",
-    "measurement_from_outcome",
+    "measurement_from_response",
     "quick_subset",
+    "request_from_benchmark",
 ]

@@ -12,6 +12,14 @@ Every function accepts either program source text or a parsed
 :class:`~repro.lang.ast_nodes.Program`, and pre-conditions either as a
 :class:`~repro.spec.preconditions.Precondition` or as the nested-dict textual
 form accepted by :meth:`Precondition.from_spec`.
+
+All four functions are thin wrappers that construct a typed
+:class:`~repro.api.request.SynthesisRequest` and run it on the module-level
+:class:`~repro.api.engine.Engine` (see :func:`repro.api.default_engine`), so
+repeated calls share Step 1-3 reductions and deduplicated Step-4 solves with
+every other caller of the service surface.  This module keeps the algorithm
+cores (:func:`build_task`, :func:`result_from_solution`,
+:func:`enumerate_task`) that the engine executes.
 """
 
 from __future__ import annotations
@@ -37,7 +45,7 @@ from repro.spec.bounded import apply_bounded_reals_model
 from repro.spec.objectives import FeasibilityObjective, Objective
 from repro.spec.preconditions import Precondition, augment_entry_preconditions
 from repro.solvers.base import Solver, SolverResult
-from repro.solvers.portfolio import STRATEGIES, make_solver
+from repro.solvers.portfolio import STRATEGIES
 from repro.solvers.strong import RepresentativeEnumerator
 
 ProgramLike = Union[str, Program]
@@ -252,13 +260,19 @@ def _instantiate_invariant(task: SynthesisTask, assignment: Mapping[str, float])
     return Invariant(assertions=assertions, postconditions=postconditions)
 
 
-def result_from_solution(task: SynthesisTask, solve_result: SolverResult) -> SynthesisResult:
+def result_from_solution(
+    task: SynthesisTask, solve_result: SolverResult, solve_seconds: float | None = None
+) -> SynthesisResult:
     """Assemble a :class:`SynthesisResult` from a task and a Step-4 solver outcome.
 
     This is the single place where a numeric solver assignment becomes a
-    concrete invariant; :func:`weak_inv_synth` and the batch
-    :class:`~repro.pipeline.SynthesisPipeline` both go through it, which is
-    what guarantees batched and sequential runs produce identical results.
+    concrete invariant; :func:`weak_inv_synth` and the
+    :class:`~repro.api.engine.Engine` both go through it, which is what
+    guarantees batched and sequential runs produce identical results.
+
+    ``task.statistics`` is copied, never mutated: the per-solve timing lands
+    in the *result's* statistics (as ``time_solver``) so that one task can be
+    reused across several solvers without the runs polluting each other.
     """
     invariant = None
     invariants: list[Invariant] = []
@@ -269,6 +283,8 @@ def result_from_solution(task: SynthesisTask, solve_result: SolverResult) -> Syn
         invariants = [invariant]
 
     statistics = dict(task.statistics)
+    if solve_seconds is not None:
+        statistics["time_solver"] = solve_seconds
     statistics.update(
         {key: value for key, value in solve_result.details.items() if key.startswith("portfolio_")}
     )
@@ -285,54 +301,18 @@ def result_from_solution(task: SynthesisTask, solve_result: SolverResult) -> Syn
     )
 
 
-def weak_inv_synth(
-    program: ProgramLike,
-    precondition: PreconditionLike = None,
-    objective: Objective | None = None,
-    options: SynthesisOptions | None = None,
-    solver: Solver | None = None,
-    task: SynthesisTask | None = None,
-) -> SynthesisResult:
-    """The paper's ``WeakInvSynth`` / ``RecWeakInvSynth``: reduce to QCLP and solve.
+def enumerate_task(task: SynthesisTask, enumerator: RepresentativeEnumerator) -> SynthesisResult:
+    """Run the representative-set enumeration of ``StrongInvSynth`` on a built task.
 
-    Pass ``task`` to reuse a previously built Step-1-3 reduction (e.g. to try
-    several solvers on the same system without re-translating).  When no
-    explicit ``solver`` is given the Step-4 back-end follows the options'
-    ``strategy``/``portfolio`` knobs (default: the penalty QCLP solver).
+    Like :func:`result_from_solution`, this copies ``task.statistics`` rather
+    than mutating it, so a task can be shared between runs.
     """
-    if task is None:
-        task = build_task(program, precondition, objective, options)
-    if solver is None:
-        solver = make_solver(task.options.strategy, portfolio=task.options.portfolio)
-
-    start = time.perf_counter()
-    solve_result: SolverResult = solver.solve(task.system)
-    task.statistics["time_solver"] = time.perf_counter() - start
-
-    return result_from_solution(task, solve_result)
-
-
-def strong_inv_synth(
-    program: ProgramLike,
-    precondition: PreconditionLike = None,
-    options: SynthesisOptions | None = None,
-    enumerator: RepresentativeEnumerator | None = None,
-    task: SynthesisTask | None = None,
-) -> SynthesisResult:
-    """The paper's ``StrongInvSynth`` / ``RecStrongInvSynth``: a representative set.
-
-    The Grigor'ev–Vorobjov procedure is replaced by multi-start enumeration
-    with clustering (see DESIGN.md for the substitution rationale).
-    """
-    if task is None:
-        task = build_task(program, precondition, None, options)
-    enumerator = enumerator if enumerator is not None else RepresentativeEnumerator()
-
     start = time.perf_counter()
     enumeration = enumerator.enumerate(task.system)
-    task.statistics["time_solver"] = time.perf_counter() - start
-    task.statistics["enumeration_attempts"] = float(enumeration.attempts)
-    task.statistics["enumeration_feasible"] = float(enumeration.feasible_attempts)
+    statistics = dict(task.statistics)
+    statistics["time_solver"] = time.perf_counter() - start
+    statistics["enumeration_attempts"] = float(enumeration.attempts)
+    statistics["enumeration_feasible"] = float(enumeration.feasible_attempts)
 
     invariants = [
         _instantiate_invariant(task, assignment) for assignment in enumeration.representatives
@@ -346,9 +326,79 @@ def strong_inv_synth(
         system=task.system,
         templates=task.templates,
         cfg=task.cfg,
-        statistics=dict(task.statistics),
+        statistics=statistics,
         solver_status=f"representatives={len(invariants)}",
     )
+
+
+# ---------------------------------------------------------------------------
+# The paper's four entry points (thin wrappers over the default Engine)
+# ---------------------------------------------------------------------------
+
+
+def _run_request(
+    mode: str,
+    program: ProgramLike,
+    precondition: PreconditionLike,
+    objective: Objective | None,
+    options: SynthesisOptions | None,
+    solver: Solver | None,
+    enumerator: RepresentativeEnumerator | None,
+    task: SynthesisTask | None,
+) -> SynthesisResult:
+    """Build a typed request, run it on the default engine, unwrap the result."""
+    from repro.api.engine import default_engine
+    from repro.api.request import SynthesisRequest
+
+    if task is not None:
+        # A pre-built reduction fixes the effective options (and the inputs
+        # the request would otherwise re-reduce from).
+        options = task.options
+    request = SynthesisRequest(
+        program=program,
+        mode=mode,
+        precondition=precondition,
+        objective=objective,
+        options=options if options is not None else SynthesisOptions(),
+    )
+    response = default_engine().synthesize(request, solver=solver, task=task, enumerator=enumerator)
+    if response.exception is not None:
+        raise response.exception
+    assert response.result is not None
+    return response.result
+
+
+def weak_inv_synth(
+    program: ProgramLike,
+    precondition: PreconditionLike = None,
+    objective: Objective | None = None,
+    options: SynthesisOptions | None = None,
+    solver: Solver | None = None,
+    task: SynthesisTask | None = None,
+) -> SynthesisResult:
+    """The paper's ``WeakInvSynth``: reduce to QCLP and solve.
+
+    Pass ``task`` to reuse a previously built Step-1-3 reduction (e.g. to try
+    several solvers on the same system without re-translating).  When no
+    explicit ``solver`` is given the Step-4 back-end follows the options'
+    ``strategy``/``portfolio`` knobs (default: the penalty QCLP solver).
+    """
+    return _run_request("weak", program, precondition, objective, options, solver, None, task)
+
+
+def strong_inv_synth(
+    program: ProgramLike,
+    precondition: PreconditionLike = None,
+    options: SynthesisOptions | None = None,
+    enumerator: RepresentativeEnumerator | None = None,
+    task: SynthesisTask | None = None,
+) -> SynthesisResult:
+    """The paper's ``StrongInvSynth``: a representative set of invariants.
+
+    The Grigor'ev–Vorobjov procedure is replaced by multi-start enumeration
+    with clustering (see DESIGN.md for the substitution rationale).
+    """
+    return _run_request("strong", program, precondition, None, options, None, enumerator, task)
 
 
 def rec_weak_inv_synth(
@@ -357,9 +407,14 @@ def rec_weak_inv_synth(
     objective: Objective | None = None,
     options: SynthesisOptions | None = None,
     solver: Solver | None = None,
+    task: SynthesisTask | None = None,
 ) -> SynthesisResult:
-    """``RecWeakInvSynth`` (Section 4) — identical pipeline, recursion handled automatically."""
-    return weak_inv_synth(program, precondition, objective, options, solver)
+    """``RecWeakInvSynth`` (Section 4) — identical pipeline, recursion handled automatically.
+
+    Like :func:`weak_inv_synth`, accepts ``task`` to reuse a pre-built
+    Step 1-3 reduction.
+    """
+    return _run_request("rec-weak", program, precondition, objective, options, solver, None, task)
 
 
 def rec_strong_inv_synth(
@@ -367,6 +422,11 @@ def rec_strong_inv_synth(
     precondition: PreconditionLike = None,
     options: SynthesisOptions | None = None,
     enumerator: RepresentativeEnumerator | None = None,
+    task: SynthesisTask | None = None,
 ) -> SynthesisResult:
-    """``RecStrongInvSynth`` (Section 4) — identical pipeline, recursion handled automatically."""
-    return strong_inv_synth(program, precondition, options, enumerator)
+    """``RecStrongInvSynth`` (Section 4) — identical pipeline, recursion handled automatically.
+
+    Like :func:`strong_inv_synth`, accepts ``task`` to reuse a pre-built
+    Step 1-3 reduction.
+    """
+    return _run_request("rec-strong", program, precondition, None, options, None, enumerator, task)

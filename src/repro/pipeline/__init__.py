@@ -13,8 +13,11 @@ This package turns the one-program-at-a-time algorithms of
   :class:`~repro.invariants.result.SynthesisResult` values back in submission
   order.
 
-The pipeline is the substrate the benchmark runner (``python -m repro.bench``)
-and the batch examples build on; see ``DESIGN.md`` for how it relates to the
+Since the service-API refactor the pipeline is a thin adapter over
+:class:`repro.api.Engine`, which is what the benchmark runner
+(``python -m repro.bench``) and the batch examples build on directly; new
+code should prefer the engine (typed requests, JSON round-trip, out-of-order
+streaming, structured errors).  See ``DESIGN.md`` for how both relate to the
 paper's Steps 1-4.
 """
 

@@ -21,9 +21,15 @@ class TaskCache:
     re-submitted benchmarks — share it verbatim.  Builds of distinct keys run
     concurrently; builds of the same key are serialised so the reduction is
     performed exactly once.
+
+    ``max_entries`` bounds the cache (oldest entries evicted first) so a
+    long-lived holder — e.g. the module-level default engine behind the
+    paper-named functions — cannot grow without bound; ``None`` (the
+    default) keeps the historical unbounded behaviour.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = None) -> None:
+        self.max_entries = max_entries
         self._tasks: dict[tuple, SynthesisTask] = {}
         # The job that built each entry is pinned alongside its task: reduction
         # keys identify Precondition *objects* by id(), so the cache must keep
@@ -65,6 +71,14 @@ class TaskCache:
                 self._jobs[key] = job
                 self.misses += 1
                 self.build_seconds += elapsed
+                if self.max_entries is not None:
+                    # FIFO bound (dicts preserve insertion order): evict the
+                    # oldest task together with its pinned job and key lock.
+                    while len(self._tasks) > self.max_entries:
+                        oldest = next(iter(self._tasks))
+                        self._tasks.pop(oldest)
+                        self._jobs.pop(oldest, None)
+                        self._key_locks.pop(oldest, None)
             return task, False
 
     def stats(self) -> dict[str, float]:

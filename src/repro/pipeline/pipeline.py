@@ -1,52 +1,38 @@
-"""The batch synthesis pipeline: dedupe reductions, fan out solves, stream results.
+"""The batch synthesis pipeline, as a thin adapter over the service Engine.
 
-:class:`SynthesisPipeline` is the orchestration layer between many
-(program, precondition, objective) jobs and the per-program algorithms of
-:mod:`repro.invariants.synthesis`:
+:class:`SynthesisPipeline` predates the typed :mod:`repro.api` surface; it is
+kept as the job-oriented batch view over the same execution core:
 
-1. **Reduce** — every job's Step 1-3 reduction is built through a
+1. **Reduce** — every job's Step 1-3 reduction is built through the engine's
    :class:`~repro.pipeline.cache.TaskCache`, so jobs sharing a reduction are
-   translated exactly once.  Reductions run in the submitting process, where
-   they share the interned-monomial flyweight table.
-2. **Solve** — the numeric Step-4 solves are independent of each other, so
-   with ``workers > 1`` they are fanned out across a
-   :class:`concurrent.futures.ProcessPoolExecutor`.  Only the (picklable)
-   quadratic system travels to the worker and only the small
-   :class:`~repro.solvers.base.SolverResult` travels back.  Jobs whose
-   reduction *and* solver coincide share a single solve.
-3. **Stream** — per-job :class:`~repro.pipeline.pipeline.PipelineOutcome`
-   values are yielded in submission order as soon as they are ready, each
-   carrying the same :class:`~repro.invariants.result.SynthesisResult` a
-   sequential :func:`~repro.invariants.synthesis.weak_inv_synth` call would
-   have produced (both go through
+   translated exactly once.
+2. **Solve** — jobs become :class:`~repro.api.request.SynthesisRequest`
+   values and run on a private :class:`~repro.api.engine.Engine`; with
+   ``workers > 1`` the Step-4 solves fan out across the engine's process
+   pool, and jobs whose reduction *and* solver coincide share a single solve.
+3. **Stream** — per-job :class:`PipelineOutcome` values are yielded in
+   submission order as soon as they are ready, each carrying the same
+   :class:`~repro.invariants.result.SynthesisResult` a sequential
+   :func:`~repro.invariants.synthesis.weak_inv_synth` call would have
+   produced (both go through
    :func:`~repro.invariants.synthesis.result_from_solution`).
+
+New code should prefer :class:`repro.api.Engine` directly — it adds typed
+requests, JSON round-trip, out-of-order streaming and structured errors.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 from repro.invariants.result import SynthesisResult
-from repro.invariants.synthesis import SynthesisTask, result_from_solution
+from repro.invariants.synthesis import SynthesisTask
 from repro.pipeline.cache import TaskCache
 from repro.pipeline.jobs import SynthesisJob
-from repro.solvers.base import Solver, SolverOptions, SolverResult
-from repro.solvers.portfolio import make_solver
-
-
-def _solve_system(solver: Solver, system) -> tuple[SolverResult, float]:
-    """Worker entry point: run one Step-4 solve (module-level for picklability).
-
-    Returns the result together with the solve's own compute time, so pooled
-    runs report per-job solver time rather than queue latency.
-    """
-    start = time.perf_counter()
-    result = solver.solve(system)
-    return result, time.perf_counter() - start
+from repro.solvers.base import Solver, SolverOptions
 
 
 @dataclass
@@ -80,16 +66,15 @@ class SynthesisPipeline:
     solver:
         An explicit Step-4 solver applied to every job.  When ``None`` (the
         default) each job's solver is resolved from its own synthesis
-        options' ``strategy``/``portfolio`` knobs through
-        :func:`~repro.solvers.portfolio.make_solver` — so a single batch can
+        options' ``strategy``/``portfolio`` knobs — so a single batch can
         mix penalty, alternating and portfolio solves.  Solvers must be
         picklable when ``workers > 1``; every solver in :mod:`repro.solvers`
         is.
     workers:
         ``0`` or ``1`` solves sequentially in-process; ``n > 1`` fans solves
-        out over a pool of ``n`` worker processes.  Portfolio jobs reuse that
-        same fan-out: each pooled worker races its job's strategies inside
-        the worker process.
+        out over the engine's pool of ``n`` worker processes.  Portfolio jobs
+        reuse that same fan-out: each pooled worker races its job's
+        strategies inside the worker process.
     cache:
         The Step 1-3 task cache; pass a shared instance to reuse reductions
         across several pipeline runs.
@@ -106,20 +91,38 @@ class SynthesisPipeline:
         cache: TaskCache | None = None,
         solver_options: SolverOptions | None = None,
     ) -> None:
+        from repro.api.engine import Engine
+
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
         self.solver = solver
         self.solver_options = solver_options
         self.workers = workers
-        self.cache = cache if cache is not None else TaskCache()
-
-    def _solver_for(self, job: SynthesisJob) -> Solver:
-        """The solver an individual job runs under (explicit or options-derived)."""
-        if self.solver is not None:
-            return self.solver
-        return make_solver(
-            job.options.strategy, options=self.solver_options, portfolio=job.options.portfolio
+        self.engine = Engine(
+            workers=workers,
+            cache=cache,
+            solver=solver,
+            solver_options=solver_options,
+            executor="process" if workers > 1 else "thread",
         )
+        self.cache = self.engine.cache
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the underlying engine's worker pools.
+
+        A pipeline can be reused across many ``run``/``stream`` calls (its
+        task cache persists); call this — or use the pipeline as a context
+        manager — when done, so the pools don't outlive the batch work.
+        """
+        self.engine.close()
+
+    def __enter__(self) -> "SynthesisPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- reduction --------------------------------------------------------------
 
@@ -153,123 +156,46 @@ class SynthesisPipeline:
         """Run the batch, yielding each job's outcome as soon as it is ready.
 
         Outcomes are yielded in submission order.  With ``workers > 1`` the
-        Step-4 solves execute concurrently in a process pool while this
-        generator assembles and yields finished results.
+        Step-4 solves execute concurrently while this generator assembles and
+        yields finished results.
         """
-        reduced = self.reduce(list(jobs))
-        if not solve:
-            for job, task, seconds, from_cache, error in reduced:
-                yield PipelineOutcome(
-                    job=job,
-                    task=task,
-                    result=None,
-                    reduction_seconds=seconds,
-                    from_cache=from_cache,
-                    error=error,
-                )
-            return
-        if self.workers > 1:
-            yield from self._stream_pooled(reduced)
-        else:
-            yield from self._stream_sequential(reduced)
+        jobs = list(jobs)
+        requests = [self._request_for(job, solve) for job in jobs]
+        try:
+            for job, response in zip(jobs, self.engine.map(requests, ordered=True)):
+                yield self._outcome_from_response(job, response, solve)
+        finally:
+            # Scope the worker pools to this batch (the historical contract:
+            # the old implementation opened its process pool per stream call).
+            # The engine and its caches stay usable for the next run.
+            self.engine.shutdown_pools()
 
-    # -- sequential back-end ----------------------------------------------------
+    # -- request/response adaptation ---------------------------------------------
 
-    def _stream_sequential(self, reduced: Sequence[tuple]) -> Iterator[PipelineOutcome]:
-        solved: dict[tuple, SolverResult] = {}
-        for job, task, seconds, from_cache, error in reduced:
-            if error is not None:
-                yield PipelineOutcome(
-                    job=job,
-                    task=task,
-                    result=None,
-                    reduction_seconds=seconds,
-                    from_cache=from_cache,
-                    error=error,
-                )
-                continue
-            key = job.solve_key()
-            shared = key in solved
-            try:
-                if shared:
-                    solve_result, solve_seconds = solved[key]
-                else:
-                    solve_result, solve_seconds = _solve_system(self._solver_for(job), task.system)
-            except Exception:
-                yield PipelineOutcome(
-                    job=job,
-                    task=task,
-                    result=None,
-                    reduction_seconds=seconds,
-                    from_cache=from_cache,
-                    error=traceback.format_exc(),
-                )
-                continue
-            solved[key] = (solve_result, solve_seconds)
-            yield self._outcome(job, task, seconds, solve_seconds, from_cache, shared, solve_result)
+    def _request_for(self, job: SynthesisJob, solve: bool):
+        from repro.api.request import SynthesisRequest
 
-    # -- process-pool back-end ---------------------------------------------------
+        return SynthesisRequest(
+            program=job.source,
+            mode="weak",
+            precondition=job.precondition,
+            objective=job.objective,
+            options=job.options,
+            request_id=job.name,
+            reduce_only=not solve,
+        )
 
-    def _stream_pooled(self, reduced: Sequence[tuple]) -> Iterator[PipelineOutcome]:
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures: dict[tuple, Future] = {}
-            for job, task, _, _, error in reduced:
-                if error is not None:
-                    continue
-                key = job.solve_key()
-                if key not in futures:
-                    futures[key] = pool.submit(_solve_system, self._solver_for(job), task.system)
-            seen: set[tuple] = set()
-            for job, task, seconds, from_cache, error in reduced:
-                if error is not None:
-                    yield PipelineOutcome(
-                        job=job,
-                        task=task,
-                        result=None,
-                        reduction_seconds=seconds,
-                        from_cache=from_cache,
-                        error=error,
-                    )
-                    continue
-                key = job.solve_key()
-                shared = key in seen
-                seen.add(key)
-                try:
-                    solve_result, solve_seconds = futures[key].result()
-                except Exception:
-                    yield PipelineOutcome(
-                        job=job,
-                        task=task,
-                        result=None,
-                        reduction_seconds=seconds,
-                        from_cache=from_cache,
-                        shared_solve=shared,
-                        error=traceback.format_exc(),
-                    )
-                    continue
-                yield self._outcome(job, task, seconds, solve_seconds, from_cache, shared, solve_result)
-
-    # -- assembly ----------------------------------------------------------------
-
-    def _outcome(
-        self,
-        job: SynthesisJob,
-        task: SynthesisTask,
-        reduction_seconds: float,
-        solve_seconds: float,
-        from_cache: bool,
-        shared_solve: bool,
-        solve_result: SolverResult,
-    ) -> PipelineOutcome:
-        task.statistics["time_solver"] = solve_seconds
-        result = result_from_solution(task, solve_result)
+    def _outcome_from_response(self, job: SynthesisJob, response, solve: bool) -> PipelineOutcome:
+        error = None
+        if response.error is not None:
+            error = response.error.traceback or f"{response.error.type}: {response.error.message}"
         return PipelineOutcome(
             job=job,
-            task=task,
-            result=result,
-            reduction_seconds=reduction_seconds,
-            solve_seconds=solve_seconds,
-            from_cache=from_cache,
-            shared_solve=shared_solve,
-            error=None,
+            task=response.task,
+            result=response.result,
+            reduction_seconds=response.timings.get("reduction_seconds", 0.0),
+            solve_seconds=response.timings.get("solve_seconds") if solve else None,
+            from_cache=response.from_cache,
+            shared_solve=response.shared_solve,
+            error=error,
         )

@@ -1,0 +1,87 @@
+"""Property tests of the request JSON codec: malformed input never escapes
+as anything but a structured RequestValidationError."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import RequestValidationError, SynthesisRequest
+from repro.suite.registry import get_benchmark
+
+SUM = get_benchmark("sum")
+
+
+def valid_payload() -> dict:
+    return SynthesisRequest(
+        program=SUM.source,
+        mode="weak",
+        precondition=SUM.precondition,
+        objective=SUM.objective(),
+        options=SUM.options(upsilon=1),
+        request_id="sum",
+    ).to_dict()
+
+
+# Values of the wrong shape for every typed field.
+_BAD_VALUES = st.one_of(
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.booleans(),
+    st.lists(st.integers(), max_size=3),
+    st.text(min_size=1, max_size=8).filter(lambda s: s not in ("weak", "strong", "rec-weak", "rec-strong")),
+)
+
+_TYPED_FIELDS = ("mode", "options", "solver_options", "objective", "deadline", "precondition")
+
+
+@settings(max_examples=60, deadline=None)
+@given(field=st.sampled_from(_TYPED_FIELDS), value=_BAD_VALUES)
+def test_wrong_typed_fields_raise_structured_validation_errors(field, value):
+    payload = valid_payload()
+    payload[field] = value
+    try:
+        request = SynthesisRequest.from_dict(payload)
+    except RequestValidationError as exc:
+        # Structured: at least one entry names a field, and the message mentions it.
+        assert exc.errors and all({"field", "reason"} <= set(entry) for entry in exc.errors)
+        assert "invalid synthesis request" in str(exc)
+    else:
+        # The rare corruption that stays type-correct (e.g. deadline=3) must
+        # have produced a well-formed request.
+        assert isinstance(request, SynthesisRequest)
+
+
+@settings(max_examples=40, deadline=None)
+@given(junk=st.text(max_size=40))
+def test_arbitrary_text_never_raises_anything_but_validation_errors(junk):
+    try:
+        SynthesisRequest.from_json(junk)
+    except RequestValidationError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    payload=st.dictionaries(
+        keys=st.text(min_size=1, max_size=12),
+        values=st.one_of(st.none(), st.integers(), st.text(max_size=10), st.booleans()),
+        max_size=6,
+    )
+)
+def test_arbitrary_json_objects_never_raise_anything_but_validation_errors(payload):
+    text = json.dumps(payload)
+    try:
+        SynthesisRequest.from_json(text)
+    except RequestValidationError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=25, deadline=None)
+@given(drop=st.sampled_from(["precondition", "objective", "solver_options", "deadline", "request_id", "reduce_only"]))
+def test_optional_fields_can_be_dropped(drop):
+    payload = valid_payload()
+    del payload[drop]
+    request = SynthesisRequest.from_dict(payload)
+    clone = SynthesisRequest.from_json(request.to_json())
+    assert clone == request

@@ -1,0 +1,118 @@
+"""Snapshot of the public API surface.
+
+These lists are the checked-in contract: adding, removing or renaming a
+public name must update them deliberately, so accidental surface breaks fail
+CI instead of shipping silently.
+"""
+
+import repro
+import repro.api
+
+EXPECTED_REPRO_ALL = [
+    "AlternatingSolver",
+    "CheckReport",
+    "CompiledProblem",
+    "ConjunctiveAssertion",
+    "Engine",
+    "ErrorInfo",
+    "FeasibilityObjective",
+    "GaussNewtonSolver",
+    "InfeasibleError",
+    "Interpreter",
+    "Invariant",
+    "Monomial",
+    "ParseError",
+    "PenaltyQCLPSolver",
+    "Polynomial",
+    "PolynomialError",
+    "PortfolioSolver",
+    "Postcondition",
+    "Precondition",
+    "QuadraticSystem",
+    "RepresentativeEnumerator",
+    "ReproError",
+    "RequestValidationError",
+    "SemanticsError",
+    "SolverError",
+    "SpecificationError",
+    "SynthesisError",
+    "SynthesisHandle",
+    "SynthesisJob",
+    "SynthesisOptions",
+    "SynthesisPipeline",
+    "SynthesisRequest",
+    "SynthesisResponse",
+    "SynthesisResult",
+    "SynthesisTask",
+    "TaskCache",
+    "TargetInvariantObjective",
+    "TemplateSet",
+    "ValidationError",
+    "build_cfg",
+    "build_task",
+    "check_invariant",
+    "compile_problem",
+    "default_engine",
+    "generate_constraint_pairs",
+    "job_from_benchmark",
+    "parse_assertion",
+    "parse_polynomial",
+    "parse_program",
+    "pretty_print",
+    "rec_strong_inv_synth",
+    "rec_weak_inv_synth",
+    "reset_default_engine",
+    "strong_inv_synth",
+    "weak_inv_synth",
+    "__version__",
+]
+
+EXPECTED_API_ALL = [
+    "Engine",
+    "EngineClosedError",
+    "ErrorInfo",
+    "MODES",
+    "RequestValidationError",
+    "STRONG_MODES",
+    "SynthesisHandle",
+    "SynthesisRequest",
+    "SynthesisResponse",
+    "default_engine",
+    "invariant_to_dict",
+    "objective_from_dict",
+    "objective_to_dict",
+    "precondition_to_spec",
+    "reset_default_engine",
+    "response_from_result",
+]
+
+
+def test_repro_all_matches_snapshot():
+    assert sorted(repro.__all__) == sorted(EXPECTED_REPRO_ALL)
+
+
+def test_repro_api_all_matches_snapshot():
+    assert sorted(repro.api.__all__) == sorted(EXPECTED_API_ALL)
+
+
+def test_every_exported_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name, None) is not None, name
+
+
+def test_paper_entry_points_route_through_the_engine():
+    """The four paper-named functions are wrappers over the default engine."""
+    import inspect
+
+    from repro.invariants import synthesis
+
+    for function in (
+        synthesis.weak_inv_synth,
+        synthesis.strong_inv_synth,
+        synthesis.rec_weak_inv_synth,
+        synthesis.rec_strong_inv_synth,
+    ):
+        assert "_run_request" in inspect.getsource(function), function.__name__
+    assert "default_engine" in inspect.getsource(synthesis._run_request)

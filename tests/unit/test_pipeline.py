@@ -95,6 +95,25 @@ def test_pipeline_rejects_negative_workers():
         SynthesisPipeline(workers=-1)
 
 
+def test_pipeline_context_manager_closes_engine_pools():
+    with SynthesisPipeline(solver=small_solver(), workers=2) as pipeline:
+        outcomes = pipeline.run([sum_job()])
+        assert outcomes[0].ok
+    assert pipeline.engine.closed
+
+
+def test_pipeline_releases_pools_after_each_run_but_stays_usable():
+    pipeline = SynthesisPipeline(solver=small_solver(), workers=2)
+    first = pipeline.run([sum_job()])
+    # The batch scoped its worker pools: nothing is left running afterwards.
+    assert pipeline.engine._threads is None and pipeline.engine._processes is None
+    # The pipeline (and its task cache) remain usable for the next batch.
+    second = pipeline.run([sum_job()])
+    assert first[0].ok and second[0].ok
+    assert second[0].from_cache
+    pipeline.close()
+
+
 def test_process_pool_matches_sequential():
     jobs = [sum_job(), job_from_benchmark(get_benchmark("freire1"), quick=True)]
     sequential = SynthesisPipeline(solver=small_solver(), workers=0).run(jobs)

@@ -1,0 +1,81 @@
+"""Regression tests for the paper-named entry points as Engine wrappers.
+
+Covers the two historical sharp edges: the in-place mutation of a
+caller-supplied ``task.statistics`` (which polluted shared tasks when one
+reduction was reused across several solvers), and the missing ``task=``
+passthrough on the recursive variants.
+"""
+
+from repro.invariants.synthesis import (
+    SynthesisOptions,
+    build_task,
+    rec_strong_inv_synth,
+    rec_weak_inv_synth,
+    strong_inv_synth,
+    weak_inv_synth,
+)
+from repro.solvers.base import SolverOptions
+from repro.solvers.qclp import GaussNewtonSolver, PenaltyQCLPSolver
+from repro.solvers.strong import RepresentativeEnumerator
+from repro.suite.registry import get_benchmark
+
+BENCH = get_benchmark("freire1")  # cheap to solve, keeps this module fast
+QUICK = SolverOptions(restarts=1, max_iterations=60)
+
+
+def quick_task():
+    return build_task(BENCH.source, BENCH.precondition, BENCH.objective(), BENCH.options(upsilon=1))
+
+
+def test_weak_inv_synth_does_not_mutate_shared_task_statistics():
+    task = quick_task()
+    before = dict(task.statistics)
+
+    first = weak_inv_synth(BENCH.source, task=task, solver=PenaltyQCLPSolver(QUICK))
+    second = weak_inv_synth(BENCH.source, task=task, solver=GaussNewtonSolver(QUICK))
+
+    # The shared task's statistics are untouched: no solver timing leaks in.
+    assert task.statistics == before
+    assert "time_solver" not in task.statistics
+    # Each result carries its own solve timing instead.
+    assert first.statistics["time_solver"] > 0
+    assert second.statistics["time_solver"] > 0
+    assert first.statistics["time_solver"] != second.statistics["time_solver"]
+
+
+def test_strong_inv_synth_does_not_mutate_shared_task_statistics():
+    task = build_task(BENCH.source, BENCH.precondition, None, BENCH.options(upsilon=1, with_witness=False))
+    before = dict(task.statistics)
+    enumerator = RepresentativeEnumerator(attempts=2, options=QUICK)
+    result = strong_inv_synth(BENCH.source, task=task, enumerator=enumerator)
+    assert task.statistics == before
+    assert "enumeration_attempts" in result.statistics
+
+
+def test_rec_weak_inv_synth_accepts_prebuilt_task():
+    task = quick_task()
+    result = rec_weak_inv_synth(BENCH.source, task=task, solver=PenaltyQCLPSolver(QUICK))
+    # The reduction was reused, not rebuilt: the result views the same system.
+    assert result.system is task.system
+    reference = weak_inv_synth(BENCH.source, task=task, solver=PenaltyQCLPSolver(QUICK))
+    assert result.assignment == reference.assignment
+
+
+def test_rec_strong_inv_synth_accepts_prebuilt_task():
+    task = build_task(BENCH.source, BENCH.precondition, None, BENCH.options(upsilon=1, with_witness=False))
+    enumerator = RepresentativeEnumerator(attempts=2, options=QUICK)
+    result = rec_strong_inv_synth(BENCH.source, task=task, enumerator=enumerator)
+    assert result.system is task.system
+    assert "representatives" in result.solver_status
+
+
+def test_all_four_entry_points_share_the_default_engine_cache():
+    from repro.api.engine import default_engine
+
+    cache_before = default_engine().cache.stats()["misses"]
+    options = SynthesisOptions(upsilon=1)
+    weak_inv_synth(BENCH.source, BENCH.precondition, BENCH.objective(), options, solver=PenaltyQCLPSolver(QUICK))
+    weak_inv_synth(BENCH.source, BENCH.precondition, BENCH.objective(), options, solver=PenaltyQCLPSolver(QUICK))
+    cache_after = default_engine().cache.stats()["misses"]
+    # The second call reused the first call's Step 1-3 reduction.
+    assert cache_after - cache_before <= 1
