@@ -86,6 +86,13 @@ from repro.invariants import (
 )
 from repro.lang import parse_program, pretty_print
 from repro.pipeline import SynthesisJob, SynthesisPipeline, TaskCache, job_from_benchmark
+from repro.reduction import (
+    AUTO_DEGREE,
+    EscalationTrace,
+    ReductionPlan,
+    StageCache,
+    compile_plan,
+)
 from repro.polynomial import Monomial, Polynomial, parse_polynomial
 from repro.semantics import Interpreter
 from repro.spec import (
@@ -109,12 +116,14 @@ from repro.solvers import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AUTO_DEGREE",
     "AlternatingSolver",
     "CheckReport",
     "CompiledProblem",
     "ConjunctiveAssertion",
     "Engine",
     "ErrorInfo",
+    "EscalationTrace",
     "FeasibilityObjective",
     "GaussNewtonSolver",
     "InfeasibleError",
@@ -129,12 +138,14 @@ __all__ = [
     "Postcondition",
     "Precondition",
     "QuadraticSystem",
+    "ReductionPlan",
     "RepresentativeEnumerator",
     "ReproError",
     "RequestValidationError",
     "SemanticsError",
     "SolverError",
     "SpecificationError",
+    "StageCache",
     "SynthesisError",
     "SynthesisHandle",
     "SynthesisJob",
@@ -150,6 +161,7 @@ __all__ = [
     "ValidationError",
     "build_cfg",
     "build_task",
+    "compile_plan",
     "check_invariant",
     "compile_problem",
     "default_engine",

@@ -26,9 +26,10 @@ binds here as well.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import replace
 from typing import Iterable, Iterator
 
@@ -41,11 +42,15 @@ from repro.invariants.synthesis import (
     result_from_solution,
 )
 from repro.pipeline.cache import TaskCache
+from repro.reduction.escalate import DEADLINE_SKIPPED, EscalationAttempt, EscalationTrace
 from repro.solvers.base import Solver, SolverOptions, SolverResult
 from repro.solvers.portfolio import make_solver
 from repro.solvers.strong import RepresentativeEnumerator
 
 EXECUTORS = ("auto", "thread", "process")
+
+#: Remaining-deadline floor below which another escalation rung is pointless.
+_ESCALATION_MIN_BUDGET = 0.01
 
 
 def _solve_system(solver: Solver, system) -> tuple[SolverResult, float]:
@@ -112,6 +117,13 @@ class Engine:
         Size bound of the solve-dedup result table (oldest entries evicted
         first), so a long-lived engine's memory stays bounded.  ``None``
         disables eviction.
+    translation_workers:
+        ``n > 1`` fans the independent per-pair Step-3 translations of each
+        reduction out across a dedicated worker pool of this width (of the
+        same kind as ``executor``: process pools parallelise the exact
+        arithmetic for real, thread pools mostly overlap translation with
+        other engine work).  ``0``/``1`` (the default) translates
+        sequentially.
     """
 
     def __init__(
@@ -122,9 +134,12 @@ class Engine:
         solver_options: SolverOptions | None = None,
         executor: str = "auto",
         max_cached_solves: int | None = 512,
+        translation_workers: int = 0,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
+        if translation_workers < 0:
+            raise ValueError(f"translation_workers must be non-negative, got {translation_workers}")
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; known executors: {', '.join(EXECUTORS)}")
         self.workers = workers
@@ -132,9 +147,11 @@ class Engine:
         self.max_cached_solves = max_cached_solves
         self.solver = solver
         self.solver_options = solver_options
+        self.translation_workers = translation_workers
         self._executor_kind = "thread" if executor == "auto" else executor
         self._threads: ThreadPoolExecutor | None = None
         self._processes: ProcessPoolExecutor | None = None
+        self._translators: Executor | None = None
         self._pool_lock = threading.Lock()
         self._solves: dict[tuple, Future] = {}
         self._solve_lock = threading.Lock()
@@ -170,13 +187,21 @@ class Engine:
         with self._pool_lock:
             threads, self._threads = self._threads, None
             processes, self._processes = self._processes, None
+            translators, self._translators = self._translators, None
         if threads is not None:
             threads.shutdown(wait=wait_for_pending)
         if processes is not None:
             processes.shutdown(wait=wait_for_pending)
+        if translators is not None:
+            translators.shutdown(wait=wait_for_pending)
 
     def stats(self) -> dict[str, float]:
-        """Cache and dedup counters (for service dashboards)."""
+        """Cache and dedup counters (for service dashboards).
+
+        Includes the per-stage hit/miss counters of the staged reduction
+        (``stage_frontend_hits``, ``stage_translation_misses``, ...) next to
+        the historical whole-task counters.
+        """
         stats = self.cache.stats()
         with self._solve_lock:
             stats["solves_cached"] = float(len(self._solves))
@@ -276,6 +301,27 @@ class Engine:
                 self._processes = ProcessPoolExecutor(max_workers=max(2, self.workers))
             return self._processes
 
+    def _translation_pool(self) -> Executor | None:
+        """The dedicated per-pair translation pool (``None`` when sequential).
+
+        Deliberately separate from the request thread pool: translation
+        sub-tasks submitted to the request pool from inside a request could
+        deadlock once every worker thread is itself a waiting request.
+        """
+        if self.translation_workers <= 1:
+            return None
+        with self._pool_lock:
+            if self._closed:
+                raise EngineClosedError("engine is closed")
+            if self._translators is None:
+                if self._executor_kind == "process":
+                    self._translators = ProcessPoolExecutor(max_workers=self.translation_workers)
+                else:
+                    self._translators = ThreadPoolExecutor(
+                        max_workers=self.translation_workers, thread_name_prefix="repro-translate"
+                    )
+            return self._translators
+
     def _effective_solver_options(self, request: SynthesisRequest) -> SolverOptions | None:
         """Request solver options over engine defaults, tightened by the deadline."""
         options = request.solver_options if request.solver_options is not None else self.solver_options
@@ -297,6 +343,105 @@ class Engine:
         task: SynthesisTask | None,
         enumerator: RepresentativeEnumerator | None,
     ) -> SynthesisResponse:
+        if request.options.is_auto_degree and task is None:
+            return self._execute_escalation(request, submission_id, solver, enumerator)
+        return self._execute_fixed(request, submission_id, solver, task, enumerator)
+
+    def _execute_escalation(
+        self,
+        request: SynthesisRequest,
+        submission_id: int,
+        solver: Solver | None,
+        enumerator: RepresentativeEnumerator | None,
+    ) -> SynthesisResponse:
+        """Adaptive degree escalation: run the d = 1..max_degree ladder.
+
+        Each rung is an ordinary fixed-degree execution (so it shares the
+        degree-independent reduction stages and the solve-dedup table with
+        everything else), under whatever remains of the request deadline.
+        The first rung that yields an invariant wins — its response is
+        returned, stamped with the full :class:`EscalationTrace`; errors at a
+        rung (e.g. an objective the small template cannot express) are
+        recorded and escalation continues.
+        """
+        total_start = time.perf_counter()
+        attempts: list[EscalationAttempt] = []
+        last_response: SynthesisResponse | None = None
+        last_usable: SynthesisResponse | None = None
+        final_degree: int | None = None
+        exhausted = False
+        for degree in request.options.escalation_degrees():
+            remaining: float | None = None
+            if request.deadline is not None:
+                remaining = float(request.deadline) - (time.perf_counter() - total_start)
+                if remaining <= _ESCALATION_MIN_BUDGET:
+                    attempts.append(EscalationAttempt(degree=degree, status=DEADLINE_SKIPPED))
+                    exhausted = True
+                    break
+            derived = dataclasses.replace(
+                request,
+                options=replace(request.options, degree=degree),
+                deadline=remaining,
+            )
+            start = time.perf_counter()
+            response = self._execute_fixed(derived, submission_id, solver, None, enumerator)
+            seconds = time.perf_counter() - start
+            attempts.append(
+                EscalationAttempt(
+                    degree=degree,
+                    status=response.status,
+                    seconds=seconds,
+                    reduction_seconds=response.timings.get("reduction_seconds", 0.0),
+                    solve_seconds=response.timings.get("solve_seconds", 0.0),
+                    from_cache=response.from_cache,
+                    error=f"{response.error.type}: {response.error.message}" if response.error else None,
+                )
+            )
+            last_response = response
+            if response.status != "error":
+                last_usable = response
+            if response.status == "ok":
+                final_degree = degree
+                break
+        trace = EscalationTrace(
+            attempts=tuple(attempts), final_degree=final_degree, exhausted_deadline=exhausted
+        )
+        # Prefer the winning rung; otherwise the last rung that at least ran
+        # the solver; otherwise the last error.
+        chosen = last_usable if final_degree is None else last_response
+        if chosen is None:
+            chosen = last_response
+        if chosen is None:  # pragma: no cover - deadline validation keeps rung 1 alive
+            chosen = SynthesisResponse(
+                mode=request.mode,
+                status="error",
+                request_id=request.request_id,
+                submission_id=submission_id,
+                error=ErrorInfo(type="SynthesisError", message="escalation ran no degree"),
+            )
+        chosen.escalation = trace.to_dict()
+        # Aggregate the ladder's timings over the winning rung's own — keeping
+        # its stage_* breakdown and stages_from_cache visible.
+        merged = dict(chosen.timings)
+        merged.update(
+            {
+                "reduction_seconds": sum(a.reduction_seconds for a in attempts),
+                "solve_seconds": sum(a.solve_seconds for a in attempts),
+                "escalation_attempts": float(len(trace.degrees_tried)),
+                "total_seconds": time.perf_counter() - total_start,
+            }
+        )
+        chosen.timings = merged
+        return chosen
+
+    def _execute_fixed(
+        self,
+        request: SynthesisRequest,
+        submission_id: int,
+        solver: Solver | None,
+        task: SynthesisTask | None,
+        enumerator: RepresentativeEnumerator | None,
+    ) -> SynthesisResponse:
         total_start = time.perf_counter()
         timings: dict[str, float] = {}
         built: SynthesisTask | None = None
@@ -307,8 +452,11 @@ class Engine:
                 timings["reduction_seconds"] = 0.0
             else:
                 start = time.perf_counter()
-                built, from_cache = self.cache.get_or_build(job)
+                built, from_cache, report = self.cache.get_or_build_with_report(
+                    job, translation_executor=self._translation_pool()
+                )
                 timings["reduction_seconds"] = time.perf_counter() - start
+                timings.update(report.timings())
 
             if request.reduce_only:
                 timings["total_seconds"] = time.perf_counter() - total_start

@@ -318,6 +318,18 @@ class SynthesisRequest:
             errors.append({"field": "request_id", "reason": "expected a string or null"})
         if not isinstance(self.reduce_only, bool):
             errors.append({"field": "reduce_only", "reason": "expected a boolean"})
+        if (
+            isinstance(self.reduce_only, bool)
+            and self.reduce_only
+            and isinstance(self.options, SynthesisOptions)
+            and self.options.is_auto_degree
+        ):
+            errors.append(
+                {
+                    "field": "options.degree",
+                    "reason": 'degree="auto" escalates through Step-4 solves; reduce_only requires a fixed degree',
+                }
+            )
 
         if errors:
             raise RequestValidationError(errors)

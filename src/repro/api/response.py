@@ -120,6 +120,11 @@ class SynthesisResponse:
     from_cache, shared_solve:
         Whether the reduction was reused from the task cache, and whether the
         solve was shared with an identical in-flight/completed request.
+    escalation:
+        For ``degree="auto"`` requests, the JSON form of the
+        :class:`~repro.reduction.escalate.EscalationTrace`: one entry per
+        tried degree with its status and timings, plus the minimal feasible
+        degree (``final_degree``).  ``None`` for fixed-degree requests.
     error:
         Structured failure info when ``status == "error"``.
     result, task, exception:
@@ -140,6 +145,7 @@ class SynthesisResponse:
     system_size: int | None = None
     from_cache: bool = False
     shared_solve: bool = False
+    escalation: dict | None = None
     error: ErrorInfo | None = None
     result: "SynthesisResult | None" = field(default=None, repr=False)
     task: "SynthesisTask | None" = field(default=None, repr=False)
@@ -202,6 +208,7 @@ class SynthesisResponse:
             "system_size": self.system_size,
             "from_cache": self.from_cache,
             "shared_solve": self.shared_solve,
+            "escalation": self.escalation,
             "error": self.error.to_dict() if self.error else None,
         }
 
@@ -233,6 +240,7 @@ class SynthesisResponse:
             system_size=payload.get("system_size"),
             from_cache=bool(payload.get("from_cache", False)),
             shared_solve=bool(payload.get("shared_solve", False)),
+            escalation=dict(payload["escalation"]) if payload.get("escalation") is not None else None,
             error=ErrorInfo.from_dict(error) if error else None,
         )
 

@@ -16,10 +16,24 @@ from repro.solvers.portfolio import parse_strategy, strategy_names
 from repro.suite.registry import all_benchmarks, benchmarks_by_category, get_benchmark
 
 
+def _degree(value: str) -> int | str:
+    """Parse the --degree flag: a positive integer or the literal "auto"."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected a degree or 'auto', got {value!r}") from exc
+
+
 def _overrides(args: argparse.Namespace) -> dict:
     overrides = parse_strategy(args.strategy)
     if args.translation:
         overrides["translation"] = args.translation
+    if args.degree is not None:
+        overrides["degree"] = args.degree
+    if args.max_degree is not None:
+        overrides["max_degree"] = args.max_degree
     return overrides
 
 
@@ -110,6 +124,21 @@ def main(argv: list[str] | None = None) -> int:
         "--translation",
         choices=["putinar", "handelman"],
         help="Step-3 translation scheme override (default: the paper's Putinar encoding)",
+    )
+    parser.add_argument(
+        "--degree",
+        type=_degree,
+        default=None,
+        help=(
+            "template degree override: a fixed d, or 'auto' to escalate "
+            "d = 1..max_degree and keep the minimal feasible degree (needs --solve)"
+        ),
+    )
+    parser.add_argument(
+        "--max-degree",
+        type=int,
+        default=None,
+        help="the largest degree tried by --degree auto (default: 3)",
     )
     parser.add_argument(
         "--strategy",

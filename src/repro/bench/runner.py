@@ -10,6 +10,7 @@ pool while results stream back.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -18,6 +19,7 @@ from repro.api.request import SynthesisRequest
 from repro.api.response import SynthesisResponse
 from repro.invariants.synthesis import SynthesisOptions
 from repro.pipeline.jobs import job_from_benchmark
+from repro.reduction import EscalationTrace
 from repro.solvers.base import Solver, SolverOptions
 from repro.solvers.qclp import PenaltyQCLPSolver
 from repro.suite.base import Benchmark
@@ -44,6 +46,9 @@ class Measurement:
     paper_variables: int | None = None
     notes: str = ""
     extra: dict[str, float] = field(default_factory=dict)
+    stages_cached: int = 0
+    escalation_attempts: int | None = None
+    final_degree: int | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -86,6 +91,18 @@ def request_from_benchmark(
     if options is None:
         job = job_from_benchmark(benchmark, quick=quick, **option_overrides)
         options = job.options
+        if options.is_auto_degree and "max_degree" not in option_overrides:
+            # Escalate at least up to the benchmark's own table degree —
+            # recursive rows declare targets that need d=3/4, which the
+            # uniform default ladder would never reach.
+            options = dataclasses.replace(
+                options, max_degree=max(options.max_degree, benchmark.degree)
+            )
+    if options.is_auto_degree and not solve:
+        raise ValueError(
+            'degree="auto" escalates through Step-4 solves; measure it with solve=True '
+            "(bench CLI: add --solve)"
+        )
     return SynthesisRequest(
         program=benchmark.source,
         mode="weak",
@@ -125,6 +142,17 @@ def measurement_from_response(benchmark: Benchmark, response: SynthesisResponse)
         )
     elif response.error is not None:
         solver_status = "error"
+    # Per-stage reduction timings and cache reuse (staged reduction).
+    extra.update(
+        {key: value for key, value in response.timings.items() if key.startswith("stage_")}
+    )
+    escalation_attempts = None
+    final_degree = None
+    if response.escalation is not None:
+        # Count only the rungs that actually ran (deadline-skipped entries
+        # record degrees the ladder never reached).
+        escalation_attempts = len(EscalationTrace.from_dict(response.escalation).degrees_tried)
+        final_degree = response.escalation.get("final_degree")
     return Measurement(
         name=benchmark.name,
         category=benchmark.category,
@@ -143,6 +171,9 @@ def measurement_from_response(benchmark: Benchmark, response: SynthesisResponse)
         paper_variables=benchmark.paper.variables if benchmark.paper else None,
         notes=benchmark.notes,
         extra=extra,
+        stages_cached=int(response.timings.get("stages_from_cache", 0.0)),
+        escalation_attempts=escalation_attempts,
+        final_degree=final_degree,
     )
 
 

@@ -7,6 +7,7 @@ from typing import Sequence
 
 from repro.bench.literature import LITERATURE_SUMMARY
 from repro.bench.runner import Measurement
+from repro.reduction import STAGE_NAMES
 
 
 def _format_runtime(seconds: float | None) -> str:
@@ -21,6 +22,8 @@ def _format_runtime(seconds: float | None) -> str:
 def table_rows(measurements: Sequence[Measurement]) -> list[dict[str, str]]:
     """The reproduced rows in the paper's column layout plus paper-reported columns."""
     with_strategy = any(measurement.strategy for measurement in measurements)
+    with_stages = any(measurement.stages_cached for measurement in measurements)
+    with_escalation = any(measurement.escalation_attempts is not None for measurement in measurements)
     rows = []
     for measurement in measurements:
         row = {
@@ -36,6 +39,16 @@ def table_rows(measurements: Sequence[Measurement]) -> list[dict[str, str]]:
         }
         if with_strategy:
             row["Strategy"] = measurement.strategy or "-"
+        if with_stages:
+            # How much of the staged Step 1-3 reduction came from the cache.
+            row["Stages cached"] = f"{measurement.stages_cached}/{len(STAGE_NAMES)}"
+        if with_escalation:
+            if measurement.escalation_attempts is None:
+                row["Escalation"] = "-"
+            elif measurement.final_degree is not None:
+                row["Escalation"] = f"d*={measurement.final_degree} ({measurement.escalation_attempts} tried)"
+            else:
+                row["Escalation"] = f"none ({measurement.escalation_attempts} tried)"
         rows.append(row)
     return rows
 

@@ -223,6 +223,12 @@ def generate_constraint_pairs(
     The initiation pairs of every function come first, followed by the
     consecution pairs in CFG transition order; pair names encode their origin
     (``init:``, ``step:``, ``guard:``, ``nondet:``, ``call:``, ``post:``).
+
+    The ordering (and everything else about the output) is a deterministic
+    function of the CFG, precondition and templates: the staged reduction
+    (:mod:`repro.reduction`) caches this stage under a content fingerprint of
+    those inputs and later stages key off the pair list, which is only sound
+    because equal inputs reproduce the identical pair sequence.
     """
     return _PairBuilder(cfg, precondition, templates).build()
 

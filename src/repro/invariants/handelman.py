@@ -21,11 +21,13 @@ benchmarks.
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
+from functools import partial
 from itertools import combinations_with_replacement
 from typing import Sequence
 
 from repro.invariants.constraints import ConstraintPair
-from repro.invariants.quadratic_system import QuadraticSystem
+from repro.invariants.quadratic_system import QuadraticSystem, merge_pair_systems
 from repro.invariants.template import UNKNOWN_PREFIX
 from repro.polynomial.polynomial import Polynomial
 
@@ -84,16 +86,39 @@ def translate_pair_handelman(
         system.add_equality(coefficient, origin=f"{pair.name}:coeff[{monomial}]")
 
 
+def translate_pair_handelman_system(
+    pair: ConstraintPair, pair_index: int, max_factors: int = 2, with_witness: bool = True
+) -> QuadraticSystem:
+    """One pair's Handelman translation as a standalone system (picklable worker)."""
+    system = QuadraticSystem()
+    translate_pair_handelman(pair, pair_index, system, max_factors=max_factors, with_witness=with_witness)
+    return system
+
+
 def handelman_translate(
     pairs: Sequence[ConstraintPair],
     max_factors: int = 2,
     with_witness: bool = True,
     objective: Polynomial | None = None,
+    executor: Executor | None = None,
 ) -> QuadraticSystem:
-    """Translate constraint pairs into a quadratic system with scalar multipliers."""
+    """Translate constraint pairs into a quadratic system with scalar multipliers.
+
+    ``executor`` fans the independent per-pair translations across a worker
+    pool and merges them back in pair-index order, yielding the same system
+    as the sequential loop (see :func:`repro.invariants.putinar.putinar_translate`).
+    """
     system = QuadraticSystem()
     if objective is not None:
         system.objective = objective
+    if executor is not None and len(pairs) > 1:
+        merge_pair_systems(
+            system,
+            pairs,
+            executor,
+            partial(translate_pair_handelman_system, max_factors=max_factors, with_witness=with_witness),
+        )
+        return system
     for index, pair in enumerate(pairs):
         translate_pair_handelman(pair, index, system, max_factors=max_factors, with_witness=with_witness)
     return system

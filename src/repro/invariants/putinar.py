@@ -17,11 +17,13 @@ eps-variables.
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 from repro.invariants.constraints import ConstraintPair
-from repro.invariants.quadratic_system import QuadraticSystem
+from repro.invariants.quadratic_system import QuadraticSystem, merge_pair_systems
 from repro.invariants.template import UNKNOWN_PREFIX
 from repro.polynomial.ordering import monomials_up_to_degree
 from repro.polynomial.polynomial import Polynomial
@@ -112,12 +114,29 @@ def translate_pair(
             )
 
 
+def translate_pair_system(
+    pair: ConstraintPair, pair_index: int, options: PutinarOptions
+) -> QuadraticSystem:
+    """Translate one constraint pair into its own standalone system.
+
+    Every unknown generated for a pair is namespaced by the pair index, so
+    per-pair systems merged back in index order are constraint-for-constraint
+    identical to a sequential translation.  This is the worker entry point of
+    the parallel translation (module-level, hence picklable for process
+    pools).
+    """
+    system = QuadraticSystem()
+    translate_pair(pair, pair_index, options, system)
+    return system
+
+
 def putinar_translate(
     pairs: Sequence[ConstraintPair],
     upsilon: int = 2,
     with_witness: bool = True,
     encode_sos: bool = True,
     objective: Polynomial | None = None,
+    executor: Executor | None = None,
 ) -> QuadraticSystem:
     """Translate all constraint pairs into one quadratic system.
 
@@ -133,11 +152,21 @@ def putinar_translate(
         See :class:`PutinarOptions`.
     objective:
         Optional objective polynomial over the unknowns (for Weak synthesis).
+    executor:
+        Optional worker pool.  Per-pair translations are independent, so they
+        fan out across the pool (:func:`translate_pair_system` per pair) and
+        merge back in pair-index order; the result is identical to the
+        sequential translation.  Process pools parallelise the exact
+        arithmetic for real; thread pools mostly help when callers overlap
+        translation with other work.
     """
     options = PutinarOptions(upsilon=upsilon, with_witness=with_witness, encode_sos=encode_sos)
     system = QuadraticSystem()
     if objective is not None:
         system.objective = objective
+    if executor is not None and len(pairs) > 1:
+        merge_pair_systems(system, pairs, executor, partial(translate_pair_system, options=options))
+        return system
     for index, pair in enumerate(pairs):
         translate_pair(pair, index, options, system)
     return system

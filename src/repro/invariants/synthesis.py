@@ -25,135 +25,41 @@ cores (:func:`build_task`, :func:`result_from_solution`,
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import Executor
 from typing import Mapping, Union
 
 from repro.cfg.builder import build_cfg
-from repro.cfg.graph import ProgramCFG
-from repro.errors import SynthesisError
-from repro.invariants.generation import generate_constraint_pairs
 from repro.invariants.handelman import handelman_translate
-from repro.invariants.constraints import ConstraintPair
 from repro.invariants.putinar import putinar_translate
-from repro.invariants.quadratic_system import QuadraticSystem
 from repro.invariants.result import Invariant, SynthesisResult
 from repro.invariants.template import TemplateSet
 from repro.lang.ast_nodes import Program
 from repro.lang.parser import parse_program
 from repro.polynomial.polynomial import Polynomial
+from repro.reduction.options import AUTO_DEGREE, SynthesisOptions
+from repro.reduction.task import SynthesisTask
 from repro.spec.bounded import apply_bounded_reals_model
 from repro.spec.objectives import FeasibilityObjective, Objective
 from repro.spec.preconditions import Precondition, augment_entry_preconditions
 from repro.solvers.base import Solver, SolverResult
-from repro.solvers.portfolio import STRATEGIES
 from repro.solvers.strong import RepresentativeEnumerator
 
 ProgramLike = Union[str, Program]
 PreconditionLike = Union[None, Precondition, Mapping[str, Mapping[int, str]]]
 
-
-@dataclass(frozen=True)
-class SynthesisOptions:
-    """Parameters of the synthesis pipeline (the paper's d, n and Upsilon plus knobs).
-
-    Attributes
-    ----------
-    degree:
-        Degree ``d`` of the invariant templates.
-    conjuncts:
-        Number ``n`` of atomic assertions per label.
-    upsilon:
-        The technical parameter: degree bound of the SOS multipliers.
-    translation:
-        ``"putinar"`` (the paper's main encoding) or ``"handelman"``
-        (the Remark-2 alternative without Gram matrices).
-    add_entry_assumptions:
-        Add the implicit entry-label assumptions of Section 2.3.
-    bounded:
-        Apply the bounded-reals model (adds the compactness ball constraint of
-        Remark 5 to every label's pre-condition).  Compactness is only needed
-        for the *semi-completeness* guarantee; soundness holds without it and
-        the numeric solvers behave better on the un-balled systems, so the
-        default is off.
-    bound:
-        The bound ``c`` of the bounded-reals model.
-    with_witness:
-        Include strict positivity witnesses (set to ``False`` for the
-        non-strict variant of Remark 6).
-    encode_sos:
-        Encode SOS-ness of the multipliers through Cholesky factors.
-    strategy:
-        The Step-4 back-end: a registered strategy name (``"qclp"``,
-        ``"gauss-newton"``, ``"alternating"``, ...) or ``"portfolio"`` to
-        race several strategies on the compiled problem (see
-        :mod:`repro.solvers.portfolio`).
-    portfolio:
-        The strategy list raced when ``strategy="portfolio"`` (empty means
-        the default portfolio).
-    """
-
-    degree: int = 2
-    conjuncts: int = 1
-    upsilon: int = 2
-    translation: str = "putinar"
-    add_entry_assumptions: bool = True
-    bounded: bool = False
-    bound: int = 100
-    with_witness: bool = True
-    encode_sos: bool = True
-    strategy: str = "qclp"
-    portfolio: tuple[str, ...] = ()
-
-    def __post_init__(self) -> None:
-        if self.translation not in ("putinar", "handelman"):
-            raise SynthesisError(f"unknown translation {self.translation!r}")
-        object.__setattr__(self, "portfolio", tuple(self.portfolio))
-        known = (*STRATEGIES, "portfolio")
-        if self.strategy not in known:
-            raise SynthesisError(
-                f"unknown strategy {self.strategy!r}; known strategies: {', '.join(known)}"
-            )
-        unknown = [name for name in self.portfolio if name not in STRATEGIES]
-        if unknown:
-            raise SynthesisError(
-                f"unknown portfolio strategies {unknown!r}; known strategies: {', '.join(STRATEGIES)}"
-            )
-        if len(set(self.portfolio)) != len(self.portfolio):
-            raise SynthesisError(f"duplicate portfolio strategies in {self.portfolio!r}")
-
-    def reduction_fingerprint(self) -> tuple:
-        """The option fields that determine the Step 1-3 reduction.
-
-        Solver-side knobs (``strategy``, ``portfolio``) are deliberately
-        excluded so jobs differing only in their Step-4 back-end share one
-        reduction in the pipeline's task cache.
-        """
-        return (
-            self.degree,
-            self.conjuncts,
-            self.upsilon,
-            self.translation,
-            self.add_entry_assumptions,
-            self.bounded,
-            self.bound,
-            self.with_witness,
-            self.encode_sos,
-        )
-
-
-@dataclass
-class SynthesisTask:
-    """Everything Step 1-3 produced, before any solver runs."""
-
-    program: Program
-    cfg: ProgramCFG
-    precondition: Precondition
-    templates: TemplateSet
-    pairs: list[ConstraintPair]
-    system: QuadraticSystem
-    options: SynthesisOptions
-    objective: Objective
-    statistics: dict[str, float] = field(default_factory=dict)
+__all__ = [
+    "AUTO_DEGREE",
+    "SynthesisOptions",
+    "SynthesisTask",
+    "build_task",
+    "build_task_monolithic",
+    "enumerate_task",
+    "rec_strong_inv_synth",
+    "rec_weak_inv_synth",
+    "result_from_solution",
+    "strong_inv_synth",
+    "weak_inv_synth",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -161,38 +67,58 @@ class SynthesisTask:
 # ---------------------------------------------------------------------------
 
 
-def _coerce_program(program: ProgramLike) -> Program:
-    if isinstance(program, Program):
-        return program
-    return parse_program(program)
-
-
-def _coerce_precondition(cfg: ProgramCFG, precondition: PreconditionLike) -> Precondition:
-    if precondition is None:
-        return Precondition.trivial()
-    if isinstance(precondition, Precondition):
-        return precondition.copy()
-    return Precondition.from_spec(cfg, precondition)
-
-
 def build_task(
     program: ProgramLike,
     precondition: PreconditionLike = None,
     objective: Objective | None = None,
     options: SynthesisOptions | None = None,
+    translation_executor: Executor | None = None,
 ) -> SynthesisTask:
-    """Run Steps 1-3 and return the resulting task (templates, pairs, system)."""
+    """Run Steps 1-3 and return the resulting task (templates, pairs, system).
+
+    Since the staged-reduction refactor this compiles the request into a
+    :class:`~repro.reduction.plan.ReductionPlan` and executes its stages
+    uncached (callers wanting cross-request stage reuse go through
+    :class:`~repro.pipeline.cache.TaskCache`, which runs the same plan
+    against a shared :class:`~repro.reduction.cache.StageCache`).  Pass
+    ``translation_executor`` to fan the independent per-pair translations of
+    Step 3 across a worker pool.
+    """
+    from repro.reduction.plan import compile_plan
+
+    plan = compile_plan(program, precondition, objective, options)
+    task, _ = plan.execute(cache=None, translation_executor=translation_executor)
+    return task
+
+
+def build_task_monolithic(
+    program: ProgramLike,
+    precondition: PreconditionLike = None,
+    objective: Objective | None = None,
+    options: SynthesisOptions | None = None,
+) -> SynthesisTask:
+    """The seed's monolithic Steps 1-3, kept as the differential-test oracle.
+
+    The staged :func:`build_task` must produce semantically identical tasks;
+    ``tests/property/test_reduction_equivalence.py`` checks the two paths
+    against each other.  Production code should never call this.
+    """
     options = options if options is not None else SynthesisOptions()
     objective = objective if objective is not None else FeasibilityObjective()
     statistics: dict[str, float] = {}
 
     start = time.perf_counter()
-    parsed = _coerce_program(program)
+    parsed = program if isinstance(program, Program) else parse_program(program)
     cfg = build_cfg(parsed)
     statistics["time_frontend"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    pre = _coerce_precondition(cfg, precondition)
+    if precondition is None:
+        pre = Precondition.trivial()
+    elif isinstance(precondition, Precondition):
+        pre = precondition.copy()
+    else:
+        pre = Precondition.from_spec(cfg, precondition)
     if options.add_entry_assumptions:
         pre = augment_entry_preconditions(cfg, pre)
     if options.bounded:
@@ -204,6 +130,8 @@ def build_task(
     statistics["time_templates"] = time.perf_counter() - start
 
     start = time.perf_counter()
+    from repro.invariants.generation import generate_constraint_pairs
+
     pairs = generate_constraint_pairs(cfg, pre, templates)
     statistics["time_constraint_pairs"] = time.perf_counter() - start
 

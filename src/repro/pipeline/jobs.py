@@ -6,24 +6,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 from repro.invariants.synthesis import SynthesisOptions
+from repro.reduction.plan import freeze_precondition, objective_fingerprint
 from repro.spec.objectives import Objective
 from repro.spec.preconditions import Precondition
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.suite.base import Benchmark
-
-
-def _freeze(value) -> object:
-    """A hashable, canonical view of a (possibly nested) precondition spec."""
-    if value is None:
-        return None
-    if isinstance(value, Precondition):
-        # Precondition objects are compared by identity: two jobs share a
-        # reduction only when they share the same precondition instance.
-        return ("precondition-object", id(value))
-    if isinstance(value, Mapping):
-        return tuple(sorted((key, _freeze(inner)) for key, inner in value.items()))
-    return value
 
 
 @dataclass(frozen=True)
@@ -51,14 +39,11 @@ class SynthesisJob:
         option knobs (``strategy``/``portfolio``) are excluded: jobs differing
         only in their Step-4 back-end still share one reduction.
         """
-        objective_key = None
-        if self.objective is not None:
-            objective_key = (type(self.objective).__qualname__, repr(self.objective))
         return (
             self.source,
-            _freeze(self.precondition),
+            freeze_precondition(self.precondition),
             self.options.reduction_fingerprint(),
-            objective_key,
+            objective_fingerprint(self.objective),
         )
 
     def solve_key(self) -> tuple:

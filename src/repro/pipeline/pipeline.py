@@ -160,10 +160,26 @@ class SynthesisPipeline:
         yields finished results.
         """
         jobs = list(jobs)
-        requests = [self._request_for(job, solve) for job in jobs]
+        # A job whose request cannot even be constructed (e.g. degree="auto"
+        # with solve=False) must become a per-job error outcome, not abort
+        # the batch: the pipeline shares the engine's contract that one bad
+        # request never takes the rest down.
+        prepared: list[tuple[SynthesisJob, object | None, str | None]] = []
+        for job in jobs:
+            try:
+                prepared.append((job, self._request_for(job, solve), None))
+            except Exception:
+                prepared.append((job, None, traceback.format_exc()))
+        requests = [request for _, request, _ in prepared if request is not None]
         try:
-            for job, response in zip(jobs, self.engine.map(requests, ordered=True)):
-                yield self._outcome_from_response(job, response, solve)
+            responses = iter(self.engine.map(requests, ordered=True))
+            for job, request, error in prepared:
+                if request is None:
+                    yield PipelineOutcome(
+                        job=job, task=None, result=None, reduction_seconds=0.0, error=error
+                    )
+                else:
+                    yield self._outcome_from_response(job, next(responses), solve)
         finally:
             # Scope the worker pools to this batch (the historical contract:
             # the old implementation opened its process pool per stream call).

@@ -1,0 +1,43 @@
+"""repro.reduction — the staged Step 1-3 reduction compiler.
+
+The paper's reduction (templates -> constraint pairs -> Positivstellensatz
+translation) is compiled into a :class:`~repro.reduction.plan.ReductionPlan`
+whose stages are individually fingerprinted, individually timed and memoised
+in a multi-level :class:`~repro.reduction.cache.StageCache`, so requests
+sharing any stage prefix reuse it.  ``SynthesisOptions(degree="auto")``
+additionally escalates the template degree adaptively (d = 1, 2, ...,
+``max_degree``), reusing the shared stages between rungs and returning the
+minimal-degree invariant.
+
+See DESIGN.md ("The staged reduction") for the stage/fingerprint diagram and
+the map from the old monolithic ``build_task``/``TaskCache`` pair to this
+package.
+"""
+
+# Import order matters: the light leaf modules (options, task, escalate,
+# cache) must load before plan/stages, whose imports re-enter this package
+# through repro.invariants.synthesis.
+from repro.reduction.options import AUTO_DEGREE, SynthesisOptions
+from repro.reduction.task import STAGE_NAMES, SynthesisTask
+from repro.reduction.escalate import EscalationAttempt, EscalationTrace
+from repro.reduction.cache import StageCache
+from repro.reduction.plan import (
+    ReductionPlan,
+    ReductionReport,
+    StageExecution,
+    compile_plan,
+)
+
+__all__ = [
+    "AUTO_DEGREE",
+    "EscalationAttempt",
+    "EscalationTrace",
+    "ReductionPlan",
+    "ReductionReport",
+    "STAGE_NAMES",
+    "StageCache",
+    "StageExecution",
+    "SynthesisOptions",
+    "SynthesisTask",
+    "compile_plan",
+]

@@ -1,0 +1,106 @@
+"""Adaptive degree escalation: the "smallest template that works" ladder.
+
+With ``SynthesisOptions(degree="auto")`` the engine tries fixed degrees
+d = 1, 2, ..., ``max_degree`` in order, under the request deadline, and keeps
+the first (hence minimal) degree that yields an invariant — reproducing the
+paper's minimal-degree experiments as a first-class request mode.  Every
+attempt shares the degree-independent reduction stages (frontend,
+preconditions) through the stage cache, so escalation costs little more than
+the distinct template/translation work per degree.
+
+This module holds the pure data side of escalation — the per-attempt record
+and the trace that travels on the response envelope; the driver loop lives in
+:meth:`repro.api.engine.Engine` because it needs solvers and deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+#: Attempt statuses beyond the response statuses proper.
+DEADLINE_SKIPPED = "deadline-skipped"
+
+
+@dataclass(frozen=True)
+class EscalationAttempt:
+    """One rung of the degree ladder: what happened at a fixed degree.
+
+    ``status`` is the sub-response status (``"ok"``, ``"no_invariant"``,
+    ``"error"``) or ``"deadline-skipped"`` when the request deadline ran out
+    before the attempt could start.  Errors are recorded and escalation
+    continues: a degree too small to express the objective fails with a
+    specification error, which is precisely the "template too small" signal.
+    """
+
+    degree: int
+    status: str
+    seconds: float = 0.0
+    reduction_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    from_cache: bool = False
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "degree": self.degree,
+            "status": self.status,
+            "seconds": self.seconds,
+            "reduction_seconds": self.reduction_seconds,
+            "solve_seconds": self.solve_seconds,
+            "from_cache": self.from_cache,
+            "error": self.error,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "EscalationAttempt":
+        return EscalationAttempt(
+            degree=int(payload.get("degree", 0)),
+            status=str(payload.get("status", "")),
+            seconds=float(payload.get("seconds", 0.0)),
+            reduction_seconds=float(payload.get("reduction_seconds", 0.0)),
+            solve_seconds=float(payload.get("solve_seconds", 0.0)),
+            from_cache=bool(payload.get("from_cache", False)),
+            error=payload.get("error"),
+        )
+
+
+@dataclass(frozen=True)
+class EscalationTrace:
+    """The full degree ladder of one ``degree="auto"`` request.
+
+    ``final_degree`` is the minimal feasible degree (``None`` when no tried
+    degree produced an invariant); ``exhausted_deadline`` reports that the
+    ladder stopped early because the request deadline ran out.
+    """
+
+    attempts: tuple[EscalationAttempt, ...]
+    final_degree: int | None = None
+    exhausted_deadline: bool = False
+
+    @property
+    def degrees_tried(self) -> list[int]:
+        return [attempt.degree for attempt in self.attempts if attempt.status != DEADLINE_SKIPPED]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(attempt.seconds for attempt in self.attempts)
+
+    def to_dict(self) -> dict:
+        return {
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+            "final_degree": self.final_degree,
+            "exhausted_deadline": self.exhausted_deadline,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "EscalationTrace":
+        attempts = tuple(
+            EscalationAttempt.from_dict(attempt) for attempt in payload.get("attempts") or []
+        )
+        final_degree = payload.get("final_degree")
+        return EscalationTrace(
+            attempts=attempts,
+            final_degree=int(final_degree) if final_degree is not None else None,
+            exhausted_deadline=bool(payload.get("exhausted_deadline", False)),
+        )

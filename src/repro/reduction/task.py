@@ -1,0 +1,42 @@
+"""The reduction's output type and stage vocabulary.
+
+This module is deliberately import-light (no dependency on the CFG,
+template or translation modules at import time): it is what
+:mod:`repro.invariants.synthesis` pulls in to re-export
+:class:`SynthesisTask`, and keeping it a leaf breaks the import cycle
+``invariants -> synthesis -> reduction -> invariants``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.reduction.options import SynthesisOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cfg.graph import ProgramCFG
+    from repro.invariants.constraints import ConstraintPair
+    from repro.invariants.quadratic_system import QuadraticSystem
+    from repro.invariants.template import TemplateSet
+    from repro.lang.ast_nodes import Program
+    from repro.spec.objectives import Objective
+    from repro.spec.preconditions import Precondition
+
+#: Ordered names of the reduction stages (the progress/statistics vocabulary).
+STAGE_NAMES = ("frontend", "preconditions", "templates", "pairs", "translation")
+
+
+@dataclass
+class SynthesisTask:
+    """Everything Step 1-3 produced, before any solver runs."""
+
+    program: "Program"
+    cfg: "ProgramCFG"
+    precondition: "Precondition"
+    templates: "TemplateSet"
+    pairs: "list[ConstraintPair]"
+    system: "QuadraticSystem"
+    options: SynthesisOptions
+    objective: "Objective"
+    statistics: dict[str, float] = field(default_factory=dict)

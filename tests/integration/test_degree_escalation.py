@@ -1,0 +1,49 @@
+"""Acceptance: degree="auto" finds the minimal-degree feasible invariant.
+
+The running example needs a quadratic template (its target invariant has an
+``n_init^2`` monomial, so d=1 cannot even express the objective); several
+suite programs already succeed with a linear template.  In both cases the
+escalation ladder must stop at exactly that minimal degree and report the
+full trace on the envelope.
+"""
+
+import pytest
+
+from repro.api.engine import Engine
+from repro.api.request import SynthesisRequest
+from repro.reduction import EscalationTrace
+from repro.solvers.base import SolverOptions
+from repro.suite.registry import get_benchmark
+
+BUDGET = SolverOptions(restarts=1, max_iterations=200, time_limit=30.0)
+
+
+@pytest.mark.parametrize(
+    "name, minimal_degree",
+    [
+        ("sum", 2),        # the running example (Figure 2 / Example 9)
+        ("freire1", 1),    # suite: linear template suffices
+        ("cohendiv", 1),   # suite: linear template suffices
+    ],
+)
+def test_auto_degree_finds_the_minimal_feasible_degree(name, minimal_degree):
+    benchmark = get_benchmark(name)
+    request = SynthesisRequest(
+        program=benchmark.source,
+        mode="weak",
+        precondition=benchmark.precondition,
+        objective=benchmark.objective(),
+        options=benchmark.options(upsilon=1, degree="auto"),
+        solver_options=BUDGET,
+        request_id=name,
+    )
+    with Engine() as engine:
+        response = engine.synthesize(request)
+    assert response.status == "ok"
+    trace = EscalationTrace.from_dict(response.escalation)
+    assert trace.final_degree == minimal_degree
+    # Minimality: every earlier rung of the ladder failed to produce an invariant.
+    assert [attempt.degree for attempt in trace.attempts] == list(range(1, minimal_degree + 1))
+    assert all(attempt.status != "ok" for attempt in trace.attempts[:-1])
+    # The winning task really is a degree-d* reduction.
+    assert response.task is not None and response.task.options.degree == minimal_degree

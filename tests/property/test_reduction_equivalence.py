@@ -1,0 +1,170 @@
+"""Staged/escalated reductions are semantically identical to the monolithic seed path.
+
+The staged reduction compiler (:mod:`repro.reduction`) must be a pure
+refactoring of the seed's monolithic ``build_task``: for every option
+combination the two paths must produce the same constraint pairs, the same
+``QuadraticSystem`` and — after a deterministic Step-4 solve — the same
+``SynthesisResult``/response fingerprint.  Hypothesis drives the option space;
+the programs are kept tiny so each reduction stays in the milliseconds.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api.engine import Engine
+from repro.api.request import SynthesisRequest
+from repro.invariants.synthesis import (
+    SynthesisOptions,
+    build_task,
+    build_task_monolithic,
+    result_from_solution,
+)
+from repro.pipeline.cache import TaskCache
+from repro.pipeline.jobs import SynthesisJob
+from repro.reduction.plan import compile_plan
+from repro.solvers.base import SolverOptions
+from repro.solvers.qclp import PenaltyQCLPSolver
+
+LOOP_SOURCE = """
+count(n) {
+    i := 0;
+    while i <= n do
+        i := i + 1
+    od;
+    return i
+}
+"""
+
+BRANCH_SOURCE = """
+gain(x) {
+    y := 0;
+    while x >= 1 do
+        if * then y := y + x else y := y + 1 fi;
+        x := x - 1
+    od;
+    return y
+}
+"""
+
+PROGRAMS = {
+    "loop": (LOOP_SOURCE, {"count": {1: "n >= 0"}}),
+    "branch": (BRANCH_SOURCE, {"gain": {1: "x >= 0"}}),
+}
+
+options_strategy = st.builds(
+    SynthesisOptions,
+    degree=st.integers(min_value=1, max_value=2),
+    conjuncts=st.integers(min_value=1, max_value=2),
+    upsilon=st.integers(min_value=1, max_value=2),
+    translation=st.sampled_from(["putinar", "handelman"]),
+    add_entry_assumptions=st.booleans(),
+    with_witness=st.booleans(),
+    encode_sos=st.booleans(),
+)
+
+
+def _system_snapshot(task):
+    return (
+        [str(constraint) for constraint in task.system.constraints],
+        str(task.system.objective),
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=st.sampled_from(sorted(PROGRAMS)), options=options_strategy)
+def test_staged_reduction_matches_monolithic(program, options):
+    source, precondition = PROGRAMS[program]
+    staged = build_task(source, precondition, None, options)
+    monolithic = build_task_monolithic(source, precondition, None, options)
+
+    assert [pair.name for pair in staged.pairs] == [pair.name for pair in monolithic.pairs]
+    assert staged.templates.coefficient_names() == monolithic.templates.coefficient_names()
+    assert _system_snapshot(staged) == _system_snapshot(monolithic)
+    # The statistics vocabulary of the seed is preserved.
+    for key in ("time_frontend", "time_preconditions", "time_templates",
+                "time_constraint_pairs", "time_translation", "constraint_pairs", "system_size"):
+        assert key in staged.statistics, key
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=st.sampled_from(sorted(PROGRAMS)), options=options_strategy)
+def test_stage_cached_reduction_matches_cold(program, options):
+    """A reduction assembled from cached stages equals a cold one."""
+    source, precondition = PROGRAMS[program]
+    cache = TaskCache()
+    # Warm the prefix stages with a *different* suffix configuration first.
+    warm_options = SynthesisOptions(
+        degree=3 - options.degree if options.degree in (1, 2) else 1,
+        conjuncts=options.conjuncts,
+        upsilon=options.upsilon,
+        translation=options.translation,
+        add_entry_assumptions=options.add_entry_assumptions,
+        with_witness=options.with_witness,
+        encode_sos=options.encode_sos,
+    )
+    cache.get_or_build(SynthesisJob(name="warm", source=source, precondition=precondition, options=warm_options))
+    task, from_cache = cache.get_or_build(
+        SynthesisJob(name="cold", source=source, precondition=precondition, options=options)
+    )
+    assert not from_cache  # different degree: a whole-task miss, stages partially reused
+    assert _system_snapshot(task) == _system_snapshot(build_task_monolithic(source, precondition, None, options))
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=st.sampled_from(sorted(PROGRAMS)), upsilon=st.integers(min_value=1, max_value=2))
+def test_fixed_degree_result_fingerprint_matches_seed_path(program, upsilon):
+    """Engine (staged, cached) and seed (monolithic task) solves agree exactly.
+
+    The solver is deterministic (fixed seed, no time limit), so identical
+    quadratic systems must yield identical assignments, hence identical
+    response/result fingerprints.
+    """
+    source, precondition = PROGRAMS[program]
+    options = SynthesisOptions(degree=1, upsilon=upsilon)
+    solver_options = SolverOptions(restarts=1, max_iterations=120, time_limit=None, seed=0)
+
+    monolithic_task = build_task_monolithic(source, precondition, None, options)
+    seed_result = result_from_solution(
+        monolithic_task, PenaltyQCLPSolver(solver_options).solve(monolithic_task.system)
+    )
+
+    request = SynthesisRequest(
+        program=source,
+        mode="weak",
+        precondition=precondition,
+        options=options,
+        solver_options=solver_options,
+    )
+    with Engine() as engine:
+        engine.synthesize(request)          # cold: populates the stage cache
+        response = engine.synthesize(request)  # warm: assembled from cached stages
+    assert response.ok
+    assert response.result is not None
+    assert response.result.solver_status == seed_result.solver_status
+    if seed_result.assignment is None:
+        assert response.result.assignment is None
+    else:
+        assert response.result.assignment == dict(seed_result.assignment)
+    assert [inv.pretty() for inv in response.result.invariants] == [
+        inv.pretty() for inv in seed_result.invariants
+    ]
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(options=options_strategy)
+def test_escalated_rung_system_equals_fixed_degree_system(options):
+    """Each rung of the degree ladder reduces exactly like the fixed-degree request."""
+    source, precondition = PROGRAMS["loop"]
+    for degree in SynthesisOptions(degree="auto", max_degree=2).escalation_degrees():
+        rung = SynthesisOptions(
+            degree=degree,
+            conjuncts=options.conjuncts,
+            upsilon=options.upsilon,
+            translation=options.translation,
+            add_entry_assumptions=options.add_entry_assumptions,
+            with_witness=options.with_witness,
+            encode_sos=options.encode_sos,
+        )
+        staged, _ = compile_plan(source, precondition, None, rung).execute()
+        assert _system_snapshot(staged) == _system_snapshot(
+            build_task_monolithic(source, precondition, None, rung)
+        )

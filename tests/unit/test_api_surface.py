@@ -7,14 +7,17 @@ CI instead of shipping silently.
 
 import repro
 import repro.api
+import repro.reduction
 
 EXPECTED_REPRO_ALL = [
+    "AUTO_DEGREE",
     "AlternatingSolver",
     "CheckReport",
     "CompiledProblem",
     "ConjunctiveAssertion",
     "Engine",
     "ErrorInfo",
+    "EscalationTrace",
     "FeasibilityObjective",
     "GaussNewtonSolver",
     "InfeasibleError",
@@ -29,12 +32,14 @@ EXPECTED_REPRO_ALL = [
     "Postcondition",
     "Precondition",
     "QuadraticSystem",
+    "ReductionPlan",
     "RepresentativeEnumerator",
     "ReproError",
     "RequestValidationError",
     "SemanticsError",
     "SolverError",
     "SpecificationError",
+    "StageCache",
     "SynthesisError",
     "SynthesisHandle",
     "SynthesisJob",
@@ -51,6 +56,7 @@ EXPECTED_REPRO_ALL = [
     "build_cfg",
     "build_task",
     "check_invariant",
+    "compile_plan",
     "compile_problem",
     "default_engine",
     "generate_constraint_pairs",
@@ -87,6 +93,21 @@ EXPECTED_API_ALL = [
 ]
 
 
+EXPECTED_REDUCTION_ALL = [
+    "AUTO_DEGREE",
+    "EscalationAttempt",
+    "EscalationTrace",
+    "ReductionPlan",
+    "ReductionReport",
+    "STAGE_NAMES",
+    "StageCache",
+    "StageExecution",
+    "SynthesisOptions",
+    "SynthesisTask",
+    "compile_plan",
+]
+
+
 def test_repro_all_matches_snapshot():
     assert sorted(repro.__all__) == sorted(EXPECTED_REPRO_ALL)
 
@@ -95,11 +116,17 @@ def test_repro_api_all_matches_snapshot():
     assert sorted(repro.api.__all__) == sorted(EXPECTED_API_ALL)
 
 
+def test_repro_reduction_all_matches_snapshot():
+    assert sorted(repro.reduction.__all__) == sorted(EXPECTED_REDUCTION_ALL)
+
+
 def test_every_exported_name_resolves():
     for name in repro.__all__:
         assert getattr(repro, name, None) is not None, name
     for name in repro.api.__all__:
         assert getattr(repro.api, name, None) is not None, name
+    for name in repro.reduction.__all__:
+        assert getattr(repro.reduction, name, None) is not None, name
 
 
 def test_paper_entry_points_route_through_the_engine():
