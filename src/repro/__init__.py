@@ -67,6 +67,16 @@ from repro.api import (
     default_engine,
     reset_default_engine,
 )
+from repro.certify import (
+    Certificate,
+    CertificateCheck,
+    LiftResult,
+    VerificationOutcome,
+    check_certificate,
+    lift_solution,
+    repair_solution,
+    verify_solution,
+)
 from repro.cfg import build_cfg
 from repro.invariants import (
     CheckReport,
@@ -118,6 +128,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AUTO_DEGREE",
     "AlternatingSolver",
+    "Certificate",
+    "CertificateCheck",
     "CheckReport",
     "CompiledProblem",
     "ConjunctiveAssertion",
@@ -129,6 +141,7 @@ __all__ = [
     "InfeasibleError",
     "Interpreter",
     "Invariant",
+    "LiftResult",
     "Monomial",
     "ParseError",
     "PenaltyQCLPSolver",
@@ -159,12 +172,17 @@ __all__ = [
     "TargetInvariantObjective",
     "TemplateSet",
     "ValidationError",
+    "VerificationOutcome",
     "build_cfg",
     "build_task",
-    "compile_plan",
+    "check_certificate",
     "check_invariant",
+    "compile_plan",
     "compile_problem",
     "default_engine",
+    "lift_solution",
+    "repair_solution",
+    "verify_solution",
     "generate_constraint_pairs",
     "job_from_benchmark",
     "parse_assertion",

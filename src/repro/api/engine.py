@@ -158,6 +158,15 @@ class Engine:
         self._submit_lock = threading.Lock()
         self._next_id = 0
         self._closed = False
+        self._verify_lock = threading.Lock()
+        self._verify_stats = {
+            "verify_requested": 0,
+            "verify_passed": 0,
+            "verify_failed": 0,
+            "repair_rounds": 0,
+            "repair_successes": 0,
+            "certificates_issued": 0,
+        }
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -206,7 +215,19 @@ class Engine:
         with self._solve_lock:
             stats["solves_cached"] = float(len(self._solves))
         stats["submissions"] = float(self._next_id)
+        with self._verify_lock:
+            stats.update({key: float(value) for key, value in self._verify_stats.items()})
         return stats
+
+    def _record_verification(self, outcome) -> None:
+        with self._verify_lock:
+            self._verify_stats["verify_requested"] += 1
+            self._verify_stats["verify_passed" if outcome.verified else "verify_failed"] += 1
+            self._verify_stats["repair_rounds"] += outcome.repair_rounds
+            if outcome.repaired:
+                self._verify_stats["repair_successes"] += 1
+            if outcome.certificate is not None:
+                self._verify_stats["certificates_issued"] += 1
 
     # -- submission --------------------------------------------------------------
 
@@ -400,7 +421,13 @@ class Engine:
             last_response = response
             if response.status != "error":
                 last_usable = response
-            if response.status == "ok":
+            # A rung only wins outright when its invariant also passed the
+            # requested verification tier; an "ok"-but-unverified rung is
+            # kept as a fallback while escalation tries higher degrees for a
+            # certifiable one.
+            if response.status == "ok" and (
+                response.verification is None or response.verification.get("verified")
+            ):
                 final_degree = degree
                 break
         trace = EscalationTrace(
@@ -472,6 +499,8 @@ class Engine:
                     task=built,
                 )
 
+            certificate = None
+            verification = None
             if request.mode in STRONG_MODES:
                 start = time.perf_counter()
                 chosen = enumerator
@@ -488,7 +517,56 @@ class Engine:
             else:
                 solve_result, solve_seconds, shared = self._weak_solve(request, job, built, solver, task)
                 timings["solve_seconds"] = solve_seconds
-                result = result_from_solution(built, solve_result, solve_seconds=solve_seconds)
+                exact_assignment = None
+                if request.options.verify != "none" and solve_result.feasible:
+                    from repro.certify.verify import verify_solution
+
+                    remaining: float | None = None
+                    if request.deadline is not None:
+                        remaining = max(
+                            0.0, float(request.deadline) - (time.perf_counter() - total_start)
+                        )
+                    outcome = verify_solution(
+                        built,
+                        solve_result,
+                        request.options,
+                        solver_options=self._effective_solver_options(request),
+                        deadline_seconds=remaining,
+                    )
+                    self._record_verification(outcome)
+                    if outcome.solve_result is not None:  # a repair round re-solved
+                        solve_result = outcome.solve_result
+                        shared = False
+                        # Overwrite the dedup table with the repaired solve:
+                        # identical future requests start from the verified
+                        # solution instead of re-living the failing lift and
+                        # the repair re-race.  The cached duration charges
+                        # the repair race to the solve that produced the
+                        # result, not just the rejected first attempt.
+                        # (Verification itself is deliberately *not*
+                        # deduplicated: the solve-level table covers the
+                        # expensive stage, and concurrent identical verifies
+                        # are deterministic duplicates, not divergences.)
+                        if solver is None and task is None:
+                            self._replace_cached_solve(
+                                request, job, solve_result, solve_seconds + outcome.seconds
+                            )
+                    if outcome.certificate is not None:
+                        certificate = outcome.certificate.to_dict()
+                        exact_assignment = outcome.exact_assignment
+                    verification = outcome.to_dict()
+                    timings["verify_seconds"] = outcome.seconds
+                result = result_from_solution(
+                    built,
+                    solve_result,
+                    solve_seconds=solve_seconds,
+                    exact_assignment=exact_assignment,
+                )
+                if verification is not None:
+                    result.statistics["verify_repair_rounds"] = float(
+                        verification.get("repair_rounds", 0)
+                    )
+                    result.statistics["verified"] = float(bool(verification.get("verified")))
 
             timings["total_seconds"] = time.perf_counter() - total_start
             return response_from_result(
@@ -499,6 +577,8 @@ class Engine:
                 from_cache=from_cache,
                 shared_solve=shared,
                 task=built,
+                certificate=certificate,
+                verification=verification,
             )
         except Exception as exc:  # per-request failures become structured errors
             timings["total_seconds"] = time.perf_counter() - total_start
@@ -547,12 +627,7 @@ class Engine:
             result, seconds = self._run_solve(solver, task.system)
             return result, seconds, False
 
-        key = (
-            job.solve_key(),
-            ("engine-solver", request.deadline)
-            if self.solver is not None
-            else ("resolved", repr(options)),
-        )
+        key = self._solve_dedup_key(request, job)
         with self._solve_lock:
             future = self._solves.get(key)
             owner = future is None
@@ -578,6 +653,27 @@ class Engine:
             raise
         future.set_result(pair)
         return pair[0], pair[1], False
+
+    def _solve_dedup_key(self, request: SynthesisRequest, job) -> tuple:
+        """The solve-dedup table key of a (non-escape-hatch) request."""
+        options = self._effective_solver_options(request)
+        return (
+            job.solve_key(),
+            ("engine-solver", request.deadline)
+            if self.solver is not None
+            else ("resolved", repr(options)),
+        )
+
+    def _replace_cached_solve(
+        self, request: SynthesisRequest, job, result: SolverResult, seconds: float
+    ) -> None:
+        """Overwrite a dedup entry with a repair-round result (already resolved)."""
+        future: Future = Future()
+        future.set_result((result, seconds))
+        key = self._solve_dedup_key(request, job)
+        with self._solve_lock:
+            if key in self._solves:
+                self._solves[key] = future
 
     def _run_solve(self, solver: Solver, system) -> tuple[SolverResult, float]:
         if self._executor_kind == "process" and self.workers > 1:

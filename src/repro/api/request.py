@@ -305,6 +305,17 @@ class SynthesisRequest:
             errors.append(
                 {"field": "objective", "reason": f"mode {self.mode!r} enumerates representatives and takes no objective"}
             )
+        if (
+            isinstance(self.options, SynthesisOptions)
+            and self.options.verify != "none"
+            and self.mode in STRONG_MODES
+        ):
+            errors.append(
+                {
+                    "field": "options.verify",
+                    "reason": f"verification applies to weak modes only; mode {self.mode!r} enumerates representatives",
+                }
+            )
 
         if not isinstance(self.options, SynthesisOptions):
             errors.append({"field": "options", "reason": "expected SynthesisOptions"})

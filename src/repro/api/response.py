@@ -125,6 +125,16 @@ class SynthesisResponse:
         :class:`~repro.reduction.escalate.EscalationTrace`: one entry per
         tried degree with its status and timings, plus the minimal feasible
         degree (``final_degree``).  ``None`` for fixed-degree requests.
+    certificate:
+        For ``verify="exact"`` requests that verified, the JSON form of the
+        exact :class:`~repro.certify.certificate.Certificate` — rebuild it
+        with ``Certificate.from_dict`` and re-validate independently with
+        :func:`repro.certify.check_certificate`.  ``None`` otherwise.
+    verification:
+        Verification summary (``verify != "none"``): the tier, whether the
+        result verified, repair rounds used, the lift denominator, timings
+        and the failure reason when unverified.  ``None`` when verification
+        was not requested.
     error:
         Structured failure info when ``status == "error"``.
     result, task, exception:
@@ -146,6 +156,8 @@ class SynthesisResponse:
     from_cache: bool = False
     shared_solve: bool = False
     escalation: dict | None = None
+    certificate: dict | None = None
+    verification: dict | None = None
     error: ErrorInfo | None = None
     result: "SynthesisResult | None" = field(default=None, repr=False)
     task: "SynthesisTask | None" = field(default=None, repr=False)
@@ -209,6 +221,8 @@ class SynthesisResponse:
             "from_cache": self.from_cache,
             "shared_solve": self.shared_solve,
             "escalation": self.escalation,
+            "certificate": self.certificate,
+            "verification": self.verification,
             "error": self.error.to_dict() if self.error else None,
         }
 
@@ -241,6 +255,8 @@ class SynthesisResponse:
             from_cache=bool(payload.get("from_cache", False)),
             shared_solve=bool(payload.get("shared_solve", False)),
             escalation=dict(payload["escalation"]) if payload.get("escalation") is not None else None,
+            certificate=dict(payload["certificate"]) if payload.get("certificate") is not None else None,
+            verification=dict(payload["verification"]) if payload.get("verification") is not None else None,
             error=ErrorInfo.from_dict(error) if error else None,
         )
 
@@ -262,6 +278,8 @@ def response_from_result(
     from_cache: bool = False,
     shared_solve: bool = False,
     task: "SynthesisTask | None" = None,
+    certificate: dict | None = None,
+    verification: dict | None = None,
 ) -> SynthesisResponse:
     """Wrap a rich :class:`~repro.invariants.result.SynthesisResult` into an envelope."""
     return SynthesisResponse(
@@ -278,6 +296,8 @@ def response_from_result(
         system_size=result.system_size,
         from_cache=from_cache,
         shared_solve=shared_solve,
+        certificate=certificate,
+        verification=verification,
         result=result,
         task=task,
     )

@@ -34,6 +34,8 @@ def _overrides(args: argparse.Namespace) -> dict:
         overrides["degree"] = args.degree
     if args.max_degree is not None:
         overrides["max_degree"] = args.max_degree
+    if args.verify:
+        overrides["verify"] = args.verify
     return overrides
 
 
@@ -147,6 +149,15 @@ def main(argv: list[str] | None = None) -> int:
             + ", ".join(strategy_names())
             + "; 'portfolio' for the default racing line-up, or a comma-separated "
             "list of strategies to race"
+        ),
+    )
+    parser.add_argument(
+        "--verify",
+        choices=["none", "sample", "exact"],
+        help=(
+            "post-solve verification tier (needs --solve): 'sample' re-checks by "
+            "simulation + pair sampling, 'exact' lifts every solution to a rational "
+            "certificate validated in pure Fraction arithmetic (repairing on rejection)"
         ),
     )
     parser.add_argument(

@@ -49,11 +49,17 @@ class Measurement:
     stages_cached: int = 0
     escalation_attempts: int | None = None
     final_degree: int | None = None
+    verified: bool | None = None
+    repair_rounds: int | None = None
 
     @property
     def total_seconds(self) -> float:
-        """Reduction plus solve time (the paper's runtime column spans both)."""
-        return self.reduction_seconds + (self.solve_seconds or 0.0)
+        """Reduction + solve + verification time (the full cost of the row)."""
+        return (
+            self.reduction_seconds
+            + (self.solve_seconds or 0.0)
+            + self.extra.get("verify_seconds", 0.0)
+        )
 
 
 def bench_solver_options() -> SolverOptions:
@@ -146,6 +152,12 @@ def measurement_from_response(benchmark: Benchmark, response: SynthesisResponse)
     extra.update(
         {key: value for key, value in response.timings.items() if key.startswith("stage_")}
     )
+    verified = None
+    repair_rounds = None
+    if response.verification is not None:
+        verified = bool(response.verification.get("verified"))
+        repair_rounds = int(response.verification.get("repair_rounds", 0))
+        extra["verify_seconds"] = float(response.timings.get("verify_seconds", 0.0))
     escalation_attempts = None
     final_degree = None
     if response.escalation is not None:
@@ -174,6 +186,8 @@ def measurement_from_response(benchmark: Benchmark, response: SynthesisResponse)
         stages_cached=int(response.timings.get("stages_from_cache", 0.0)),
         escalation_attempts=escalation_attempts,
         final_degree=final_degree,
+        verified=verified,
+        repair_rounds=repair_rounds,
     )
 
 

@@ -24,6 +24,7 @@ def table_rows(measurements: Sequence[Measurement]) -> list[dict[str, str]]:
     with_strategy = any(measurement.strategy for measurement in measurements)
     with_stages = any(measurement.stages_cached for measurement in measurements)
     with_escalation = any(measurement.escalation_attempts is not None for measurement in measurements)
+    with_verification = any(measurement.verified is not None for measurement in measurements)
     rows = []
     for measurement in measurements:
         row = {
@@ -49,6 +50,14 @@ def table_rows(measurements: Sequence[Measurement]) -> list[dict[str, str]]:
                 row["Escalation"] = f"d*={measurement.final_degree} ({measurement.escalation_attempts} tried)"
             else:
                 row["Escalation"] = f"none ({measurement.escalation_attempts} tried)"
+        if with_verification:
+            if measurement.verified is None:
+                row["Verified"] = "-"
+            else:
+                status = "yes" if measurement.verified else "NO"
+                if measurement.repair_rounds:
+                    status += f" ({measurement.repair_rounds} repair)"
+                row["Verified"] = status
         rows.append(row)
     return rows
 

@@ -1,0 +1,126 @@
+"""Exact rational linear algebra for certificate lifting and checking.
+
+Two small, fully exact routines over :class:`fractions.Fraction`:
+
+* :func:`solve_linear` — solve an (under/over-determined) linear system
+  ``A x = b`` exactly, pinning the free variables to a caller-supplied guess,
+  so the solution stays close to the numeric point the solver found;
+* :func:`ldl_decompose` — the rational ``L D L^T`` decomposition that decides
+  positive semidefiniteness of a symmetric rational matrix *exactly* (no
+  square roots, no eigenvalue tolerances).
+
+Both are deliberately dependency-free (no numpy): certificate checking must
+not inherit floating-point semantics from the solver stack.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+def solve_linear(
+    matrix: Sequence[Sequence[Fraction]],
+    rhs: Sequence[Fraction],
+    guess: Sequence[Fraction],
+) -> list[Fraction] | None:
+    """Solve ``matrix @ x = rhs`` exactly, pinning free variables to ``guess``.
+
+    The system is reduced to RREF over :class:`Fraction`; non-pivot columns
+    are fixed at their ``guess`` values and the pivot columns solved from the
+    reduced rows.  Returns ``None`` when the system is inconsistent.  The
+    ``guess`` supplies both the dimension of ``x`` and the preferred values of
+    the solution's free coordinates.
+    """
+    rows = len(matrix)
+    cols = len(guess)
+    augmented = [list(matrix[i]) + [rhs[i]] for i in range(rows)]
+    pivots: list[tuple[int, int]] = []
+    rank = 0
+    for col in range(cols):
+        pivot_row = None
+        for r in range(rank, rows):
+            if augmented[r][col]:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        augmented[rank], augmented[pivot_row] = augmented[pivot_row], augmented[rank]
+        pivot = augmented[rank][col]
+        if pivot != _ONE:
+            augmented[rank] = [value / pivot for value in augmented[rank]]
+        lead = augmented[rank]
+        for r in range(rows):
+            if r == rank:
+                continue
+            factor = augmented[r][col]
+            if factor:
+                row = augmented[r]
+                augmented[r] = [a - factor * b for a, b in zip(row, lead)]
+        pivots.append((rank, col))
+        rank += 1
+        if rank == rows:
+            break
+    for r in range(rank, rows):
+        if augmented[r][cols]:
+            return None
+    pivot_columns = {col for _, col in pivots}
+    solution = [Fraction(guess[j]) if j not in pivot_columns else _ZERO for j in range(cols)]
+    for r, c in pivots:
+        value = augmented[r][cols]
+        row = augmented[r]
+        for j in range(cols):
+            if j != c and row[j] and j not in pivot_columns:
+                value -= row[j] * solution[j]
+        solution[c] = value
+    return solution
+
+
+def ldl_decompose(
+    matrix: Sequence[Sequence[Fraction]],
+) -> tuple[list[list[Fraction]], list[Fraction]] | None:
+    """Exact ``L D L^T`` of a symmetric rational matrix; ``None`` when not PSD.
+
+    Returns ``(L, D)`` with ``L`` unit lower-triangular and ``D`` a
+    non-negative diagonal, such that ``matrix == L diag(D) L^T`` exactly.
+    A zero pivot is only admissible when its entire remaining column is zero
+    (the standard exact PSD criterion); a negative pivot, or a zero pivot
+    with a non-zero column, certifies that the matrix is *not* PSD.
+    """
+    n = len(matrix)
+    work = [[Fraction(matrix[i][j]) for j in range(n)] for i in range(n)]
+    for i in range(n):
+        for j in range(i):
+            if work[i][j] != work[j][i]:
+                return None
+    lower = [[_ONE if i == j else _ZERO for j in range(n)] for i in range(n)]
+    diagonal = [_ZERO] * n
+    for k in range(n):
+        pivot = work[k][k]
+        if pivot < 0:
+            return None
+        if pivot == 0:
+            if any(work[r][k] for r in range(k + 1, n)):
+                return None
+            continue
+        diagonal[k] = pivot
+        for r in range(k + 1, n):
+            lower[r][k] = work[r][k] / pivot
+        for r in range(k + 1, n):
+            if not work[r][k]:
+                continue
+            factor = lower[r][k]
+            for c in range(k + 1, r + 1):
+                if work[c][k]:
+                    update = factor * work[c][k]
+                    work[r][c] -= update
+                    work[c][r] = work[r][c]
+    return lower, diagonal
+
+
+def is_psd(matrix: Sequence[Sequence[Fraction]]) -> bool:
+    """Whether a symmetric rational matrix is PSD (decided exactly)."""
+    return ldl_decompose(matrix) is not None

@@ -18,7 +18,6 @@ invariant, both by exact certificate substitution and by simulation.
 """
 
 from repro.invariants.constraints import ConstraintPair
-from repro.invariants.checker import CheckReport, check_invariant
 from repro.invariants.generation import generate_constraint_pairs
 from repro.invariants.handelman import handelman_translate
 from repro.invariants.putinar import putinar_translate
@@ -34,6 +33,10 @@ from repro.invariants.synthesis import (
     weak_inv_synth,
 )
 from repro.invariants.template import PostTemplateEntry, TemplateEntry, TemplateSet
+
+# Imported last: the checker is now a shim over repro.certify.sampling, whose
+# imports re-enter this package's submodules.
+from repro.invariants.checker import CheckReport, check_invariant
 
 __all__ = [
     "CheckReport",

@@ -1,226 +1,18 @@
-"""Independent validation of candidate invariants.
+"""Backwards-compatible shim over :mod:`repro.certify.sampling`.
 
-A synthesized invariant should never be trusted just because the solver said
-so.  This module re-validates a concrete invariant three ways:
-
-* **Simulation** — execute valid runs of the program and check the invariant
-  at every visited stack element (Lemma 2.1 / 2.2 say an inductive invariant
-  can never be falsified this way).
-* **Constraint-pair sampling** — rebuild the Step-2 constraint pairs with the
-  *concrete* invariant substituted for the template and falsify the resulting
-  implications on random valuations.
-* **Certificate search** (optional, slower) — look for an explicit Putinar/SOS
-  certificate of every concrete constraint pair via
-  :func:`repro.solvers.sdp.check_putinar_certificate`.
+The independent invariant checker moved into the certificate subsystem as its
+*sampling* tier (``verify="sample"``); the exact, solver-free tier lives in
+:mod:`repro.certify.lift` / :mod:`repro.certify.certificate`.  Existing
+callers of ``repro.invariants.checker`` keep working through this module —
+see DESIGN.md ("Certificates and repair") for the old→new map — but new code
+should import from :mod:`repro.certify` directly.
 """
 
-from __future__ import annotations
+from repro.certify.sampling import (
+    CheckReport,
+    Violation,
+    check_invariant,
+    derive_argument_sets,
+)
 
-import random
-from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Mapping, Sequence
-
-from repro.cfg.graph import ProgramCFG
-from repro.cfg.labels import Label
-from repro.invariants.generation import generate_constraint_pairs
-from repro.invariants.result import Invariant
-from repro.polynomial.polynomial import Polynomial
-from repro.semantics.interpreter import ExecutionLimits, Interpreter
-from repro.semantics.scheduler import RandomScheduler
-from repro.spec.assertions import ConjunctiveAssertion
-from repro.spec.preconditions import Precondition
-
-
-@dataclass(frozen=True)
-class _ConcreteEntry:
-    """Adapter presenting a concrete assertion with the template-entry interface."""
-
-    assertion: ConjunctiveAssertion
-
-    def polynomials(self) -> list[Polynomial]:
-        return [atom.polynomial for atom in self.assertion]
-
-
-class _InvariantAsTemplates:
-    """Adapter so that :func:`generate_constraint_pairs` can run on a concrete invariant."""
-
-    def __init__(self, invariant: Invariant):
-        self._invariant = invariant
-
-    def at(self, label: Label) -> _ConcreteEntry:
-        return _ConcreteEntry(self._invariant.at(label))
-
-    def post_entry_for(self, function: str) -> _ConcreteEntry:
-        return _ConcreteEntry(self._invariant.postcondition(function))
-
-    def has_postconditions(self) -> bool:
-        return bool(self._invariant.postconditions)
-
-
-@dataclass
-class Violation:
-    """One witnessed violation: where, and the valuation that falsifies it."""
-
-    kind: str
-    location: str
-    valuation: Mapping[str, float]
-
-    def __str__(self) -> str:
-        values = ", ".join(f"{k}={v:g}" for k, v in sorted(self.valuation.items()))
-        return f"{self.kind} violated at {self.location} with {{{values}}}"
-
-
-@dataclass
-class CheckReport:
-    """Aggregated outcome of all enabled checks."""
-
-    simulation_runs: int = 0
-    simulation_elements_checked: int = 0
-    pair_samples: int = 0
-    pairs_checked: int = 0
-    certificate_pairs_checked: int = 0
-    certificate_failures: list[str] = field(default_factory=list)
-    violations: list[Violation] = field(default_factory=list)
-
-    @property
-    def passed(self) -> bool:
-        """Whether no check produced a violation."""
-        return not self.violations and not self.certificate_failures
-
-    def summary(self) -> str:
-        status = "PASS" if self.passed else "FAIL"
-        return (
-            f"{status}: {self.simulation_runs} runs "
-            f"({self.simulation_elements_checked} states), "
-            f"{self.pairs_checked} constraint pairs x {self.pair_samples} samples, "
-            f"{self.certificate_pairs_checked} certificates, "
-            f"{len(self.violations)} violations"
-        )
-
-
-def _simulate(
-    cfg: ProgramCFG,
-    precondition: Precondition,
-    invariant: Invariant,
-    argument_sets: Sequence[Mapping[str, Fraction | int | float]],
-    report: CheckReport,
-    seed: int,
-    max_steps: int,
-) -> None:
-    interpreter = Interpreter(
-        cfg, scheduler=RandomScheduler(seed=seed), limits=ExecutionLimits(max_steps=max_steps)
-    )
-    for arguments in argument_sets:
-        result = interpreter.run(arguments)
-        report.simulation_runs += 1
-        valid = True
-        for configuration in result.trace:
-            if not configuration:
-                continue
-            element = configuration.top()
-            float_valuation = {name: float(value) for name, value in element.valuation.items()}
-            if not precondition.holds_at(element.label, float_valuation):
-                valid = False
-            if not valid:
-                break
-            report.simulation_elements_checked += 1
-            if not invariant.at(element.label).holds(float_valuation):
-                report.violations.append(
-                    Violation(kind="invariant", location=str(element.label), valuation=float_valuation)
-                )
-        if result.completed and invariant.postconditions:
-            main_cfg = cfg.main
-            final_elements = [c.top() for c in result.trace if len(c) == 1]
-            if final_elements:
-                last = final_elements[-1]
-                float_valuation = {name: float(value) for name, value in last.valuation.items()}
-                post = invariant.postcondition(main_cfg.name)
-                if last.label.is_endpoint and not post.holds(float_valuation):
-                    report.violations.append(
-                        Violation(kind="postcondition", location=main_cfg.name, valuation=float_valuation)
-                    )
-
-
-def _sample_pairs(
-    cfg: ProgramCFG,
-    precondition: Precondition,
-    invariant: Invariant,
-    report: CheckReport,
-    samples: int,
-    value_range: float,
-    seed: int,
-) -> None:
-    adapter = _InvariantAsTemplates(invariant)
-    pairs = generate_constraint_pairs(cfg, precondition, adapter)  # type: ignore[arg-type]
-    rng = random.Random(seed)
-    report.pairs_checked = len(pairs)
-    report.pair_samples = samples
-    for pair in pairs:
-        names = pair.relevant_program_variables()
-        for _ in range(samples):
-            valuation = {name: rng.uniform(-value_range, value_range) for name in names}
-            if rng.random() < 0.5:
-                valuation = {name: float(round(value)) for name, value in valuation.items()}
-            if not pair.holds_numerically(valuation):
-                report.violations.append(
-                    Violation(kind="constraint-pair", location=pair.name, valuation=valuation)
-                )
-                break
-
-
-def _check_certificates(
-    cfg: ProgramCFG,
-    precondition: Precondition,
-    invariant: Invariant,
-    report: CheckReport,
-    upsilon: int,
-    epsilon: float,
-) -> None:
-    from repro.solvers.sdp import check_putinar_certificate
-
-    adapter = _InvariantAsTemplates(invariant)
-    pairs = generate_constraint_pairs(cfg, precondition, adapter)  # type: ignore[arg-type]
-    for pair in pairs:
-        report.certificate_pairs_checked += 1
-        outcome = check_putinar_certificate(pair, upsilon=upsilon, epsilon=epsilon)
-        if not outcome.feasible:
-            report.certificate_failures.append(pair.name)
-
-
-def check_invariant(
-    cfg: ProgramCFG,
-    precondition: Precondition,
-    invariant: Invariant,
-    argument_sets: Sequence[Mapping[str, Fraction | int | float]] = (),
-    pair_samples: int = 50,
-    sample_range: float = 25.0,
-    with_certificates: bool = False,
-    upsilon: int = 2,
-    epsilon: float = 1e-6,
-    seed: int = 0,
-    max_steps: int = 5000,
-) -> CheckReport:
-    """Run every enabled validation of ``invariant`` and return a report.
-
-    Parameters
-    ----------
-    argument_sets:
-        Concrete argument valuations for the entry function; each produces one
-        simulated run.  Arguments violating the entry pre-condition simply
-        yield invalid runs that are skipped, so callers can pass broad grids.
-    pair_samples, sample_range:
-        How many random valuations to throw at each concrete constraint pair,
-        and from what box.
-    with_certificates:
-        Also search for explicit SOS certificates (slow; use on small
-        programs or selected pairs).
-    """
-    report = CheckReport()
-    if argument_sets:
-        _simulate(cfg, precondition, invariant, argument_sets, report, seed, max_steps)
-    if pair_samples > 0:
-        _sample_pairs(cfg, precondition, invariant, report, pair_samples, sample_range, seed + 1)
-    if with_certificates:
-        _check_certificates(cfg, precondition, invariant, report, upsilon, epsilon)
-    return report
+__all__ = ["CheckReport", "Violation", "check_invariant", "derive_argument_sets"]

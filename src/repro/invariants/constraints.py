@@ -18,12 +18,20 @@ from repro.polynomial.polynomial import Polynomial
 
 @dataclass(frozen=True)
 class ConstraintPair:
-    """One constraint pair ``(Gamma, g)`` of the paper's Step 2."""
+    """One constraint pair ``(Gamma, g)`` of the paper's Step 2.
+
+    ``target`` records which template entity the conclusion instantiates —
+    ``"label:<function>:<index>"`` for an invariant template,
+    ``"post:<function>"`` for a post-condition template, empty when unknown.
+    This is the template↔pair provenance the certificate subsystem uses to
+    report *where* each certified implication lives.
+    """
 
     name: str
     assumptions: tuple[Polynomial, ...]
     conclusion: Polynomial
     program_variables: tuple[str, ...]
+    target: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "assumptions", tuple(self.assumptions))
@@ -94,6 +102,7 @@ class ConstraintPair:
             assumptions=tuple(p.substitute(substitution) for p in self.assumptions),
             conclusion=self.conclusion.substitute(substitution),
             program_variables=self.program_variables,
+            target=self.target,
         )
 
     def __str__(self) -> str:

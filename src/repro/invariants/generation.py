@@ -55,6 +55,7 @@ class _PairBuilder:
         assumptions: Iterable[Polynomial],
         conclusions: Iterable[Polynomial],
         program_variables: tuple[str, ...],
+        target: str = "",
     ) -> None:
         assumption_tuple = tuple(p for p in assumptions if not p.is_zero())
         for index, conclusion in enumerate(conclusions):
@@ -64,8 +65,13 @@ class _PairBuilder:
                     assumptions=assumption_tuple,
                     conclusion=conclusion,
                     program_variables=program_variables,
+                    target=target,
                 )
             )
+
+    @staticmethod
+    def _label_target(label: Label) -> str:
+        return f"label:{label.function}:{label.index}"
 
     # -- initiation ------------------------------------------------------------------
 
@@ -76,6 +82,7 @@ class _PairBuilder:
             assumptions=self._pre(entry),
             conclusions=self._template_polys(entry),
             program_variables=function_cfg.variables,
+            target=self._label_target(entry),
         )
 
     # -- consecution per transition kind ------------------------------------------------
@@ -95,6 +102,7 @@ class _PairBuilder:
             assumptions=assumptions,
             conclusions=conclusions,
             program_variables=function_cfg.variables,
+            target=self._label_target(target),
         )
         # Step 2.b: post-condition consecution at return transitions.
         if target.is_endpoint and self._templates.has_postconditions():
@@ -105,6 +113,7 @@ class _PairBuilder:
                 assumptions=assumptions,
                 conclusions=post_conclusions,
                 program_variables=function_cfg.variables,
+                target=f"post:{function_cfg.name}",
             )
 
     def _guard_pair(self, function_cfg: FunctionCFG, transition: Transition) -> None:
@@ -124,6 +133,7 @@ class _PairBuilder:
                 assumptions=[*base_assumptions, *clause_polys],
                 conclusions=conclusions,
                 program_variables=function_cfg.variables,
+                target=self._label_target(target),
             )
 
     def _nondet_pair(self, function_cfg: FunctionCFG, transition: Transition) -> None:
@@ -137,6 +147,7 @@ class _PairBuilder:
             ],
             conclusions=self._template_polys(target),
             program_variables=function_cfg.variables,
+            target=self._label_target(target),
         )
 
     def _call_pair(self, function_cfg: FunctionCFG, transition: Transition) -> None:
@@ -194,6 +205,7 @@ class _PairBuilder:
             assumptions=assumptions,
             conclusions=conclusions,
             program_variables=(*function_cfg.variables, fresh),
+            target=self._label_target(target),
         )
 
     # -- driver ------------------------------------------------------------------------

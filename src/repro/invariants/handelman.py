@@ -27,7 +27,7 @@ from itertools import combinations_with_replacement
 from typing import Sequence
 
 from repro.invariants.constraints import ConstraintPair
-from repro.invariants.quadratic_system import QuadraticSystem, merge_pair_systems
+from repro.invariants.quadratic_system import PairProvenance, QuadraticSystem, merge_pair_systems
 from repro.invariants.template import UNKNOWN_PREFIX
 from repro.polynomial.polynomial import Polynomial
 
@@ -36,16 +36,20 @@ def _has_unknowns(polynomial: Polynomial) -> bool:
     return any(name.startswith(UNKNOWN_PREFIX) for name in polynomial.variables())
 
 
-def _products(
+def enumerate_products(
     assumptions: Sequence[Polynomial], max_factors: int
-) -> list[tuple[str, Polynomial]]:
+) -> list[tuple[str, tuple[int, ...], Polynomial]]:
     """All admissible products ``S^I`` of at most ``max_factors`` assumptions.
 
-    The empty product (the constant 1) is always included; products containing
-    more than one unknown-bearing factor are skipped to keep the final system
-    quadratic.
+    Returns ``(label, factor indices, product)`` triples; the empty product
+    (the constant 1, index combination ``()``) is always first.  Products
+    containing more than one unknown-bearing factor are skipped to keep the
+    final system quadratic.  The enumeration order is the certificate
+    contract: the ``k``-th triple owns the multiplier unknown
+    ``$t_<tag>_<k>_0``, and :mod:`repro.certify` re-runs this enumeration to
+    reconstruct witnesses from a numeric solution.
     """
-    products: list[tuple[str, Polynomial]] = [("1", Polynomial.one())]
+    products: list[tuple[str, tuple[int, ...], Polynomial]] = [("1", (), Polynomial.one())]
     for count in range(1, max_factors + 1):
         for combination in combinations_with_replacement(range(len(assumptions)), count):
             factors = [assumptions[i] for i in combination]
@@ -55,7 +59,7 @@ def _products(
             for factor in factors:
                 product = product * factor
             label = "*".join(f"g{i}" for i in combination)
-            products.append((label, product))
+            products.append((label, combination, product))
     return products
 
 
@@ -69,6 +73,18 @@ def translate_pair_handelman(
     """Translate one constraint pair with the Handelman/Schweighofer scheme."""
     tag = f"c{pair_index}"
     variables = pair.relevant_program_variables()
+    system.provenance.append(
+        PairProvenance(
+            index=pair_index,
+            name=pair.name,
+            target=pair.target,
+            scheme="handelman",
+            assumption_count=len(pair.assumptions),
+            variables=tuple(variables),
+            max_factors=max_factors,
+            with_witness=with_witness,
+        )
+    )
 
     rhs = Polynomial.zero()
     if with_witness:
@@ -76,7 +92,9 @@ def translate_pair_handelman(
         system.add_positive(witness, origin=f"{pair.name}:witness")
         rhs = rhs + witness
 
-    for product_index, (label, product) in enumerate(_products(pair.assumptions, max_factors)):
+    for product_index, (label, _combo, product) in enumerate(
+        enumerate_products(pair.assumptions, max_factors)
+    ):
         multiplier = Polynomial.variable(f"{UNKNOWN_PREFIX}t_{tag}_{product_index}_0")
         system.add_nonnegative(multiplier, origin=f"{pair.name}:lambda[{label}]")
         rhs = rhs + multiplier * product

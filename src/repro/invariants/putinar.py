@@ -23,7 +23,7 @@ from functools import partial
 from typing import Sequence
 
 from repro.invariants.constraints import ConstraintPair
-from repro.invariants.quadratic_system import QuadraticSystem, merge_pair_systems
+from repro.invariants.quadratic_system import PairProvenance, QuadraticSystem, merge_pair_systems
 from repro.invariants.template import UNKNOWN_PREFIX
 from repro.polynomial.ordering import monomials_up_to_degree
 from repro.polynomial.polynomial import Polynomial
@@ -77,6 +77,18 @@ def translate_pair(
     tag = _pair_tag(pair_index)
     variables: Sequence[str] = pair.relevant_program_variables()
     monomials = monomials_up_to_degree(variables, options.upsilon)
+    system.provenance.append(
+        PairProvenance(
+            index=pair_index,
+            name=pair.name,
+            target=pair.target,
+            scheme="putinar",
+            assumption_count=len(pair.assumptions),
+            variables=tuple(variables),
+            upsilon=options.upsilon,
+            with_witness=options.with_witness,
+        )
+    )
 
     multipliers = [
         _multiplier_polynomial(tag, which, monomials)

@@ -92,12 +92,48 @@ class QuadraticConstraint:
         return f"{self.polynomial} {relation} 0"
 
 
+@dataclass(frozen=True)
+class PairProvenance:
+    """Where one constraint pair's translated block came from (Step-3 provenance).
+
+    Recorded by the Putinar/Handelman translators, one entry per constraint
+    pair in pair-index order.  ``index`` keys the unknown namespace (every
+    generated t-/l-/eps-variable of the pair carries the ``c{index}`` tag),
+    ``target`` carries the template↔pair origin recorded by Step 2
+    (``"label:<function>:<index>"`` / ``"post:<function>"``), and the scheme
+    knobs pin down exactly which witness shape the block encodes.  The
+    certificate subsystem (:mod:`repro.certify`) reconstructs the witness
+    polynomials of a numeric solution from this record alone.
+    """
+
+    index: int
+    name: str
+    target: str
+    scheme: str
+    assumption_count: int
+    variables: tuple[str, ...]
+    upsilon: int | None = None
+    max_factors: int | None = None
+    with_witness: bool = True
+
+    @property
+    def tag(self) -> str:
+        """The unknown-namespace tag of this pair (``c{index}``)."""
+        return f"c{self.index}"
+
+
 @dataclass
 class QuadraticSystem:
-    """An ordered collection of quadratic constraints over the unknowns."""
+    """An ordered collection of quadratic constraints over the unknowns.
+
+    ``provenance`` carries one :class:`PairProvenance` per translated
+    constraint pair (in pair-index order) when the system was produced by a
+    Step-3 translator; systems assembled by hand leave it empty.
+    """
 
     constraints: list[QuadraticConstraint] = field(default_factory=list)
     objective: Polynomial = field(default_factory=Polynomial.zero)
+    provenance: list[PairProvenance] = field(default_factory=list)
 
     # -- mutation tracking -----------------------------------------------------------
     #
@@ -149,8 +185,9 @@ class QuadraticSystem:
             self.add(constraint)
 
     def merge(self, other: "QuadraticSystem") -> None:
-        """Append all constraints of ``other`` to this system."""
+        """Append all constraints (and pair provenance) of ``other`` to this system."""
         self.constraints.extend(other.constraints)
+        self.provenance.extend(other.provenance)
         self._bump_version()
 
     # -- queries ----------------------------------------------------------------------

@@ -176,20 +176,25 @@ def _clean_assignment(assignment: Mapping[str, float], threshold: float = 1e-7) 
     return {name: (0.0 if abs(value) < threshold else round(value, 9)) for name, value in assignment.items()}
 
 
-def _instantiate_invariant(task: SynthesisTask, assignment: Mapping[str, float]) -> Invariant:
-    cleaned = _clean_assignment(assignment)
+def _instantiate_invariant(
+    task: SynthesisTask, assignment: Mapping[str, float], clean: bool = True
+) -> Invariant:
+    values: Mapping = _clean_assignment(assignment) if clean else assignment
     assertions = {
-        label: entry.instantiate_assertion(cleaned) for label, entry in task.templates.entries.items()
+        label: entry.instantiate_assertion(values) for label, entry in task.templates.entries.items()
     }
     postconditions = {
-        name: entry.instantiate_assertion(cleaned)
+        name: entry.instantiate_assertion(values)
         for name, entry in task.templates.post_entries.items()
     }
     return Invariant(assertions=assertions, postconditions=postconditions)
 
 
 def result_from_solution(
-    task: SynthesisTask, solve_result: SolverResult, solve_seconds: float | None = None
+    task: SynthesisTask,
+    solve_result: SolverResult,
+    solve_seconds: float | None = None,
+    exact_assignment: Mapping | None = None,
 ) -> SynthesisResult:
     """Assemble a :class:`SynthesisResult` from a task and a Step-4 solver outcome.
 
@@ -197,6 +202,11 @@ def result_from_solution(
     concrete invariant; :func:`weak_inv_synth` and the
     :class:`~repro.api.engine.Engine` both go through it, which is what
     guarantees batched and sequential runs produce identical results.
+
+    ``exact_assignment`` carries the certified rational template coefficients
+    of a ``verify="exact"`` run: the invariant is then instantiated from
+    those exact values (no float cleaning), so the reported assertions are
+    *precisely* the ones the attached certificate proves.
 
     ``task.statistics`` is copied, never mutated: the per-solve timing lands
     in the *result's* statistics (as ``time_solver``) so that one task can be
@@ -207,7 +217,11 @@ def result_from_solution(
     assignment = None
     if solve_result.feasible and solve_result.assignment is not None:
         assignment = dict(solve_result.assignment)
-        invariant = _instantiate_invariant(task, assignment)
+        if exact_assignment is not None:
+            invariant = _instantiate_invariant(task, exact_assignment, clean=False)
+            assignment.update({name: float(value) for name, value in exact_assignment.items()})
+        else:
+            invariant = _instantiate_invariant(task, assignment)
         invariants = [invariant]
 
     statistics = dict(task.statistics)

@@ -64,6 +64,21 @@ class SynthesisOptions:
     portfolio:
         The strategy list raced when ``strategy="portfolio"`` (empty means
         the default portfolio).
+    verify:
+        Post-solve verification tier (weak modes): ``"none"`` trusts the
+        solver, ``"sample"`` runs the dynamic checker
+        (:mod:`repro.certify.sampling`), ``"exact"`` lifts the solution to a
+        rational :class:`~repro.certify.certificate.Certificate` validated by
+        pure polynomial identity (:mod:`repro.certify.lift`).  A rejected
+        solution enters the counterexample-guided repair loop.
+    max_repair_rounds:
+        Bound on the repair loop's harvest-cut-rerace rounds after a failed
+        verification (0 disables repair).  Repair always re-races the solver
+        portfolio (this options' ``portfolio`` line-up when non-empty) — the
+        pinned ``strategy`` already produced the rejected solution.
+    verify_seed:
+        Seed of all verification/repair randomness (simulation schedules,
+        derived arguments, sample valuations), for reproducible runs.
     """
 
     degree: int | str = 2
@@ -78,6 +93,9 @@ class SynthesisOptions:
     strategy: str = "qclp"
     portfolio: tuple[str, ...] = ()
     max_degree: int = 3
+    verify: str = "none"
+    max_repair_rounds: int = 2
+    verify_seed: int = 0
 
     def __post_init__(self) -> None:
         from repro.solvers.portfolio import STRATEGIES
@@ -105,6 +123,20 @@ class SynthesisOptions:
             )
         if len(set(self.portfolio)) != len(self.portfolio):
             raise SynthesisError(f"duplicate portfolio strategies in {self.portfolio!r}")
+        if self.verify not in ("none", "sample", "exact"):
+            raise SynthesisError(
+                f"unknown verify tier {self.verify!r}; known tiers: none, sample, exact"
+            )
+        if (
+            isinstance(self.max_repair_rounds, bool)
+            or not isinstance(self.max_repair_rounds, int)
+            or self.max_repair_rounds < 0
+        ):
+            raise SynthesisError(
+                f"max_repair_rounds must be a non-negative integer, got {self.max_repair_rounds!r}"
+            )
+        if isinstance(self.verify_seed, bool) or not isinstance(self.verify_seed, int):
+            raise SynthesisError(f"verify_seed must be an integer, got {self.verify_seed!r}")
 
     @property
     def is_auto_degree(self) -> bool:
@@ -118,9 +150,11 @@ class SynthesisOptions:
     def reduction_fingerprint(self) -> tuple:
         """The option fields that determine the Step 1-3 reduction.
 
-        Solver-side knobs (``strategy``, ``portfolio``) are deliberately
-        excluded so jobs differing only in their Step-4 back-end share one
-        reduction in the pipeline's task cache.  ``bound`` only participates
+        Solver-side knobs (``strategy``, ``portfolio``) and the post-solve
+        verification knobs (``verify``, ``max_repair_rounds``,
+        ``verify_seed``) are deliberately excluded so jobs differing only in
+        their Step-4 back-end or their verification tier share one reduction
+        in the pipeline's task cache.  ``bound`` only participates
         when ``bounded=True``: an unused bound must not split the cache (two
         jobs differing only in an ignored ``bound`` share their reduction).
         """

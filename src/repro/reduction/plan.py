@@ -219,7 +219,11 @@ class ReductionPlan:
         polynomial: Polynomial = objective.polynomial(templates)
         if polynomial.is_zero():
             return translated
-        return QuadraticSystem(constraints=list(translated.constraints), objective=polynomial)
+        return QuadraticSystem(
+            constraints=list(translated.constraints),
+            objective=polynomial,
+            provenance=list(translated.provenance),
+        )
 
 
 def compile_plan(

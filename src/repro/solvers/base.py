@@ -11,6 +11,13 @@ from repro.invariants.quadratic_system import QuadraticSystem
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.solvers.problem import CompiledProblem, SolveControl
 
+#: The canonical numeric-solve defaults.  These used to be hard-coded at every
+#: consumer (``CompiledProblem``, ``SolveControl``); they now live here, next
+#: to the :class:`SolverOptions` fields they default, and every consumer
+#: resolves an explicit ``None`` back to them.
+DEFAULT_STRICT_MARGIN = 1e-4
+DEFAULT_TOLERANCE = 1e-5
+
 
 @dataclass(frozen=True)
 class SolverOptions:
@@ -46,9 +53,9 @@ class SolverOptions:
 
     max_iterations: int = 400
     restarts: int = 3
-    tolerance: float = 1e-5
+    tolerance: float = DEFAULT_TOLERANCE
     seed: int = 0
-    strict_margin: float = 1e-4
+    strict_margin: float = DEFAULT_STRICT_MARGIN
     verbose: bool = False
     time_limit: float | None = None
     stop_at_objective: float = 1e-6

@@ -37,6 +37,7 @@ from repro.invariants.quadratic_system import (
     VariableRole,
     classify_unknown,
 )
+from repro.solvers.base import DEFAULT_STRICT_MARGIN, DEFAULT_TOLERANCE
 from repro.polynomial.compiled import lower_quadratic
 from repro.polynomial.polynomial import Polynomial
 
@@ -113,11 +114,11 @@ class SolveControl:
     def __init__(
         self,
         deadline: Deadline | None = None,
-        tolerance: float = 1e-5,
+        tolerance: float | None = None,
         stop_on_feasible: bool = False,
     ):
         self.deadline = deadline if deadline is not None else Deadline.never()
-        self.tolerance = tolerance
+        self.tolerance = DEFAULT_TOLERANCE if tolerance is None else tolerance
         self.stop_on_feasible = stop_on_feasible
         self._stop = threading.Event()
         self._lock = threading.Lock()
@@ -229,12 +230,12 @@ class CompiledProblem:
     that a portfolio of solvers racing on the same system shares one IR.
     """
 
-    def __init__(self, system: QuadraticSystem, strict_margin: float = 1e-4):
+    def __init__(self, system: QuadraticSystem, strict_margin: float | None = None):
         self.system = system
         self.variables: list[str] = system.variables()
         self.index: dict[str, int] = {name: i for i, name in enumerate(self.variables)}
         self.dimension = len(self.variables)
-        self.strict_margin = strict_margin
+        self.strict_margin = DEFAULT_STRICT_MARGIN if strict_margin is None else strict_margin
 
         polynomials = [constraint.polynomial for constraint in system.constraints]
         self.constants, self.linear, self.quadratic = _compile_rows(
@@ -382,8 +383,13 @@ class CompiledProblem:
         return np.array([float(assignment.get(name, 0.0)) for name in self.variables])
 
 
-def compile_problem(system: QuadraticSystem, strict_margin: float = 1e-4) -> CompiledProblem:
+def compile_problem(system: QuadraticSystem, strict_margin: float | None = None) -> CompiledProblem:
     """The memoised :class:`CompiledProblem` of ``system``.
+
+    ``strict_margin`` defaults (via ``None``) to
+    :data:`~repro.solvers.base.DEFAULT_STRICT_MARGIN`; solvers pass their own
+    ``SolverOptions.strict_margin`` so a per-request margin reaches the
+    residual rewrite of the compiled problem.
 
     The cache lives on the system object itself and is keyed by the strict
     margin plus the system's mutation counter (every API-level mutation —
@@ -392,6 +398,8 @@ def compile_problem(system: QuadraticSystem, strict_margin: float = 1e-4) -> Com
     constraint count stays in the key as a belt-and-braces guard against
     direct ``system.constraints`` list mutation, which bypasses the counter.
     """
+    if strict_margin is None:
+        strict_margin = DEFAULT_STRICT_MARGIN
     key = (float(strict_margin), system.version, len(system.constraints))
     cache: dict | None = getattr(system, "_compiled_problems", None)
     if cache is None:

@@ -1,0 +1,92 @@
+"""Property tests: tampered certificates never pass the exact check."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.certify import Certificate, check_certificate, lift_solution
+from repro.certify.linalg import ldl_decompose
+from repro.invariants.synthesis import build_task
+from repro.pipeline.jobs import job_from_benchmark
+from repro.solvers.base import SolverOptions
+from repro.solvers.portfolio import make_solver
+from repro.suite.running_example import RUNNING_EXAMPLE
+
+
+@pytest.fixture(scope="module")
+def certified_sum():
+    benchmark = RUNNING_EXAMPLE
+    job = job_from_benchmark(benchmark, quick=True)
+    task = build_task(benchmark.source, benchmark.precondition, benchmark.objective(), job.options)
+    solver = make_solver(
+        "portfolio", options=SolverOptions(restarts=1, max_iterations=200, time_limit=60.0)
+    )
+    result = solver.solve(task.system)
+    assert result.feasible
+    lift = lift_solution(task, result.assignment)
+    assert lift.ok, lift.reason
+    assert check_certificate(lift.certificate, task=task).ok
+    return task, lift.certificate
+
+
+perturbations = st.fractions(
+    min_value=Fraction(-10), max_value=Fraction(10), max_denominator=64
+).filter(lambda value: value != 0)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data(), delta=perturbations)
+def test_perturbed_assignment_is_rejected(certified_sum, data, delta):
+    """Any nonzero nudge of a template coefficient breaks the task binding."""
+    task, certificate = certified_sum
+    names = sorted(certificate.assignment)
+    name = data.draw(st.sampled_from(names))
+    tampered = Certificate(
+        scheme=certificate.scheme,
+        assignment={**certificate.assignment, name: certificate.assignment[name] + delta},
+        pairs=certificate.pairs,
+        denominator=certificate.denominator,
+    )
+    assert not check_certificate(tampered, task=task).ok
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data(), delta=perturbations)
+def test_perturbed_witness_polynomials_are_rejected(certified_sum, data, delta):
+    """Nudging a conclusion, witness or lambda breaks the polynomial identity."""
+    from dataclasses import replace
+
+    task, certificate = certified_sum
+    index = data.draw(st.integers(min_value=0, max_value=len(certificate.pairs) - 1))
+    pair = certificate.pairs[index]
+    field = data.draw(st.sampled_from(["conclusion", "witness"]))
+    if field == "witness" and pair.witness is None:
+        field = "conclusion"
+    if field == "conclusion":
+        tampered_pair = replace(pair, conclusion=pair.conclusion + delta)
+    else:
+        tampered_pair = replace(pair, witness=pair.witness + delta)
+    pairs = list(certificate.pairs)
+    pairs[index] = tampered_pair
+    tampered = Certificate(
+        scheme=certificate.scheme,
+        assignment=certificate.assignment,
+        pairs=tuple(pairs),
+        denominator=certificate.denominator,
+    )
+    assert not check_certificate(tampered, task=task).ok
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.fractions(min_value=Fraction(-4), max_value=Fraction(4), max_denominator=32),
+    b=st.fractions(min_value=Fraction(-4), max_value=Fraction(4), max_denominator=32),
+    c=st.fractions(min_value=Fraction(-4), max_value=Fraction(4), max_denominator=32),
+)
+def test_ldl_agrees_with_the_psd_definition_on_2x2(a, b, c):
+    """Exact LDL accepts a symmetric 2x2 iff it is PSD (det/trace criterion)."""
+    matrix = [[a, b], [b, c]]
+    expected = a >= 0 and c >= 0 and a * c - b * b >= 0
+    assert (ldl_decompose(matrix) is not None) == expected

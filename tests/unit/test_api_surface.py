@@ -7,11 +7,14 @@ CI instead of shipping silently.
 
 import repro
 import repro.api
+import repro.certify
 import repro.reduction
 
 EXPECTED_REPRO_ALL = [
     "AUTO_DEGREE",
     "AlternatingSolver",
+    "Certificate",
+    "CertificateCheck",
     "CheckReport",
     "CompiledProblem",
     "ConjunctiveAssertion",
@@ -23,6 +26,7 @@ EXPECTED_REPRO_ALL = [
     "InfeasibleError",
     "Interpreter",
     "Invariant",
+    "LiftResult",
     "Monomial",
     "ParseError",
     "PenaltyQCLPSolver",
@@ -53,24 +57,58 @@ EXPECTED_REPRO_ALL = [
     "TargetInvariantObjective",
     "TemplateSet",
     "ValidationError",
+    "VerificationOutcome",
     "build_cfg",
     "build_task",
+    "check_certificate",
     "check_invariant",
     "compile_plan",
     "compile_problem",
     "default_engine",
     "generate_constraint_pairs",
     "job_from_benchmark",
+    "lift_solution",
     "parse_assertion",
     "parse_polynomial",
     "parse_program",
     "pretty_print",
     "rec_strong_inv_synth",
     "rec_weak_inv_synth",
+    "repair_solution",
     "reset_default_engine",
     "strong_inv_synth",
+    "verify_solution",
     "weak_inv_synth",
     "__version__",
+]
+
+EXPECTED_CERTIFY_ALL = [
+    "Certificate",
+    "CertificateCheck",
+    "CheckReport",
+    "DENOMINATOR_LADDER",
+    "ExactViolation",
+    "LiftResult",
+    "PairCertificate",
+    "RepairOutcome",
+    "RepairRound",
+    "SOSWitness",
+    "VERIFY_MODES",
+    "VerificationOutcome",
+    "Violation",
+    "certify_assignment",
+    "check_certificate",
+    "check_invariant",
+    "derive_argument_sets",
+    "exact_violations",
+    "harvest_trace_cuts",
+    "is_psd",
+    "ldl_decompose",
+    "lift_solution",
+    "rationalize",
+    "repair_solution",
+    "solve_linear",
+    "verify_solution",
 ]
 
 EXPECTED_API_ALL = [
@@ -120,6 +158,10 @@ def test_repro_reduction_all_matches_snapshot():
     assert sorted(repro.reduction.__all__) == sorted(EXPECTED_REDUCTION_ALL)
 
 
+def test_repro_certify_all_matches_snapshot():
+    assert sorted(repro.certify.__all__) == sorted(EXPECTED_CERTIFY_ALL)
+
+
 def test_every_exported_name_resolves():
     for name in repro.__all__:
         assert getattr(repro, name, None) is not None, name
@@ -127,6 +169,8 @@ def test_every_exported_name_resolves():
         assert getattr(repro.api, name, None) is not None, name
     for name in repro.reduction.__all__:
         assert getattr(repro.reduction, name, None) is not None, name
+    for name in repro.certify.__all__:
+        assert getattr(repro.certify, name, None) is not None, name
 
 
 def test_paper_entry_points_route_through_the_engine():
