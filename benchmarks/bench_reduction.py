@@ -13,12 +13,13 @@ is tracked across PRs::
    and assembles from cached stages.  The report also breaks out *prefix*
    reuse: how much of the warm-within-cold sweep (second degree of the first
    pass) came from shared frontend/precondition stages.
-2. **parallel translation** — the independent per-pair Putinar translations
-   of the largest systems, sequential vs fanned across a process pool.  The
-   speedup is reported honestly, including when it is below 1x: the
-   constraint systems these programs produce are output-heavy, so
-   materialising the per-pair results back in the parent bounds what any
-   pool can gain (see DESIGN.md, "The staged reduction").
+2. **translation** — the Putinar translation of the largest systems, three
+   ways: the symbolic per-``Polynomial`` reference loop (the old sequential
+   baseline), the vectorised flat-array kernel, and the parallel path an
+   ``Engine(translation_workers="auto")`` would actually run (the
+   shared-memory fan-out where calibration enables it, the sequential
+   vectorised kernel elsewhere).  ``--min-translation-speedup`` turns the
+   parallel-path speedup into a CI gate.
 3. **escalation vs fixed degree** — ``degree="auto"`` wall-clock against the
    sum of the fixed-degree requests it replaces.
 """
@@ -30,13 +31,13 @@ import json
 import platform
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
 
 import _bench_config  # noqa: F401  (sys.path setup)
 
 from repro.api.engine import Engine
 from repro.api.request import SynthesisRequest
 from repro.invariants.putinar import putinar_translate
+from repro.invariants.translation import TranslationPool, calibrate_parallel_translation
 from repro.pipeline.cache import TaskCache
 from repro.pipeline.jobs import SynthesisJob
 from repro.reduction import EscalationTrace
@@ -107,8 +108,15 @@ def measure_degree_sweep(benchmarks, degrees=(1, 2), upsilon: int = 1) -> dict:
     }
 
 
-def measure_parallel_translation(benchmarks, workers: int = 4, upsilon: int = 1, top: int = 3) -> dict:
-    """Sequential vs process-pool fan-out of the per-pair Putinar translation."""
+def measure_translation(benchmarks, workers: int = 4, upsilon: int = 1, top: int = 3) -> dict:
+    """Symbolic loop vs vectorised kernel vs the auto-gated parallel path.
+
+    ``parallel`` is what ``Engine(translation_workers="auto")`` actually runs:
+    the shared-memory pool where :func:`calibrate_parallel_translation` says
+    it wins on this machine, the sequential vectorised kernel everywhere else
+    — so its speedup over the symbolic baseline is the honest end-to-end gain
+    and the number the CI gate holds.
+    """
     from repro.invariants.synthesis import build_task
 
     tasks = [
@@ -116,39 +124,59 @@ def measure_parallel_translation(benchmarks, workers: int = 4, upsilon: int = 1,
                                     benchmark.options(upsilon=upsilon)))
         for benchmark in benchmarks
     ]
-    # The biggest systems are where parallel translation can matter.
+    # The biggest systems are where the translation dominates the reduction.
     tasks.sort(key=lambda pair: pair[1].system.size, reverse=True)
     tasks = tasks[:top]
 
+    auto_enabled = calibrate_parallel_translation(workers=workers)
+    pool = TranslationPool(workers=workers) if auto_enabled else None
+    if pool is not None:
+        pool.warm()  # worker start-up is not billed to the first program
+
     per_benchmark: dict[str, dict] = {}
-    sequential_total = 0.0
+    symbolic_total = 0.0
+    vectorized_total = 0.0
     parallel_total = 0.0
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # Warm the pool so worker start-up is not billed to the first program.
-        pool.submit(sum, (1, 2)).result()
+    try:
         for name, task in tasks:
             start = time.perf_counter()
-            sequential = putinar_translate(task.pairs, upsilon=upsilon)
-            sequential_seconds = time.perf_counter() - start
+            symbolic = putinar_translate(task.pairs, upsilon=upsilon, kernel="symbolic")
+            symbolic_seconds = time.perf_counter() - start
             start = time.perf_counter()
-            parallel = putinar_translate(task.pairs, upsilon=upsilon, executor=pool)
-            parallel_seconds = time.perf_counter() - start
-            assert parallel.size == sequential.size
+            vectorized = putinar_translate(task.pairs, upsilon=upsilon)
+            vectorized_seconds = time.perf_counter() - start
+            assert vectorized.size == symbolic.size
+            if pool is not None:
+                start = time.perf_counter()
+                parallel = putinar_translate(task.pairs, upsilon=upsilon, pool=pool)
+                parallel_seconds = time.perf_counter() - start
+                assert parallel.size == symbolic.size
+            else:
+                parallel_seconds = vectorized_seconds
             per_benchmark[name] = {
                 "pairs": len(task.pairs),
-                "system_size": sequential.size,
-                "sequential_seconds": sequential_seconds,
+                "system_size": symbolic.size,
+                "symbolic_seconds": symbolic_seconds,
+                "vectorized_seconds": vectorized_seconds,
                 "parallel_seconds": parallel_seconds,
-                "speedup": sequential_seconds / parallel_seconds if parallel_seconds else None,
+                "speedup_vectorized": symbolic_seconds / vectorized_seconds if vectorized_seconds else None,
+                "speedup_parallel": symbolic_seconds / parallel_seconds if parallel_seconds else None,
             }
-            sequential_total += sequential_seconds
+            symbolic_total += symbolic_seconds
+            vectorized_total += vectorized_seconds
             parallel_total += parallel_seconds
+    finally:
+        if pool is not None:
+            pool.close()
     return {
         "workers": workers,
+        "auto_enabled": auto_enabled,
         "per_benchmark": per_benchmark,
-        "sequential_total_seconds": sequential_total,
+        "sequential_total_seconds": symbolic_total,
+        "vectorized_total_seconds": vectorized_total,
         "parallel_total_seconds": parallel_total,
-        "speedup": sequential_total / parallel_total if parallel_total else None,
+        "vectorized_speedup": symbolic_total / vectorized_total if vectorized_total else None,
+        "speedup": symbolic_total / parallel_total if parallel_total else None,
     }
 
 
@@ -208,7 +236,7 @@ def measure_escalation(benchmarks, max_degree: int = 2, upsilon: int = 1) -> dic
 def run(quick: bool = True, limit: int | None = None, workers: int = 4) -> dict:
     benchmarks = _select(quick, limit)
     sweep = measure_degree_sweep(benchmarks)
-    translation = measure_parallel_translation(benchmarks, workers=workers)
+    translation = measure_translation(benchmarks, workers=workers)
     escalation = measure_escalation(benchmarks[: min(len(benchmarks), 6)])
     return {
         "benchmark": "staged-reduction",
@@ -217,12 +245,13 @@ def run(quick: bool = True, limit: int | None = None, workers: int = 4) -> dict:
         "quick": quick,
         "programs": len(benchmarks),
         "degree_sweep": sweep,
-        "parallel_translation": translation,
+        "translation": translation,
         "escalation": escalation,
         "summary": {
             "staged_warm_speedup": sweep["warm_speedup"],
             "prefix_stage_hit_rate": sweep["prefix_stage_hit_rate"],
-            "parallel_translation_speedup": translation["speedup"],
+            "translation_vectorized_speedup": translation["vectorized_speedup"],
+            "translation_speedup": translation["speedup"],
             "escalation_vs_fixed_ratio": escalation["auto_vs_fixed_ratio"],
             "escalation_minimal_degrees": {
                 name: row["final_degree"] for name, row in escalation["per_benchmark"].items()
@@ -236,8 +265,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", default=True, help="small benchmarks only (default)")
     parser.add_argument("--full", dest="quick", action="store_false", help="include the large benchmarks")
     parser.add_argument("--limit", type=int, default=None, help="only the first N programs")
-    parser.add_argument("--workers", type=int, default=4, help="process-pool width for parallel translation")
+    parser.add_argument("--workers", type=int, default=4, help="shared-memory pool width for parallel translation")
     parser.add_argument("--output", default="BENCH_reduction.json", help="write the JSON report here")
+    parser.add_argument(
+        "--min-translation-speedup", type=float, default=None,
+        help="fail (exit 1) when the parallel translation path is below this speedup "
+             "over the sequential symbolic baseline",
+    )
     args = parser.parse_args(argv)
 
     report = run(quick=args.quick, limit=args.limit, workers=args.workers)
@@ -254,14 +288,30 @@ def main(argv: list[str] | None = None) -> int:
           f"({fmt(summary['staged_warm_speedup'], '.0f', 'x')})")
     print(f"prefix stage hit rate    : {fmt(summary['prefix_stage_hit_rate'], '.0%')} "
           "(later degrees reusing program-level stages)")
-    print(f"parallel translation     : {fmt(summary['parallel_translation_speedup'], '.2f', 'x')} "
-          f"over {report['parallel_translation']['workers']} workers")
+    translation = report["translation"]
+    fanout = (
+        f"shared-memory fan-out over {translation['workers']} workers"
+        if translation["auto_enabled"]
+        else "sequential (calibration kept the fan-out off on this machine)"
+    )
+    print(f"vectorised translation   : {fmt(summary['translation_vectorized_speedup'], '.2f', 'x')} "
+          "over the symbolic loop")
+    print(f"parallel path            : {fmt(summary['translation_speedup'], '.2f', 'x')} — {fanout}")
     print(f"escalation vs fixed      : "
           f"{fmt(summary['escalation_vs_fixed_ratio'], '.2f', 'x wall-clock of the cold fixed ladder')}")
     print(f"minimal degrees          : {summary['escalation_minimal_degrees']}")
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     print(f"\nwrote {args.output}")
+    if args.min_translation_speedup is not None:
+        speedup = summary["translation_speedup"]
+        if speedup is not None and speedup < args.min_translation_speedup:
+            print(
+                f"FAIL: parallel translation path {speedup:.2f}x is below the "
+                f"--min-translation-speedup gate of {args.min_translation_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

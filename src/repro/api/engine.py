@@ -29,9 +29,9 @@ import copy
 import dataclasses
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import replace
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.api.errors import EngineClosedError, RequestValidationError
 from repro.api.request import STRONG_MODES, SynthesisRequest
@@ -46,6 +46,9 @@ from repro.reduction.escalate import DEADLINE_SKIPPED, EscalationAttempt, Escala
 from repro.solvers.base import Solver, SolverOptions, SolverResult
 from repro.solvers.portfolio import make_solver
 from repro.solvers.strong import RepresentativeEnumerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.invariants.translation import TranslationPool
 
 EXECUTORS = ("auto", "thread", "process")
 
@@ -118,12 +121,17 @@ class Engine:
         first), so a long-lived engine's memory stays bounded.  ``None``
         disables eviction.
     translation_workers:
-        ``n > 1`` fans the independent per-pair Step-3 translations of each
-        reduction out across a dedicated worker pool of this width (of the
-        same kind as ``executor``: process pools parallelise the exact
-        arithmetic for real, thread pools mostly overlap translation with
-        other engine work).  ``0``/``1`` (the default) translates
-        sequentially.
+        ``n > 1`` fans the vectorised Step-3 translation kernels of each
+        reduction out across a dedicated
+        :class:`~repro.invariants.translation.TranslationPool` of ``n``
+        shared-memory worker processes (exponent/coefficient arrays travel
+        through ``multiprocessing.shared_memory``, never pickled
+        ``Polynomial`` objects; results merge in pair-index order, so the
+        system is bit-identical to a sequential translation).  ``"auto"``
+        runs a one-time calibration on first use and enables a
+        ``cpu_count``-sized pool only where fan-out actually measures at
+        least as fast as the sequential kernel.  ``0``/``1`` (the default)
+        translates sequentially.
     """
 
     def __init__(
@@ -134,11 +142,17 @@ class Engine:
         solver_options: SolverOptions | None = None,
         executor: str = "auto",
         max_cached_solves: int | None = 512,
-        translation_workers: int = 0,
+        translation_workers: int | str = 0,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
-        if translation_workers < 0:
+        if isinstance(translation_workers, str):
+            if translation_workers != "auto":
+                raise ValueError(
+                    f"translation_workers must be a non-negative int or 'auto', "
+                    f"got {translation_workers!r}"
+                )
+        elif translation_workers < 0:
             raise ValueError(f"translation_workers must be non-negative, got {translation_workers}")
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; known executors: {', '.join(EXECUTORS)}")
@@ -151,13 +165,21 @@ class Engine:
         self._executor_kind = "thread" if executor == "auto" else executor
         self._threads: ThreadPoolExecutor | None = None
         self._processes: ProcessPoolExecutor | None = None
-        self._translators: Executor | None = None
+        self._translators: "TranslationPool | None" = None
+        self._translation_disabled = False
         self._pool_lock = threading.Lock()
         self._solves: dict[tuple, Future] = {}
         self._solve_lock = threading.Lock()
         self._submit_lock = threading.Lock()
         self._next_id = 0
         self._closed = False
+        self._translation_lock = threading.Lock()
+        self._translation_stats = {
+            "translation_compile_seconds": 0.0,
+            "translation_fanout_seconds": 0.0,
+            "translation_assemble_seconds": 0.0,
+            "translation_parallel_runs": 0.0,
+        }
         self._verify_lock = threading.Lock()
         self._verify_stats = {
             "verify_requested": 0,
@@ -202,7 +224,7 @@ class Engine:
         if processes is not None:
             processes.shutdown(wait=wait_for_pending)
         if translators is not None:
-            translators.shutdown(wait=wait_for_pending)
+            translators.close()
 
     def stats(self) -> dict[str, float]:
         """Cache and dedup counters (for service dashboards).
@@ -215,9 +237,28 @@ class Engine:
         with self._solve_lock:
             stats["solves_cached"] = float(len(self._solves))
         stats["submissions"] = float(self._next_id)
+        with self._translation_lock:
+            stats.update(self._translation_stats)
         with self._verify_lock:
             stats.update({key: float(value) for key, value in self._verify_stats.items()})
         return stats
+
+    def _record_translation(self, report) -> None:
+        """Accumulate a reduction's translation sub-phase split into :meth:`stats`.
+
+        Only reductions whose translation stage actually ran carry the split
+        (``ReductionReport.extra_timings``); cached stages contribute nothing.
+        """
+        extra = dict(report.extra_timings)
+        if not extra:
+            return
+        with self._translation_lock:
+            for phase in ("compile", "fanout", "assemble"):
+                self._translation_stats[f"translation_{phase}_seconds"] += extra.get(
+                    f"stage_translation_{phase}_seconds", 0.0
+                )
+            if extra.get("stage_translation_workers", 0.0) > 1.0:
+                self._translation_stats["translation_parallel_runs"] += 1.0
 
     def _record_verification(self, outcome) -> None:
         with self._verify_lock:
@@ -322,25 +363,41 @@ class Engine:
                 self._processes = ProcessPoolExecutor(max_workers=max(2, self.workers))
             return self._processes
 
-    def _translation_pool(self) -> Executor | None:
-        """The dedicated per-pair translation pool (``None`` when sequential).
+    def _translation_pool(self) -> "TranslationPool | None":
+        """The shared-memory translation pool (``None`` when sequential).
 
-        Deliberately separate from the request thread pool: translation
-        sub-tasks submitted to the request pool from inside a request could
-        deadlock once every worker thread is itself a waiting request.
+        Deliberately separate from the request pools: the translation fan-out
+        owns its worker processes and shared-memory segments, and submitting
+        translation sub-tasks to the request pool from inside a request could
+        deadlock once every worker thread is itself a waiting request.  Under
+        ``translation_workers="auto"`` the first call runs (and caches) a
+        calibration micro-benchmark and enables the pool only where parallel
+        fan-out measured at least as fast as the sequential kernel.
         """
-        if self.translation_workers <= 1:
+        requested = self.translation_workers
+        if requested == 0 or requested == 1 or self._translation_disabled:
             return None
+        from repro.invariants.translation import (
+            TranslationPool,
+            calibrate_parallel_translation,
+        )
+
+        if requested == "auto":
+            if not calibrate_parallel_translation():
+                self._translation_disabled = True
+                return None
+            workers = None  # pool default: cpu_count
+        else:
+            workers = int(requested)
         with self._pool_lock:
             if self._closed:
                 raise EngineClosedError("engine is closed")
             if self._translators is None:
-                if self._executor_kind == "process":
-                    self._translators = ProcessPoolExecutor(max_workers=self.translation_workers)
-                else:
-                    self._translators = ThreadPoolExecutor(
-                        max_workers=self.translation_workers, thread_name_prefix="repro-translate"
-                    )
+                pool = TranslationPool(workers=workers)
+                if not pool.available:
+                    self._translation_disabled = True
+                    return None
+                self._translators = pool
             return self._translators
 
     def _effective_solver_options(self, request: SynthesisRequest) -> SolverOptions | None:
@@ -480,10 +537,11 @@ class Engine:
             else:
                 start = time.perf_counter()
                 built, from_cache, report = self.cache.get_or_build_with_report(
-                    job, translation_executor=self._translation_pool()
+                    job, translation_pool=self._translation_pool()
                 )
                 timings["reduction_seconds"] = time.perf_counter() - start
                 timings.update(report.timings())
+                self._record_translation(report)
 
             if request.reduce_only:
                 timings["total_seconds"] = time.perf_counter() - total_start

@@ -21,15 +21,17 @@ benchmarks.
 
 from __future__ import annotations
 
-from concurrent.futures import Executor
-from functools import partial
 from itertools import combinations_with_replacement
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.invariants.constraints import ConstraintPair
-from repro.invariants.quadratic_system import PairProvenance, QuadraticSystem, merge_pair_systems
+from repro.invariants.quadratic_system import PairProvenance, QuadraticSystem
 from repro.invariants.template import UNKNOWN_PREFIX
+from repro.polynomial.ordering import grlex_key
 from repro.polynomial.polynomial import Polynomial
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.invariants.translation import TranslationPool
 
 
 def _has_unknowns(polynomial: Polynomial) -> bool:
@@ -99,15 +101,18 @@ def translate_pair_handelman(
         system.add_nonnegative(multiplier, origin=f"{pair.name}:lambda[{label}]")
         rhs = rhs + multiplier * product
 
+    # Same canonical emission order as Putinar and the vectorised kernel:
+    # ascending grlex rank of the matched monomial.
     difference = pair.conclusion - rhs
-    for monomial, coefficient in difference.collect(variables).items():
-        system.add_equality(coefficient, origin=f"{pair.name}:coeff[{monomial}]")
+    collected = difference.collect(variables)
+    for monomial in sorted(collected, key=lambda m: grlex_key(m, variables)):
+        system.add_equality(collected[monomial], origin=f"{pair.name}:coeff[{monomial}]")
 
 
 def translate_pair_handelman_system(
     pair: ConstraintPair, pair_index: int, max_factors: int = 2, with_witness: bool = True
 ) -> QuadraticSystem:
-    """One pair's Handelman translation as a standalone system (picklable worker)."""
+    """One pair's Handelman translation as a standalone system."""
     system = QuadraticSystem()
     translate_pair_handelman(pair, pair_index, system, max_factors=max_factors, with_witness=with_witness)
     return system
@@ -118,25 +123,32 @@ def handelman_translate(
     max_factors: int = 2,
     with_witness: bool = True,
     objective: Polynomial | None = None,
-    executor: Executor | None = None,
+    kernel: str = "vectorized",
+    pool: "TranslationPool | None" = None,
 ) -> QuadraticSystem:
     """Translate constraint pairs into a quadratic system with scalar multipliers.
 
-    ``executor`` fans the independent per-pair translations across a worker
-    pool and merges them back in pair-index order, yielding the same system
-    as the sequential loop (see :func:`repro.invariants.putinar.putinar_translate`).
+    ``kernel`` and ``pool`` behave exactly as in
+    :func:`repro.invariants.putinar.putinar_translate`: the default runs the
+    vectorised flat-array kernel (optionally fanned out over a shared-memory
+    :class:`~repro.invariants.translation.TranslationPool`), while
+    ``kernel="symbolic"`` keeps the per-``Polynomial`` reference loop.
     """
+    if kernel == "vectorized":
+        from repro.invariants.translation import handelman_translate_vectorized
+
+        return handelman_translate_vectorized(
+            pairs,
+            max_factors=max_factors,
+            with_witness=with_witness,
+            objective=objective,
+            pool=pool,
+        )
+    if kernel != "symbolic":
+        raise ValueError(f"unknown translation kernel {kernel!r}")
     system = QuadraticSystem()
     if objective is not None:
         system.objective = objective
-    if executor is not None and len(pairs) > 1:
-        merge_pair_systems(
-            system,
-            pairs,
-            executor,
-            partial(translate_pair_handelman_system, max_factors=max_factors, with_witness=with_witness),
-        )
-        return system
     for index, pair in enumerate(pairs):
         translate_pair_handelman(pair, index, system, max_factors=max_factors, with_witness=with_witness)
     return system

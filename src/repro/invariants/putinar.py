@@ -17,17 +17,18 @@ eps-variables.
 
 from __future__ import annotations
 
-from concurrent.futures import Executor
 from dataclasses import dataclass
-from functools import partial
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.invariants.constraints import ConstraintPair
-from repro.invariants.quadratic_system import PairProvenance, QuadraticSystem, merge_pair_systems
+from repro.invariants.quadratic_system import PairProvenance, QuadraticSystem
 from repro.invariants.template import UNKNOWN_PREFIX
-from repro.polynomial.ordering import monomials_up_to_degree
+from repro.polynomial.ordering import grlex_key, monomials_up_to_degree
 from repro.polynomial.polynomial import Polynomial
 from repro.polynomial.sos import gram_matrix_encoding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.invariants.translation import TranslationPool
 
 
 @dataclass(frozen=True)
@@ -104,9 +105,13 @@ def translate_pair(
     for assumption, multiplier in zip(pair.assumptions, multipliers[1:]):
         rhs = rhs + multiplier * assumption
 
+    # Coefficient-matching equalities are emitted in ascending grlex order of
+    # the matched monomial — the canonical constraint order shared with the
+    # vectorised kernel (which groups terms by grlex rank).
     difference = pair.conclusion - rhs
-    for monomial, coefficient in difference.collect(variables).items():
-        system.add_equality(coefficient, origin=f"{pair.name}:coeff[{monomial}]")
+    collected = difference.collect(variables)
+    for monomial in sorted(collected, key=lambda m: grlex_key(m, variables)):
+        system.add_equality(collected[monomial], origin=f"{pair.name}:coeff[{monomial}]")
 
     if not options.encode_sos:
         return
@@ -118,8 +123,11 @@ def translate_pair(
             variables, options.upsilon, prefix=f"{UNKNOWN_PREFIX}l_{tag}_{which}"
         )
         sos_difference = multiplier - encoding.polynomial
-        for monomial, coefficient in sos_difference.collect(variables).items():
-            system.add_equality(coefficient, origin=f"{pair.name}:sos{which}[{monomial}]")
+        sos_collected = sos_difference.collect(variables)
+        for monomial in sorted(sos_collected, key=lambda m: grlex_key(m, variables)):
+            system.add_equality(
+                sos_collected[monomial], origin=f"{pair.name}:sos{which}[{monomial}]"
+            )
         for diagonal_name in encoding.diagonal_names:
             system.add_nonnegative(
                 Polynomial.variable(diagonal_name), origin=f"{pair.name}:diag{which}"
@@ -133,9 +141,8 @@ def translate_pair_system(
 
     Every unknown generated for a pair is namespaced by the pair index, so
     per-pair systems merged back in index order are constraint-for-constraint
-    identical to a sequential translation.  This is the worker entry point of
-    the parallel translation (module-level, hence picklable for process
-    pools).
+    identical to a sequential translation (see
+    :func:`repro.invariants.quadratic_system.merge_pair_systems`).
     """
     system = QuadraticSystem()
     translate_pair(pair, pair_index, options, system)
@@ -148,7 +155,8 @@ def putinar_translate(
     with_witness: bool = True,
     encode_sos: bool = True,
     objective: Polynomial | None = None,
-    executor: Executor | None = None,
+    kernel: str = "vectorized",
+    pool: "TranslationPool | None" = None,
 ) -> QuadraticSystem:
     """Translate all constraint pairs into one quadratic system.
 
@@ -164,21 +172,27 @@ def putinar_translate(
         See :class:`PutinarOptions`.
     objective:
         Optional objective polynomial over the unknowns (for Weak synthesis).
-    executor:
-        Optional worker pool.  Per-pair translations are independent, so they
-        fan out across the pool (:func:`translate_pair_system` per pair) and
-        merge back in pair-index order; the result is identical to the
-        sequential translation.  Process pools parallelise the exact
-        arithmetic for real; thread pools mostly help when callers overlap
-        translation with other work.
+    kernel:
+        ``"vectorized"`` (the default) runs the flat-array translation kernel
+        of :mod:`repro.invariants.translation`; ``"symbolic"`` runs the
+        per-``Polynomial`` reference loop.  The two produce identical systems
+        (the property tests in ``tests/property`` are the oracle).
+    pool:
+        Optional :class:`~repro.invariants.translation.TranslationPool` for
+        the shared-memory fan-out (vectorised kernel only).  When the pool is
+        unavailable on this platform the translation silently stays on the
+        sequential vectorised path.
     """
     options = PutinarOptions(upsilon=upsilon, with_witness=with_witness, encode_sos=encode_sos)
+    if kernel == "vectorized":
+        from repro.invariants.translation import putinar_translate_vectorized
+
+        return putinar_translate_vectorized(pairs, options, objective=objective, pool=pool)
+    if kernel != "symbolic":
+        raise ValueError(f"unknown translation kernel {kernel!r}")
     system = QuadraticSystem()
     if objective is not None:
         system.objective = objective
-    if executor is not None and len(pairs) > 1:
-        merge_pair_systems(system, pairs, executor, partial(translate_pair_system, options=options))
-        return system
     for index, pair in enumerate(pairs):
         translate_pair(pair, index, options, system)
     return system

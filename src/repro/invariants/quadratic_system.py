@@ -69,6 +69,23 @@ class QuadraticConstraint:
                 "Step 3 must only produce quadratic constraints"
             )
 
+    @staticmethod
+    def _trusted(
+        polynomial: Polynomial, kind: ConstraintKind, origin: str = ""
+    ) -> "QuadraticConstraint":
+        """Construct without the degree check.
+
+        The vectorised translation kernel guarantees degree <= 2 structurally
+        (every emitted term is a product of at most two unknowns), and a
+        deep-degree system materialises hundreds of thousands of constraints,
+        so skipping the per-constraint ``degree()`` walk matters.
+        """
+        constraint = object.__new__(QuadraticConstraint)
+        object.__setattr__(constraint, "polynomial", polynomial)
+        object.__setattr__(constraint, "kind", kind)
+        object.__setattr__(constraint, "origin", origin)
+        return constraint
+
     def violation(self, assignment: Mapping[str, float]) -> float:
         """How badly the constraint is violated at a numeric assignment (0 when satisfied)."""
         value = self.polynomial.evaluate_float(assignment)
@@ -281,10 +298,15 @@ def merge_pair_systems(system: QuadraticSystem, pairs: Sequence, executor, worke
     constraint-for-constraint, because every generated unknown is namespaced
     by its pair index.  Shared by the Putinar and Handelman translators so
     the fan-out semantics can never diverge between the two schemes.
+
+    All worker results are collected *before* any of them is merged: if a
+    worker fails, its original exception propagates and ``system`` is left
+    untouched instead of holding a partial merge.
     """
     futures = [executor.submit(worker, pair, index) for index, pair in enumerate(pairs)]
-    for future in futures:
-        system.merge(future.result())
+    translated = [future.result() for future in futures]
+    for part in translated:
+        system.merge(part)
 
 
 @dataclass(frozen=True)

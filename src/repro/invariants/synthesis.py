@@ -25,8 +25,7 @@ cores (:func:`build_task`, :func:`result_from_solution`,
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor
-from typing import Mapping, Union
+from typing import TYPE_CHECKING, Mapping, Union
 
 from repro.cfg.builder import build_cfg
 from repro.invariants.handelman import handelman_translate
@@ -43,6 +42,9 @@ from repro.spec.objectives import FeasibilityObjective, Objective
 from repro.spec.preconditions import Precondition, augment_entry_preconditions
 from repro.solvers.base import Solver, SolverResult
 from repro.solvers.strong import RepresentativeEnumerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.invariants.translation import TranslationPool
 
 ProgramLike = Union[str, Program]
 PreconditionLike = Union[None, Precondition, Mapping[str, Mapping[int, str]]]
@@ -72,7 +74,7 @@ def build_task(
     precondition: PreconditionLike = None,
     objective: Objective | None = None,
     options: SynthesisOptions | None = None,
-    translation_executor: Executor | None = None,
+    translation_pool: "TranslationPool | None" = None,
 ) -> SynthesisTask:
     """Run Steps 1-3 and return the resulting task (templates, pairs, system).
 
@@ -81,13 +83,13 @@ def build_task(
     uncached (callers wanting cross-request stage reuse go through
     :class:`~repro.pipeline.cache.TaskCache`, which runs the same plan
     against a shared :class:`~repro.reduction.cache.StageCache`).  Pass
-    ``translation_executor`` to fan the independent per-pair translations of
-    Step 3 across a worker pool.
+    ``translation_pool`` to fan the vectorised per-pair translation kernels
+    of Step 3 out over shared-memory workers.
     """
     from repro.reduction.plan import compile_plan
 
     plan = compile_plan(program, precondition, objective, options)
-    task, _ = plan.execute(cache=None, translation_executor=translation_executor)
+    task, _ = plan.execute(cache=None, translation_pool=translation_pool)
     return task
 
 
@@ -101,7 +103,10 @@ def build_task_monolithic(
 
     The staged :func:`build_task` must produce semantically identical tasks;
     ``tests/property/test_reduction_equivalence.py`` checks the two paths
-    against each other.  Production code should never call this.
+    against each other.  This oracle deliberately runs the *symbolic*
+    translation kernel (the per-``Polynomial`` reference loop), so the
+    staged-vs-monolithic property doubles as a vectorised-vs-symbolic
+    end-to-end differential test.  Production code should never call this.
     """
     options = options if options is not None else SynthesisOptions()
     objective = objective if objective is not None else FeasibilityObjective()
@@ -144,10 +149,14 @@ def build_task_monolithic(
             with_witness=options.with_witness,
             encode_sos=options.encode_sos,
             objective=objective_polynomial,
+            kernel="symbolic",
         )
     else:
         system = handelman_translate(
-            pairs, with_witness=options.with_witness, objective=objective_polynomial
+            pairs,
+            with_witness=options.with_witness,
+            objective=objective_polynomial,
+            kernel="symbolic",
         )
     statistics["time_translation"] = time.perf_counter() - start
     statistics["constraint_pairs"] = float(len(pairs))

@@ -1,0 +1,1062 @@
+"""The vectorised Step-3 translation kernel and its shared-memory fan-out.
+
+The symbolic translators in :mod:`repro.invariants.putinar` and
+:mod:`repro.invariants.handelman` build every multiplier, guard product and
+Gram expansion as :class:`~repro.polynomial.polynomial.Polynomial` dict
+arithmetic — millions of small hash-map merges for a deep-degree system.  This
+module performs the same construction as dense monomial-index arithmetic over
+the graded-lexicographic basis:
+
+1. **Compile** (:func:`_compile_putinar_pair` / :func:`_compile_handelman_pair`)
+   lowers one constraint pair to flat int64 arrays: program-part exponent rows,
+   unknown ids and :class:`~repro.polynomial.compiled.CoefficientPool` ids.
+   Exact :class:`~fractions.Fraction` coefficients never leave the parent.
+2. **Kernel** (:func:`run_kernel`) forms all guard products ``h_i * g_i`` by
+   broadcasting exponent matrices, ranks every resulting program monomial with
+   :func:`~repro.polynomial.ordering.grlex_ranks`, and batch-groups the terms
+   of every coefficient-matching equality with one stable argsort.  The kernel
+   touches integers only, so it runs equally well in-process or in a worker.
+3. **Assembly** materialises the symbolic :class:`QuadraticSystem` from the
+   grouped index arrays — one trusted ``Polynomial`` per equality, provenance
+   reconstructed from the pair metadata kept parent-side.
+
+Why this is exact: every term a kernel emits carries a *distinct* unknown
+monomial within its equality group (the t/l/eps id layout is collision-free by
+construction), so grouping never has to add two ``Fraction`` coefficients and
+the pooled ids reproduce the symbolic result bit-for-bit.  The property tests
+in ``tests/property/test_translation_equivalence.py`` are the oracle.
+
+Parallel mode ships the per-pair payloads to a persistent process pool through
+``multiprocessing.shared_memory`` — flat int64 buffers in both directions, no
+pickled polynomials — and assembles the returned index arrays in pair-index
+order, so the parallel system is bit-identical to the sequential one.
+:func:`calibrate_parallel_translation` measures whether the fan-out actually
+beats the in-process kernel on this machine; ``Engine(translation_workers=
+"auto")`` enables the pool only when it does.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import SynthesisError
+from repro.invariants.constraints import ConstraintPair
+from repro.invariants.quadratic_system import (
+    ConstraintKind,
+    PairProvenance,
+    QuadraticConstraint,
+    QuadraticSystem,
+)
+from repro.invariants.template import UNKNOWN_PREFIX
+from repro.polynomial.compiled import (
+    POOL_MINUS_ONE,
+    POOL_MINUS_TWO,
+    POOL_PLUS_ONE,
+    CoefficientPool,
+    MixedTermArrays,
+    exponent_rows,
+    lower_gram_triples,
+    lower_mixed,
+)
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.ordering import (
+    cached_monomial_basis,
+    count_monomials_up_to_degree,
+    grlex_ranks,
+    monomials_up_to_degree,
+)
+from repro.polynomial.polynomial import Polynomial
+
+try:  # pragma: no cover - exercised indirectly; absence is the fallback path
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+#: Pairs whose total term count is below this stay on the in-process kernel
+#: even when a pool is configured: the fan-out's fixed cost (two shared-memory
+#: segments plus a pickle round-trip of the job headers) dwarfs tiny systems.
+MIN_PARALLEL_TERMS = 4096
+
+_NO_UNKNOWN = -1
+
+
+# ---------------------------------------------------------------------------
+# Kernel payload and result
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelPayload:
+    """Name-free numeric description of one pair's coefficient-matching block.
+
+    ``direct`` rows are terms that appear verbatim on one side of (†): the
+    conclusion, the witness ``-eps``, the free multiplier ``-h_0`` and (for
+    Handelman) the ``-lambda_k * S^k`` products.  The ``prod`` rows describe
+    the guard products ``-h_i * g_i``: the kernel broadcasts the shared
+    multiplier basis ``h_exponents`` against every row, with ``prod_t_base``
+    giving the t-variable id of the row's multiplier block.
+    """
+
+    width: int  # number of program variables v
+    h_count: int  # J = |M_Upsilon|; 0 disables the broadcast section
+    h_exponents: np.ndarray  # (J, v) int64
+    direct_exponents: np.ndarray  # (nd, v) int64
+    direct_a: np.ndarray  # (nd,) unknown id or -1
+    direct_b: np.ndarray  # (nd,) second unknown id or -1
+    direct_coeff: np.ndarray  # (nd,) CoefficientPool ids
+    prod_exponents: np.ndarray  # (np, v) int64
+    prod_b: np.ndarray  # (np,) unknown id of the guard term or -1
+    prod_coeff: np.ndarray  # (np,) CoefficientPool ids (sign pre-baked)
+    prod_t_base: np.ndarray  # (np,) id of t_{i,0} for the row's multiplier
+
+    @property
+    def term_count(self) -> int:
+        """Exact number of terms the kernel will emit for this payload."""
+        return int(self.direct_a.size + self.h_count * self.prod_b.size)
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """The grouped coefficient-matching equalities of one payload.
+
+    Equality ``g`` matches the coefficient of the basis monomial with grlex
+    rank ``eq_mu[g]`` and owns the term slice ``eq_offsets[g]:eq_offsets[g+1]``
+    of the parallel ``term_*`` arrays.  Groups are emitted in ascending rank
+    order — the canonical constraint order of both translation kernels.
+    """
+
+    eq_mu: np.ndarray  # (n_eq,) ascending grlex ranks
+    eq_offsets: np.ndarray  # (n_eq + 1,)
+    term_a: np.ndarray  # (n_terms,) unknown id or -1
+    term_b: np.ndarray  # (n_terms,) unknown id or -1
+    term_coeff: np.ndarray  # (n_terms,) CoefficientPool ids
+
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def run_kernel(payload: KernelPayload) -> KernelResult:
+    """Form all products, rank all monomials, group all equalities — batched."""
+    width = payload.width
+    mu_parts = [grlex_ranks(payload.direct_exponents)]
+    a_parts = [payload.direct_a]
+    b_parts = [payload.direct_b]
+    coeff_parts = [payload.direct_coeff]
+    if payload.h_count and payload.prod_b.size:
+        h_dim = payload.h_count
+        n_prod = payload.prod_b.size
+        products = payload.h_exponents[:, None, :] + payload.prod_exponents[None, :, :]
+        mu_parts.append(grlex_ranks(products.reshape(-1, width)))
+        a_parts.append(
+            (payload.prod_t_base[None, :] + np.arange(h_dim, dtype=np.int64)[:, None]).reshape(-1)
+        )
+        b_parts.append(np.broadcast_to(payload.prod_b[None, :], (h_dim, n_prod)).reshape(-1))
+        coeff_parts.append(
+            np.broadcast_to(payload.prod_coeff[None, :], (h_dim, n_prod)).reshape(-1)
+        )
+    mu = np.concatenate(mu_parts) if mu_parts else _EMPTY
+    if not mu.size:
+        return KernelResult(_EMPTY, np.zeros(1, dtype=np.int64), _EMPTY, _EMPTY, _EMPTY)
+    order = np.argsort(mu, kind="stable")
+    mu = mu[order]
+    eq_mu, starts = np.unique(mu, return_index=True)
+    eq_offsets = np.append(starts, mu.size).astype(np.int64, copy=False)
+    return KernelResult(
+        eq_mu=eq_mu,
+        eq_offsets=eq_offsets,
+        term_a=np.concatenate(a_parts)[order],
+        term_b=np.concatenate(b_parts)[order],
+        term_coeff=np.concatenate(coeff_parts)[order],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared combinatorial tables
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=256)
+def _basis_exponents(width: int, degree: int) -> np.ndarray:
+    """Exponent matrix of the grlex basis — independent of variable names."""
+    placeholder = tuple(f"_b{i}" for i in range(width))
+    basis = monomials_up_to_degree(placeholder, degree)
+    index = {name: position for position, name in enumerate(placeholder)}
+    return exponent_rows(basis, index, width)
+
+
+@lru_cache(maxsize=128)
+def _sos_template(width: int, upsilon: int) -> KernelResult:
+    """The SOS block ``h = y^T L L^T y`` in *local* ids, shared across pairs.
+
+    Local id ``j < J`` is the multiplier coefficient ``t_j``; local id ``J +
+    r*(r+1)//2 + c`` is the Cholesky entry ``l_{r,c}``.  The block depends
+    only on (variable count, upsilon), so one template serves every multiplier
+    of every pair with that shape.
+    """
+    h_dim = count_monomials_up_to_degree(width, upsilon)
+    sos_dim = count_monomials_up_to_degree(width, upsilon // 2)
+    sos_exponents = _basis_exponents(width, upsilon // 2)
+    rows_a, rows_b, cols, doubled = lower_gram_triples(sos_dim)
+    gram_exponents = sos_exponents[rows_a] + sos_exponents[rows_b]
+    gram_a = h_dim + rows_a * (rows_a + 1) // 2 + cols
+    gram_b = h_dim + rows_b * (rows_b + 1) // 2 + cols
+    gram_coeff = np.where(doubled, POOL_MINUS_TWO, POOL_MINUS_ONE)
+    payload = KernelPayload(
+        width=width,
+        h_count=0,
+        h_exponents=_EMPTY.reshape(0, width),
+        direct_exponents=np.concatenate([_basis_exponents(width, upsilon), gram_exponents]),
+        direct_a=np.concatenate([np.arange(h_dim, dtype=np.int64), gram_a]),
+        direct_b=np.concatenate([np.full(h_dim, _NO_UNKNOWN, dtype=np.int64), gram_b]),
+        direct_coeff=np.concatenate(
+            [np.full(h_dim, POOL_PLUS_ONE, dtype=np.int64), gram_coeff]
+        ),
+        prod_exponents=_EMPTY.reshape(0, width),
+        prod_b=_EMPTY,
+        prod_coeff=_EMPTY,
+        prod_t_base=_EMPTY,
+    )
+    return run_kernel(payload)
+
+
+@lru_cache(maxsize=256)
+def _basis_strings(variables: tuple[str, ...], degree: int) -> list:
+    """Lazily-filled ``rank -> str(monomial)`` table for origin strings."""
+    return [None] * count_monomials_up_to_degree(len(variables), degree)
+
+
+def _basis_string(
+    strings: list, basis: tuple[Monomial, ...], rank: int
+) -> str:
+    text = strings[rank]
+    if text is None:
+        text = str(basis[rank])
+        strings[rank] = text
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Translation profile (satellite: compile/fanout/assemble sub-timings)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TranslationProfile:
+    """Where one translation's wall-clock went (attached to the system)."""
+
+    mode: str  # "vectorized" | "vectorized-parallel"
+    workers: int  # 0 for the in-process kernel
+    compile_seconds: float
+    fanout_seconds: float  # kernel execution, in-process or across the pool
+    assemble_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compile_seconds + self.fanout_seconds + self.assemble_seconds
+
+
+# ---------------------------------------------------------------------------
+# Putinar: compile and assemble
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PairJob:
+    """Parent-side metadata needed to assemble one pair's kernel result."""
+
+    provenance: PairProvenance
+    pair_name: str
+    tag: str
+    variables: tuple[str, ...]
+    unknown_names: tuple[str, ...]  # input (template) unknowns in id order
+    pool_values: tuple[Fraction, ...]
+    max_degree: int
+    payload: KernelPayload
+    # Putinar-only shape data (None markers unused for Handelman).
+    multiplier_count: int = 0  # m + 1
+    h_dim: int = 0  # J
+    sos_dim: int = 0  # J'
+    with_witness: bool = True
+    encode_sos: bool = True
+    upsilon: int = 0
+    # Handelman-only: the product labels in enumeration order.
+    product_labels: tuple[str, ...] = ()
+
+
+def _compile_putinar_pair(pair: ConstraintPair, pair_index: int, options) -> _PairJob:
+    tag = f"c{pair_index}"
+    variables = tuple(pair.relevant_program_variables())
+    width = len(variables)
+    unknown_index: dict[str, int] = {}
+    pool = CoefficientPool()
+    conclusion = lower_mixed(pair.conclusion, variables, unknown_index, pool)
+    assumptions = [
+        lower_mixed(assumption, variables, unknown_index, pool, negate=True)
+        for assumption in pair.assumptions
+    ]
+    input_count = len(unknown_index)
+    assumption_count = len(pair.assumptions)
+    h_dim = count_monomials_up_to_degree(width, options.upsilon)
+    h_exponents = _basis_exponents(width, options.upsilon)
+
+    max_degree = max(
+        [conclusion.max_degree, options.upsilon]
+        + [options.upsilon + lowered.max_degree for lowered in assumptions]
+    )
+
+    # Output unknown id layout: input unknowns, then the (m+1) t-blocks, the
+    # witness, then the (m+1) Cholesky blocks (row-major lower triangles).
+    eps_id = input_count + (assumption_count + 1) * h_dim
+
+    direct_exponents = [conclusion.exponents]
+    direct_a = [conclusion.unknown_ids]
+    direct_b = [np.full(conclusion.unknown_ids.size, _NO_UNKNOWN, dtype=np.int64)]
+    direct_coeff = [conclusion.coefficient_ids]
+    if options.with_witness:
+        direct_exponents.append(np.zeros((1, width), dtype=np.int64))
+        direct_a.append(np.asarray([eps_id], dtype=np.int64))
+        direct_b.append(np.asarray([_NO_UNKNOWN], dtype=np.int64))
+        direct_coeff.append(np.asarray([POOL_MINUS_ONE], dtype=np.int64))
+    # -h_0: the free multiplier's terms appear directly in (†).
+    direct_exponents.append(h_exponents)
+    direct_a.append(input_count + np.arange(h_dim, dtype=np.int64))
+    direct_b.append(np.full(h_dim, _NO_UNKNOWN, dtype=np.int64))
+    direct_coeff.append(np.full(h_dim, POOL_MINUS_ONE, dtype=np.int64))
+
+    prod_exponents = [np.zeros((0, width), dtype=np.int64)]
+    prod_b = [_EMPTY]
+    prod_coeff = [_EMPTY]
+    prod_t_base = [_EMPTY]
+    for which, lowered in enumerate(assumptions, start=1):
+        prod_exponents.append(lowered.exponents)
+        prod_b.append(lowered.unknown_ids)
+        prod_coeff.append(lowered.coefficient_ids)
+        prod_t_base.append(
+            np.full(lowered.unknown_ids.size, input_count + which * h_dim, dtype=np.int64)
+        )
+
+    payload = KernelPayload(
+        width=width,
+        h_count=h_dim,
+        h_exponents=h_exponents,
+        direct_exponents=np.concatenate(direct_exponents),
+        direct_a=np.concatenate(direct_a),
+        direct_b=np.concatenate(direct_b),
+        direct_coeff=np.concatenate(direct_coeff),
+        prod_exponents=np.concatenate(prod_exponents),
+        prod_b=np.concatenate(prod_b),
+        prod_coeff=np.concatenate(prod_coeff),
+        prod_t_base=np.concatenate(prod_t_base),
+    )
+    provenance = PairProvenance(
+        index=pair_index,
+        name=pair.name,
+        target=pair.target,
+        scheme="putinar",
+        assumption_count=assumption_count,
+        variables=variables,
+        upsilon=options.upsilon,
+        with_witness=options.with_witness,
+    )
+    return _PairJob(
+        provenance=provenance,
+        pair_name=pair.name,
+        tag=tag,
+        variables=variables,
+        unknown_names=tuple(unknown_index),
+        pool_values=pool.values(),
+        max_degree=max_degree,
+        payload=payload,
+        multiplier_count=assumption_count + 1,
+        h_dim=h_dim,
+        sos_dim=count_monomials_up_to_degree(width, options.upsilon // 2),
+        with_witness=options.with_witness,
+        encode_sos=options.encode_sos,
+        upsilon=options.upsilon,
+    )
+
+
+_MONO_ONE = Monomial.one()
+
+
+def _append_groups(
+    constraints: list,
+    result: KernelResult,
+    monomials: list,
+    pool_values: Sequence[Fraction],
+    basis: tuple[Monomial, ...],
+    strings: list,
+    origin: Callable[[str], str],
+) -> None:
+    """Materialise one grouped kernel result as trusted equality constraints."""
+    eq_mu = result.eq_mu.tolist()
+    offsets = result.eq_offsets.tolist()
+    term_a = result.term_a.tolist()
+    term_b = result.term_b.tolist()
+    term_coeff = result.term_coeff.tolist()
+    for group, rank in enumerate(eq_mu):
+        start = offsets[group]
+        stop = offsets[group + 1]
+        terms: dict[Monomial, Fraction] = {}
+        for position in range(start, stop):
+            a = term_a[position]
+            if a < 0:
+                monomial = _MONO_ONE
+            else:
+                b = term_b[position]
+                monomial = monomials[a] if b < 0 else monomials[a] * monomials[b]
+            coefficient = pool_values[term_coeff[position]]
+            previous = terms.get(monomial)
+            if previous is None:
+                terms[monomial] = coefficient
+            else:
+                total = previous + coefficient
+                if total:
+                    terms[monomial] = total
+                else:
+                    del terms[monomial]
+        if not terms:
+            continue
+        origin_text = origin(_basis_string(strings, basis, rank))
+        if len(terms) == 1 and next(iter(terms)).is_constant():
+            polynomial = Polynomial._from_validated(terms)
+            raise SynthesisError(
+                f"inconsistent constant equality from {origin_text!r}: {polynomial} = 0"
+            )
+        constraints.append(
+            QuadraticConstraint._trusted(
+                Polynomial._from_validated(terms), ConstraintKind.EQUALITY, origin_text
+            )
+        )
+
+
+def _assemble_putinar(
+    constraints: list, provenance: list, job: _PairJob, result: KernelResult
+) -> None:
+    tag = job.tag
+    h_dim = job.h_dim
+    sos_dim = job.sos_dim
+    tri_count = sos_dim * (sos_dim + 1) // 2
+    input_count = len(job.unknown_names)
+    eps_id = input_count + job.multiplier_count * h_dim
+    cholesky_base = eps_id + (1 if job.with_witness else 0)
+
+    names: list[str] = list(job.unknown_names)
+    for which in range(job.multiplier_count):
+        for j in range(h_dim):
+            names.append(f"{UNKNOWN_PREFIX}t_{tag}_{which}_{j}")
+    if job.with_witness:
+        names.append(f"{UNKNOWN_PREFIX}eps_{tag}")
+    if job.encode_sos:
+        for which in range(job.multiplier_count):
+            for row in range(sos_dim):
+                for col in range(row + 1):
+                    names.append(f"{UNKNOWN_PREFIX}l_{tag}_{which}_{row}_{col}")
+    monomials = [Monomial.of(name) for name in names]
+
+    provenance.append(job.provenance)
+    if job.with_witness:
+        constraints.append(
+            QuadraticConstraint._trusted(
+                Polynomial.variable(names[eps_id]),
+                ConstraintKind.POSITIVE,
+                f"{job.pair_name}:witness",
+            )
+        )
+
+    basis = cached_monomial_basis(job.variables, job.max_degree)
+    strings = _basis_strings(job.variables, job.max_degree)
+    pair_name = job.pair_name
+    _append_groups(
+        constraints,
+        result,
+        monomials,
+        job.pool_values,
+        basis,
+        strings,
+        lambda text: f"{pair_name}:coeff[{text}]",
+    )
+
+    if not job.encode_sos:
+        return
+
+    template = _sos_template(len(job.variables), job.upsilon)
+    local_a = template.term_a
+    local_b = template.term_b
+    for which in range(job.multiplier_count):
+        t_offset = input_count + which * h_dim
+        l_offset = cholesky_base + which * tri_count - h_dim
+        global_a = np.where(local_a < h_dim, local_a + t_offset, local_a + l_offset)
+        global_b = np.where(
+            local_b < 0, local_b, np.where(local_b < h_dim, local_b + t_offset, local_b + l_offset)
+        )
+        shifted = KernelResult(
+            eq_mu=template.eq_mu,
+            eq_offsets=template.eq_offsets,
+            term_a=global_a,
+            term_b=global_b,
+            term_coeff=template.term_coeff,
+        )
+        _append_groups(
+            constraints,
+            shifted,
+            monomials,
+            job.pool_values,
+            basis,
+            strings,
+            lambda text, which=which: f"{pair_name}:sos{which}[{text}]",
+        )
+        diag_origin = f"{pair_name}:diag{which}"
+        for row in range(sos_dim):
+            diag_id = cholesky_base + which * tri_count + row * (row + 1) // 2 + row
+            constraints.append(
+                QuadraticConstraint._trusted(
+                    Polynomial.variable(names[diag_id]),
+                    ConstraintKind.NONNEGATIVE,
+                    diag_origin,
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# Handelman: compile and assemble
+# ---------------------------------------------------------------------------
+
+
+def _compile_handelman_pair(
+    pair: ConstraintPair, pair_index: int, max_factors: int, with_witness: bool
+) -> _PairJob:
+    from repro.invariants.handelman import enumerate_products
+
+    tag = f"c{pair_index}"
+    variables = tuple(pair.relevant_program_variables())
+    width = len(variables)
+    unknown_index: dict[str, int] = {}
+    pool = CoefficientPool()
+    conclusion = lower_mixed(pair.conclusion, variables, unknown_index, pool)
+    products = enumerate_products(pair.assumptions, max_factors)
+    lowered_products = [
+        lower_mixed(product, variables, unknown_index, pool, negate=True)
+        for _, _, product in products
+    ]
+    input_count = len(unknown_index)
+    eps_id = input_count if with_witness else None
+    lambda_base = input_count + (1 if with_witness else 0)
+    max_degree = max(
+        [conclusion.max_degree] + [lowered.max_degree for lowered in lowered_products]
+    )
+
+    direct_exponents = [conclusion.exponents]
+    direct_a = [conclusion.unknown_ids]
+    direct_b = [np.full(conclusion.unknown_ids.size, _NO_UNKNOWN, dtype=np.int64)]
+    direct_coeff = [conclusion.coefficient_ids]
+    if with_witness:
+        direct_exponents.append(np.zeros((1, width), dtype=np.int64))
+        direct_a.append(np.asarray([eps_id], dtype=np.int64))
+        direct_b.append(np.asarray([_NO_UNKNOWN], dtype=np.int64))
+        direct_coeff.append(np.asarray([POOL_MINUS_ONE], dtype=np.int64))
+    for k, lowered in enumerate(lowered_products):
+        direct_exponents.append(lowered.exponents)
+        direct_a.append(np.full(lowered.unknown_ids.size, lambda_base + k, dtype=np.int64))
+        direct_b.append(lowered.unknown_ids)
+        direct_coeff.append(lowered.coefficient_ids)
+
+    payload = KernelPayload(
+        width=width,
+        h_count=0,
+        h_exponents=_EMPTY.reshape(0, width),
+        direct_exponents=np.concatenate(direct_exponents),
+        direct_a=np.concatenate(direct_a),
+        direct_b=np.concatenate(direct_b),
+        direct_coeff=np.concatenate(direct_coeff),
+        prod_exponents=_EMPTY.reshape(0, width),
+        prod_b=_EMPTY,
+        prod_coeff=_EMPTY,
+        prod_t_base=_EMPTY,
+    )
+    provenance = PairProvenance(
+        index=pair_index,
+        name=pair.name,
+        target=pair.target,
+        scheme="handelman",
+        assumption_count=len(pair.assumptions),
+        variables=variables,
+        max_factors=max_factors,
+        with_witness=with_witness,
+    )
+    return _PairJob(
+        provenance=provenance,
+        pair_name=pair.name,
+        tag=tag,
+        variables=variables,
+        unknown_names=tuple(unknown_index),
+        pool_values=pool.values(),
+        max_degree=max_degree,
+        payload=payload,
+        with_witness=with_witness,
+        product_labels=tuple(label for label, _, _ in products),
+    )
+
+
+def _assemble_handelman(
+    constraints: list, provenance: list, job: _PairJob, result: KernelResult
+) -> None:
+    tag = job.tag
+    names: list[str] = list(job.unknown_names)
+    if job.with_witness:
+        names.append(f"{UNKNOWN_PREFIX}eps_{tag}")
+    for k in range(len(job.product_labels)):
+        names.append(f"{UNKNOWN_PREFIX}t_{tag}_{k}_0")
+    monomials = [Monomial.of(name) for name in names]
+    lambda_base = len(job.unknown_names) + (1 if job.with_witness else 0)
+
+    provenance.append(job.provenance)
+    if job.with_witness:
+        constraints.append(
+            QuadraticConstraint._trusted(
+                Polynomial.variable(names[len(job.unknown_names)]),
+                ConstraintKind.POSITIVE,
+                f"{job.pair_name}:witness",
+            )
+        )
+    for k, label in enumerate(job.product_labels):
+        constraints.append(
+            QuadraticConstraint._trusted(
+                Polynomial.variable(names[lambda_base + k]),
+                ConstraintKind.NONNEGATIVE,
+                f"{job.pair_name}:lambda[{label}]",
+            )
+        )
+    basis = cached_monomial_basis(job.variables, job.max_degree)
+    strings = _basis_strings(job.variables, job.max_degree)
+    pair_name = job.pair_name
+    _append_groups(
+        constraints,
+        result,
+        monomials,
+        job.pool_values,
+        basis,
+        strings,
+        lambda text: f"{pair_name}:coeff[{text}]",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory fan-out
+# ---------------------------------------------------------------------------
+
+_HEADER_FIELDS = 4  # width, h_count, n_direct, n_prod
+
+
+def _flatten_payload(payload: KernelPayload) -> np.ndarray:
+    """Serialise a payload into one flat int64 array (worker wire format)."""
+    width = payload.width
+    n_direct = payload.direct_a.size
+    n_prod = payload.prod_b.size
+    parts = [
+        np.asarray([width, payload.h_count, n_direct, n_prod], dtype=np.int64),
+        payload.h_exponents.reshape(-1),
+        payload.direct_exponents.reshape(-1),
+        payload.direct_a,
+        payload.direct_b,
+        payload.direct_coeff,
+        payload.prod_exponents.reshape(-1),
+        payload.prod_b,
+        payload.prod_coeff,
+        payload.prod_t_base,
+    ]
+    return np.concatenate(parts)
+
+
+def _payload_from_flat(flat: np.ndarray) -> KernelPayload:
+    """Rebuild a payload from the wire format (views, no copies)."""
+    width, h_count, n_direct, n_prod = (int(value) for value in flat[:_HEADER_FIELDS])
+    cursor = _HEADER_FIELDS
+
+    def take(count: int) -> np.ndarray:
+        nonlocal cursor
+        piece = flat[cursor : cursor + count]
+        cursor += count
+        return piece
+
+    return KernelPayload(
+        width=width,
+        h_count=h_count,
+        h_exponents=take(h_count * width).reshape(h_count, width),
+        direct_exponents=take(n_direct * width).reshape(n_direct, width),
+        direct_a=take(n_direct),
+        direct_b=take(n_direct),
+        direct_coeff=take(n_direct),
+        prod_exponents=take(n_prod * width).reshape(n_prod, width),
+        prod_b=take(n_prod),
+        prod_coeff=take(n_prod),
+        prod_t_base=take(n_prod),
+    )
+
+
+def _result_capacity(payload: KernelPayload) -> int:
+    """Upper bound (in int64 slots) of a payload's serialised kernel result."""
+    terms = payload.term_count
+    # [n_eq, n_terms] header + eq_mu + eq_offsets + a + b + coeff.
+    return 5 * terms + 3
+
+
+def _run_worker_jobs(
+    in_buf, out_buf, jobs: list[tuple[int, int, int, int]]
+) -> list[tuple[int, int, int]]:
+    """Run a worker's kernel jobs over the mapped buffers.
+
+    Isolated in its own function so every numpy view into the shared-memory
+    buffers (including the payload views inside each job's
+    :class:`KernelPayload`) is dropped when it returns — ``SharedMemory.close``
+    refuses to unmap while exported buffer pointers are still alive.
+    """
+    in_view = np.frombuffer(in_buf, dtype=np.int64)
+    out_view = np.frombuffer(out_buf, dtype=np.int64)
+    done: list[tuple[int, int, int]] = []
+    for pair_index, in_offset, in_length, out_offset in jobs:
+        payload = _payload_from_flat(in_view[in_offset : in_offset + in_length])
+        result = run_kernel(payload)
+        n_eq = int(result.eq_mu.size)
+        n_terms = int(result.term_a.size)
+        cursor = out_offset
+        out_view[cursor] = n_eq
+        out_view[cursor + 1] = n_terms
+        cursor += 2
+        for array in (
+            result.eq_mu,
+            result.eq_offsets,
+            result.term_a,
+            result.term_b,
+            result.term_coeff,
+        ):
+            out_view[cursor : cursor + array.size] = array
+            cursor += array.size
+        done.append((pair_index, n_eq, n_terms))
+    return done
+
+
+def _attach_shared_memory(name: str):
+    """Attach to a parent-owned segment without resource-tracker registration.
+
+    The parent created the segment and will unlink it; a worker registering
+    the same name with *its* resource tracker would make that tracker warn
+    about (or try to re-clean) a segment it never owned at shutdown
+    (bpo-39959).  Python gains ``track=False`` only in 3.13, so the
+    registration is suppressed around the attach instead; workers run this
+    single-threaded, before any other shared-memory use.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _pool_worker(
+    in_name: str, out_name: str, jobs: list[tuple[int, int, int, int]]
+) -> list[tuple[int, int, int]]:
+    """Worker entry: run kernels over shared-memory payloads, write flat results.
+
+    ``jobs`` rows are ``(pair_index, in_offset, in_length, out_offset)``.
+    Returns ``(pair_index, n_eq, n_terms)`` so the parent knows each result's
+    actual extent inside its reserved output region.
+    """
+    in_shm = _attach_shared_memory(in_name)
+    out_shm = _attach_shared_memory(out_name)
+    try:
+        return _run_worker_jobs(in_shm.buf, out_shm.buf, jobs)
+    finally:
+        in_shm.close()
+        out_shm.close()
+
+
+class TranslationPool:
+    """A persistent worker pool that exchanges only flat arrays via shared memory.
+
+    Payloads are packed into one input segment, workers write grouped results
+    into pre-reserved regions of one output segment, and the parent reads them
+    back in pair-index order — nothing symbolic ever crosses a process
+    boundary.  A worker failure propagates its original exception and no
+    partial result is consumed.
+    """
+
+    def __init__(self, workers: int | None = None, min_terms: int = MIN_PARALLEL_TERMS) -> None:
+        self.workers = max(2, int(workers) if workers else (os.cpu_count() or 2))
+        self.min_terms = min_terms
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def available(self) -> bool:
+        """Whether shared memory exists on this platform (else callers fall back)."""
+        return _shared_memory is not None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def warm(self) -> None:
+        """Spin the workers up eagerly (used by benchmarks and calibration)."""
+        executor = self._ensure_executor()
+        list(executor.map(int, range(self.workers)))
+
+    def run(self, payloads: Sequence[KernelPayload]) -> list[KernelResult]:
+        """Run every payload's kernel across the pool; results in input order."""
+        if not self.available:
+            raise SynthesisError("multiprocessing.shared_memory is unavailable on this platform")
+        if not payloads:
+            return []
+        flats = [_flatten_payload(payload) for payload in payloads]
+        in_lengths = [flat.size for flat in flats]
+        in_offsets = np.concatenate([[0], np.cumsum(in_lengths)])
+        out_capacities = [_result_capacity(payload) for payload in payloads]
+        out_offsets = np.concatenate([[0], np.cumsum(out_capacities)])
+
+        in_shm = _shared_memory.SharedMemory(
+            create=True, size=max(int(in_offsets[-1]), 1) * 8
+        )
+        out_shm = _shared_memory.SharedMemory(
+            create=True, size=max(int(out_offsets[-1]), 1) * 8
+        )
+        in_view = out_view = None
+        try:
+            in_view = np.frombuffer(in_shm.buf, dtype=np.int64)
+            for flat, offset in zip(flats, in_offsets):
+                in_view[int(offset) : int(offset) + flat.size] = flat
+
+            # Balance pairs over workers greedily by exact term count.
+            bins: list[list[tuple[int, int, int, int]]] = [[] for _ in range(self.workers)]
+            loads = [0] * self.workers
+            order = sorted(
+                range(len(payloads)), key=lambda i: payloads[i].term_count, reverse=True
+            )
+            for index in order:
+                slot = loads.index(min(loads))
+                bins[slot].append(
+                    (index, int(in_offsets[index]), in_lengths[index], int(out_offsets[index]))
+                )
+                loads[slot] += payloads[index].term_count + 64
+
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(_pool_worker, in_shm.name, out_shm.name, chunk)
+                for chunk in bins
+                if chunk
+            ]
+            extents: dict[int, tuple[int, int]] = {}
+            for future in futures:
+                for pair_index, n_eq, n_terms in future.result():
+                    extents[pair_index] = (n_eq, n_terms)
+
+            out_view = np.frombuffer(out_shm.buf, dtype=np.int64)
+            results: list[KernelResult] = []
+            for index in range(len(payloads)):
+                n_eq, n_terms = extents[index]
+                cursor = int(out_offsets[index]) + 2
+
+                def take(count: int) -> np.ndarray:
+                    nonlocal cursor
+                    piece = out_view[cursor : cursor + count].copy()
+                    cursor += count
+                    return piece
+
+                results.append(
+                    KernelResult(
+                        eq_mu=take(n_eq),
+                        eq_offsets=take(n_eq + 1),
+                        term_a=take(n_terms),
+                        term_b=take(n_terms),
+                        term_coeff=take(n_terms),
+                    )
+                )
+            return results
+        finally:
+            del in_view, out_view
+            in_shm.close()
+            in_shm.unlink()
+            out_shm.close()
+            out_shm.unlink()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "TranslationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Calibration (Engine(translation_workers="auto"))
+# ---------------------------------------------------------------------------
+
+_CALIBRATION_CACHE: dict[int, bool] = {}
+
+
+def _calibration_payloads() -> list[KernelPayload]:
+    """A deterministic medium-sized workload resembling a real degree-2 sweep."""
+    width = 4
+    upsilon = 2
+    h_exponents = _basis_exponents(width, upsilon)
+    h_dim = h_exponents.shape[0]
+    payloads = []
+    for seed in range(12):
+        n_direct = 40 + seed
+        n_prod = 90 + 3 * seed
+        direct_exponents = (np.arange(n_direct * width).reshape(n_direct, width) + seed) % 3
+        prod_exponents = (np.arange(n_prod * width).reshape(n_prod, width) + 2 * seed) % 3
+        payloads.append(
+            KernelPayload(
+                width=width,
+                h_count=h_dim,
+                h_exponents=h_exponents,
+                direct_exponents=direct_exponents.astype(np.int64),
+                direct_a=np.arange(n_direct, dtype=np.int64) % 7 - 1,
+                direct_b=np.full(n_direct, _NO_UNKNOWN, dtype=np.int64),
+                direct_coeff=np.zeros(n_direct, dtype=np.int64),
+                prod_exponents=prod_exponents.astype(np.int64),
+                prod_b=np.arange(n_prod, dtype=np.int64) % 5 - 1,
+                prod_coeff=np.ones(n_prod, dtype=np.int64),
+                prod_t_base=np.full(n_prod, 32, dtype=np.int64),
+            )
+        )
+    return payloads
+
+
+def calibrate_parallel_translation(workers: int | None = None, repeats: int = 3) -> bool:
+    """Whether the shared-memory fan-out beats the in-process kernel here.
+
+    Runs a deterministic microbenchmark once per process (cached by worker
+    count): the pool wins only when its best wall-clock over ``repeats`` runs
+    is at least as fast as the sequential kernel's — on single-core boxes or
+    platforms without shared memory this returns False and callers stay on the
+    (already vectorised) sequential path.
+    """
+    count = max(2, int(workers) if workers else (os.cpu_count() or 2))
+    cached = _CALIBRATION_CACHE.get(count)
+    if cached is not None:
+        return cached
+    if _shared_memory is None or (os.cpu_count() or 1) < 2:
+        _CALIBRATION_CACHE[count] = False
+        return False
+    payloads = _calibration_payloads()
+    try:
+        with TranslationPool(count, min_terms=0) as pool:
+            pool.warm()
+            sequential = parallel = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for payload in payloads:
+                    run_kernel(payload)
+                sequential = min(sequential, time.perf_counter() - start)
+                start = time.perf_counter()
+                pool.run(payloads)
+                parallel = min(parallel, time.perf_counter() - start)
+        decision = parallel <= sequential
+    except Exception:  # pragma: no cover - a broken pool must never take down synthesis
+        decision = False
+    _CALIBRATION_CACHE[count] = decision
+    return decision
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def _run_jobs(
+    jobs: Sequence[_PairJob], pool: TranslationPool | None
+) -> tuple[list[KernelResult], str, int]:
+    payloads = [job.payload for job in jobs]
+    use_pool = (
+        pool is not None
+        and pool.available
+        and len(payloads) > 1
+        and sum(payload.term_count for payload in payloads) >= pool.min_terms
+    )
+    if use_pool:
+        return pool.run(payloads), "vectorized-parallel", pool.workers
+    return [run_kernel(payload) for payload in payloads], "vectorized", 0
+
+
+def _build_system(
+    jobs: Sequence[_PairJob],
+    results: Sequence[KernelResult],
+    assemble: Callable,
+    objective: Polynomial | None,
+) -> QuadraticSystem:
+    constraints: list[QuadraticConstraint] = []
+    provenance: list[PairProvenance] = []
+    for job, result in zip(jobs, results):
+        assemble(constraints, provenance, job, result)
+    return QuadraticSystem(
+        constraints=constraints,
+        objective=objective if objective is not None else Polynomial.zero(),
+        provenance=provenance,
+    )
+
+
+def putinar_translate_vectorized(
+    pairs: Sequence[ConstraintPair],
+    options,
+    objective: Polynomial | None = None,
+    pool: TranslationPool | None = None,
+) -> QuadraticSystem:
+    """Vectorised Putinar translation; equal to the symbolic path constraint-for-constraint."""
+    start = time.perf_counter()
+    jobs = [_compile_putinar_pair(pair, index, options) for index, pair in enumerate(pairs)]
+    compiled_at = time.perf_counter()
+    results, mode, workers = _run_jobs(jobs, pool)
+    fanned_at = time.perf_counter()
+    system = _build_system(jobs, results, _assemble_putinar, objective)
+    system.translation_profile = TranslationProfile(
+        mode=mode,
+        workers=workers,
+        compile_seconds=compiled_at - start,
+        fanout_seconds=fanned_at - compiled_at,
+        assemble_seconds=time.perf_counter() - fanned_at,
+    )
+    return system
+
+
+def handelman_translate_vectorized(
+    pairs: Sequence[ConstraintPair],
+    max_factors: int = 2,
+    with_witness: bool = True,
+    objective: Polynomial | None = None,
+    pool: TranslationPool | None = None,
+) -> QuadraticSystem:
+    """Vectorised Handelman translation; equal to the symbolic path constraint-for-constraint."""
+    start = time.perf_counter()
+    jobs = [
+        _compile_handelman_pair(pair, index, max_factors, with_witness)
+        for index, pair in enumerate(pairs)
+    ]
+    compiled_at = time.perf_counter()
+    results, mode, workers = _run_jobs(jobs, pool)
+    fanned_at = time.perf_counter()
+    system = _build_system(jobs, results, _assemble_handelman, objective)
+    system.translation_profile = TranslationProfile(
+        mode=mode,
+        workers=workers,
+        compile_seconds=compiled_at - start,
+        fanout_seconds=fanned_at - compiled_at,
+        assemble_seconds=time.perf_counter() - fanned_at,
+    )
+    return system

@@ -22,8 +22,7 @@ from repro.reduction.plan import ReductionPlan, ReductionReport, compile_plan
 from repro.reduction.task import STAGE_NAMES, SynthesisTask
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from concurrent.futures import Executor
-
+    from repro.invariants.translation import TranslationPool
     from repro.pipeline.jobs import SynthesisJob
 
 
@@ -68,7 +67,7 @@ class TaskCache:
         return len(self._tasks)
 
     def get_or_build(
-        self, job: "SynthesisJob", translation_executor: "Executor | None" = None
+        self, job: "SynthesisJob", translation_pool: "TranslationPool | None" = None
     ) -> tuple[SynthesisTask, bool]:
         """The task for ``job``, building it on first use.
 
@@ -76,12 +75,12 @@ class TaskCache:
         hit (stage-level reuse shows up in :meth:`stats` instead).
         """
         task, from_cache, _ = self.get_or_build_with_report(
-            job, translation_executor=translation_executor
+            job, translation_pool=translation_pool
         )
         return task, from_cache
 
     def get_or_build_with_report(
-        self, job: "SynthesisJob", translation_executor: "Executor | None" = None
+        self, job: "SynthesisJob", translation_pool: "TranslationPool | None" = None
     ) -> tuple[SynthesisTask, bool, ReductionReport]:
         """Like :meth:`get_or_build`, plus the per-stage execution report.
 
@@ -105,7 +104,7 @@ class TaskCache:
                     return cached, True, _TASK_HIT_REPORT
             start = time.perf_counter()
             task, report = plan.execute(
-                cache=self.stages, translation_executor=translation_executor
+                cache=self.stages, translation_pool=translation_pool
             )
             elapsed = time.perf_counter() - start
             with self._lock:

@@ -16,12 +16,19 @@ handful of vectorised operations with no ``Fraction`` arithmetic at all:
   bilinear triplets, ready to be fed into sparse matrices.
 * :func:`lower_coefficient_matrix` — the dense coefficient-matching matrix of
   the SOS feasibility solver, assembled in one pass.
+* :class:`CoefficientPool` / :func:`lower_mixed` / :func:`lower_gram_triples` —
+  the exact Step-3 lowering: mixed template polynomials become flat exponent
+  matrices plus unknown-id and coefficient-pool-id columns, and the Gram/
+  Cholesky SOS expansion becomes index triples, so the translation kernel in
+  :mod:`repro.invariants.translation` works on integers only while the parent
+  keeps the :class:`~fractions.Fraction` coefficients exact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from fractions import Fraction
+from typing import Iterable, Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -30,9 +37,10 @@ from repro.polynomial.monomial import Monomial
 from repro.polynomial.polynomial import Polynomial
 
 
-def _exponent_rows(
+def exponent_rows(
     monomials: Iterable[Monomial], index: Mapping[str, int], width: int
 ) -> np.ndarray:
+    """Dense ``(len(monomials), width)`` exponent matrix over a variable index."""
     rows = []
     for monomial in monomials:
         row = [0] * width
@@ -45,6 +53,145 @@ def _exponent_rows(
                 ) from exc
         rows.append(row)
     return np.asarray(rows, dtype=np.int64).reshape(len(rows), width)
+
+
+_exponent_rows = exponent_rows
+
+
+# Reserved slots shared by every pool: the coefficients that translation
+# synthesises itself (the -1 of the moved right-hand side and the 1/2 of the
+# Gram expansion) get fixed ids so kernels can emit them without a pool lookup.
+POOL_PLUS_ONE = 0
+POOL_MINUS_ONE = 1
+POOL_PLUS_TWO = 2
+POOL_MINUS_TWO = 3
+_POOL_RESERVED = (Fraction(1), Fraction(-1), Fraction(2), Fraction(-2))
+
+
+class CoefficientPool:
+    """Deduplicated exact coefficients addressed by integer id.
+
+    Flat kernel arrays carry pool ids instead of numeric values, so index
+    arithmetic never touches a :class:`~fractions.Fraction` while assembly can
+    recover the exact coefficient of every emitted term.
+    """
+
+    __slots__ = ("_values", "_ids")
+
+    def __init__(self) -> None:
+        self._values: list[Fraction] = list(_POOL_RESERVED)
+        self._ids: dict[Fraction, int] = {value: i for i, value in enumerate(self._values)}
+
+    def add(self, value: Fraction) -> int:
+        """The id of ``value``, interning it on first use."""
+        existing = self._ids.get(value)
+        if existing is not None:
+            return existing
+        slot = len(self._values)
+        self._values.append(value)
+        self._ids[value] = slot
+        return slot
+
+    def values(self) -> tuple[Fraction, ...]:
+        """The id -> coefficient table (reserved slots first)."""
+        return tuple(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+@dataclass(frozen=True)
+class MixedTermArrays:
+    """A Step-2 template polynomial lowered to flat per-term arrays.
+
+    Each term of a mixed polynomial (program variables times at most one
+    template unknown) becomes one row: the program-part exponent vector, the
+    unknown id (``-1`` when the term is unknown-free) and the pool id of its
+    exact coefficient.  ``max_degree`` is the largest program-part degree.
+    """
+
+    exponents: np.ndarray  # (terms, program_variables), int64
+    unknown_ids: np.ndarray  # (terms,), int64, -1 for unknown-free terms
+    coefficient_ids: np.ndarray  # (terms,), int64 into the owning CoefficientPool
+    max_degree: int
+
+
+def lower_mixed(
+    polynomial: Polynomial,
+    variables: Sequence[str],
+    unknown_index: MutableMapping[str, int],
+    pool: CoefficientPool,
+    negate: bool = False,
+) -> MixedTermArrays:
+    """Lower a template polynomial that is linear in its unknowns.
+
+    ``unknown_index`` assigns ids to unknown names on first occurrence and is
+    shared across the polynomials of one constraint pair, so conclusion and
+    assumptions agree on ids.  ``negate`` bakes the sign of moved right-hand
+    sides into the pooled coefficients.
+    """
+    keep = frozenset(variables)
+    index = {name: position for position, name in enumerate(variables)}
+    width = len(variables)
+    program_parts: list[Monomial] = []
+    unknown_ids: list[int] = []
+    coefficient_ids: list[int] = []
+    for monomial, coefficient in polynomial.items():
+        program_part = monomial.restrict(keep)
+        unknown_part = monomial.exclude(keep)
+        items = unknown_part.items
+        if not items:
+            unknown_ids.append(-1)
+        elif len(items) == 1 and items[0][1] == 1:
+            name = items[0][0]
+            slot = unknown_index.get(name)
+            if slot is None:
+                slot = len(unknown_index)
+                unknown_index[name] = slot
+            unknown_ids.append(slot)
+        else:
+            raise PolynomialError(
+                f"term {monomial} is not linear in the template unknowns; "
+                "Step 3 requires degree <= 1 unknown parts"
+            )
+        program_parts.append(program_part)
+        coefficient_ids.append(pool.add(-coefficient if negate else coefficient))
+    exponents = exponent_rows(program_parts, index, width)
+    max_degree = int(exponents.sum(axis=1).max()) if exponents.size else 0
+    return MixedTermArrays(
+        exponents=exponents,
+        unknown_ids=np.asarray(unknown_ids, dtype=np.int64),
+        coefficient_ids=np.asarray(coefficient_ids, dtype=np.int64),
+        max_degree=max_degree,
+    )
+
+
+def lower_gram_triples(dimension: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Index triples of the Cholesky expansion ``sum_c (sum_{r>=c} l_{r,c} y_r)^2``.
+
+    Returns ``(rows_a, rows_b, cols, doubled)`` over all ``c <= r1 <= r2 <
+    dimension``: the expansion contributes ``l_{r1,c} * l_{r2,c} * y_{r1} *
+    y_{r2}`` with coefficient 2 off the diagonal (``doubled`` marks ``r1 <
+    r2``) and 1 on it.  Lower-triangle entries are addressed by the row-major
+    triangular index ``r * (r + 1) // 2 + c`` used by the multiplier naming.
+    """
+    rows_a: list[int] = []
+    rows_b: list[int] = []
+    cols: list[int] = []
+    for col in range(dimension):
+        for row_a in range(col, dimension):
+            for row_b in range(row_a, dimension):
+                cols.append(col)
+                rows_a.append(row_a)
+                rows_b.append(row_b)
+    rows_a_arr = np.asarray(rows_a, dtype=np.int64)
+    rows_b_arr = np.asarray(rows_b, dtype=np.int64)
+    return (
+        rows_a_arr,
+        rows_b_arr,
+        np.asarray(cols, dtype=np.int64),
+        (rows_a_arr != rows_b_arr),
+    )
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,10 @@ deterministic printing and for the Groebner-free normal forms in tests.
 from __future__ import annotations
 
 from enum import Enum
+from functools import lru_cache
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.polynomial.monomial import Monomial
 
@@ -94,6 +97,65 @@ def monomials_up_to_degree(variables: Sequence[str], degree: int) -> list[Monomi
 def monomials_of_degree(variables: Sequence[str], degree: int) -> list[Monomial]:
     """All monomials over ``variables`` of total degree exactly ``degree``."""
     return [m for m in monomials_up_to_degree(variables, degree) if m.degree() == degree]
+
+
+@lru_cache(maxsize=256)
+def cached_monomial_basis(variables: tuple[str, ...], degree: int) -> tuple[Monomial, ...]:
+    """Memoised :func:`monomials_up_to_degree` for repeated pair compilations.
+
+    Translation compiles one basis per (variable order, degree) combination and
+    every constraint pair of the same function shares it, so interning the
+    tuple avoids re-enumerating thousands of monomials per pair.
+    """
+    return tuple(monomials_up_to_degree(variables, degree))
+
+
+def pascal_table(max_free: int, max_sum: int) -> np.ndarray:
+    """Table ``T[m, s] = C(s + m, m)``: monomials over ``m`` variables of degree <= ``s``.
+
+    Built by the hockey-stick recurrence ``T[m, s] = sum_{t<=s} T[m-1, t]`` so a
+    single cumulative sum per row fills the whole table.
+    """
+    table = np.ones((max_free + 1, max_sum + 1), dtype=np.int64)
+    for free in range(1, max_free + 1):
+        np.cumsum(table[free - 1], out=table[free])
+    return table
+
+
+def grlex_ranks(exponents: np.ndarray) -> np.ndarray:
+    """Vectorised rank of exponent rows in the graded lexicographic order.
+
+    ``exponents`` is an ``(n, v)`` integer matrix; the result is the position of
+    each row in :func:`monomials_up_to_degree` for any degree bound covering it
+    (ranks are independent of the bound because grlex enumerates degree blocks
+    in increasing order).  Rank 0 is the constant monomial.
+
+    The closed form counts, per variable position, the same-degree monomials
+    that are lex-smaller: with ``s`` exponent mass remaining at position ``i``
+    and ``free = v - 1 - i`` positions after it, choosing a smaller ``i``-th
+    exponent ``t < e_i`` leaves ``s - t`` mass for the free positions, and the
+    hockey-stick sum of those compositions telescopes to
+    ``C(s + free, free) - C(s - e_i + free, free)``.
+    """
+    exponents = np.asarray(exponents, dtype=np.int64)
+    if exponents.ndim != 2:
+        raise ValueError("grlex_ranks expects an (n, v) exponent matrix")
+    count, width = exponents.shape
+    if count == 0 or width == 0:
+        return np.zeros(count, dtype=np.int64)
+    degrees = exponents.sum(axis=1)
+    max_degree = int(degrees.max())
+    table = pascal_table(width, max_degree)
+    # Monomials of strictly smaller degree: C(d - 1 + v, v).
+    ranks = np.where(degrees > 0, table[width][np.maximum(degrees - 1, 0)], 0)
+    remaining = degrees.copy()
+    for position in range(width - 1):
+        free = width - 1 - position
+        row = table[free]
+        exps = exponents[:, position]
+        ranks = ranks + row[remaining] - row[remaining - exps]
+        remaining = remaining - exps
+    return ranks
 
 
 def count_monomials_up_to_degree(num_variables: int, degree: int) -> int:

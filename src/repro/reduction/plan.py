@@ -17,9 +17,8 @@ historical monolithic ``build_task`` produced; the property tests in
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor
 from dataclasses import dataclass, field
-from typing import Mapping, Union
+from typing import TYPE_CHECKING, Mapping, Union
 
 from repro.errors import SynthesisError
 from repro.invariants.constraints import ConstraintPair
@@ -42,6 +41,9 @@ from repro.reduction.task import STAGE_NAMES, SynthesisTask
 from repro.spec.objectives import FeasibilityObjective, Objective
 from repro.spec.preconditions import Precondition
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.invariants.translation import TranslationPool
+
 ProgramLike = Union[str, Program]
 PreconditionLike = Union[None, Precondition, Mapping[str, Mapping[int, str]]]
 
@@ -61,6 +63,7 @@ class ReductionReport:
 
     stages: tuple[StageExecution, ...]
     task_from_cache: bool = False
+    extra_timings: tuple[tuple[str, float], ...] = ()
 
     @property
     def cached_stages(self) -> int:
@@ -75,8 +78,12 @@ class ReductionReport:
 
         A whole-task hit carries no stage entries; it reports every stage as
         cached (which it is, transitively, through the assembled task).
+        ``extra_timings`` carries the translation sub-phase split
+        (``stage_translation_compile/fanout/assemble_seconds``) when the
+        translation stage actually ran.
         """
         flat = {f"stage_{stage.name}_seconds": stage.seconds for stage in self.stages}
+        flat.update(self.extra_timings)
         flat["stages_from_cache"] = float(
             len(STAGE_NAMES) if self.task_from_cache else self.cached_stages
         )
@@ -136,15 +143,15 @@ class ReductionPlan:
     def execute(
         self,
         cache: StageCache | None = None,
-        translation_executor: Executor | None = None,
+        translation_pool: "TranslationPool | None" = None,
     ) -> tuple[SynthesisTask, ReductionReport]:
         """Run the plan, reusing every stage ``cache`` already holds.
 
         Returns the assembled task together with a :class:`ReductionReport`
         recording, per stage, the build time (zero on a cache hit) and
-        whether it came from the cache.  ``translation_executor`` fans the
-        independent per-pair Putinar/Handelman translations out across a
-        worker pool.
+        whether it came from the cache.  ``translation_pool`` fans the
+        vectorised per-pair translation kernels out over shared-memory
+        workers (see :mod:`repro.invariants.translation`).
         """
         executions: list[StageExecution] = []
 
@@ -176,14 +183,26 @@ class ReductionPlan:
         translated: QuadraticSystem = stage(
             "translation",
             self.translation_key,
-            lambda: run_translation(pairs, self.options, executor=translation_executor),
+            lambda: run_translation(pairs, self.options, pool=translation_pool),
         )
 
         start = time.perf_counter()
         system = self._attach_objective(translated, templates)
         assembly_seconds = time.perf_counter() - start
 
-        report = ReductionReport(stages=tuple(executions))
+        # Surface the translation kernel's compile/fanout/assemble split when
+        # the stage actually ran (a cached stage reports only the hit).
+        extra_timings: tuple[tuple[str, float], ...] = ()
+        profile = getattr(translated, "translation_profile", None)
+        if profile is not None and not executions[-1].from_cache:
+            extra_timings = (
+                ("stage_translation_compile_seconds", profile.compile_seconds),
+                ("stage_translation_fanout_seconds", profile.fanout_seconds),
+                ("stage_translation_assemble_seconds", profile.assemble_seconds),
+                ("stage_translation_workers", float(profile.workers)),
+            )
+
+        report = ReductionReport(stages=tuple(executions), extra_timings=extra_timings)
         by_name = {stage.name: stage.seconds for stage in executions}
         statistics = {
             "time_frontend": by_name["frontend"],
@@ -195,6 +214,9 @@ class ReductionPlan:
             "system_size": float(system.size),
             "stages_from_cache": float(report.cached_stages),
         }
+        for key, value in extra_timings:
+            if key.endswith("_seconds"):
+                statistics[key.replace("stage_translation_", "time_translation_")] = value
         task = SynthesisTask(
             program=frontend.program,
             cfg=frontend.cfg,

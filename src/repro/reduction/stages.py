@@ -21,8 +21,8 @@ stage                     depends on
 
 from __future__ import annotations
 
-from concurrent.futures import Executor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cfg.builder import build_cfg
 from repro.cfg.graph import ProgramCFG
@@ -38,6 +38,9 @@ from repro.reduction.options import SynthesisOptions
 from repro.reduction.task import STAGE_NAMES
 from repro.spec.bounded import apply_bounded_reals_model
 from repro.spec.preconditions import Precondition, augment_entry_preconditions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.invariants.translation import TranslationPool
 
 __all__ = [
     "Frontend",
@@ -94,7 +97,7 @@ def run_pairs(
 def run_translation(
     pairs: list[ConstraintPair],
     options: SynthesisOptions,
-    executor: Executor | None = None,
+    pool: "TranslationPool | None" = None,
 ) -> QuadraticSystem:
     """Step 3: the Positivstellensatz translation, objective-free.
 
@@ -103,10 +106,12 @@ def run_translation(
     alone share the (expensive) constraint translation and attach their own
     objective during plan assembly.
 
-    ``executor`` fans the independent per-pair translations out across a
-    worker pool (thread or process); the merged system is identical to the
-    sequential one because per-pair constraint blocks are merged in pair-index
-    order and every generated unknown name is keyed by the pair index.
+    The translation runs the vectorised flat-array kernel
+    (:mod:`repro.invariants.translation`); ``pool`` optionally fans the
+    per-pair kernels out over shared-memory workers, with a result that is
+    bit-identical to the sequential one because per-pair blocks are assembled
+    in pair-index order and every generated unknown name is keyed by the pair
+    index.
     """
     if options.translation == "putinar":
         return putinar_translate(
@@ -114,6 +119,6 @@ def run_translation(
             upsilon=options.upsilon,
             with_witness=options.with_witness,
             encode_sos=options.encode_sos,
-            executor=executor,
+            pool=pool,
         )
-    return handelman_translate(pairs, with_witness=options.with_witness, executor=executor)
+    return handelman_translate(pairs, with_witness=options.with_witness, pool=pool)

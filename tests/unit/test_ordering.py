@@ -77,3 +77,29 @@ def test_sort_monomials_deterministic():
     ordered = sort_monomials(monomials, variables, MonomialOrder.GRLEX)
     assert ordered[0] == Monomial.one()
     assert ordered == sort_monomials(list(reversed(monomials)), variables, MonomialOrder.GRLEX)
+
+
+def test_grlex_ranks_match_enumeration_indices():
+    """The vectorised rank formula agrees with the grlex enumeration order."""
+    import numpy as np
+
+    from repro.polynomial.compiled import exponent_rows
+    from repro.polynomial.ordering import grlex_ranks
+
+    for width in range(1, 5):
+        for degree in range(0, 5):
+            names = [f"v{i}" for i in range(width)]
+            basis = monomials_up_to_degree(names, degree)
+            index = {name: position for position, name in enumerate(names)}
+            ranks = grlex_ranks(exponent_rows(basis, index, width))
+            assert ranks.tolist() == list(range(len(basis))), (width, degree)
+
+
+def test_grlex_ranks_edge_cases():
+    import numpy as np
+
+    from repro.polynomial.ordering import grlex_ranks
+
+    # No rows at all, and the zero-variable constant monomial.
+    assert grlex_ranks(np.zeros((0, 3), dtype=np.int64)).tolist() == []
+    assert grlex_ranks(np.zeros((2, 0), dtype=np.int64)).tolist() == [0, 0]
