@@ -9,7 +9,10 @@ several minutes for the largest instances).
 
 from __future__ import annotations
 
+import datetime
 import os
+import platform
+import subprocess
 import sys
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -17,6 +20,44 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Bump when the shared meta block below changes incompatibly, so readers of
+#: the BENCH_*.json trajectory can tell which fields to expect.
+BENCH_META_SCHEMA_VERSION = 1
+
+
+def _git_revision() -> str | None:
+    """The short revision the numbers were measured at (None outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def bench_meta(quick: bool) -> dict:
+    """The provenance block every BENCH_*.json emitter stamps into its report.
+
+    One shared shape (schema version, git revision, interpreter, UTC
+    timestamp, quick flag) so the reports of different harnesses can be
+    correlated across PRs without per-file parsing rules.
+    """
+    return {
+        "schema_version": BENCH_META_SCHEMA_VERSION,
+        "git_revision": _git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "quick": quick,
+    }
 
 
 def benchmark_options(benchmark):

@@ -21,12 +21,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import statistics
 import sys
 import time
 
-import _bench_config  # noqa: F401  (sys.path setup)
+import _bench_config
 
 from repro.api import Engine, SynthesisRequest, SynthesisResponse
 from repro.api.engine import reset_default_engine
@@ -115,8 +114,7 @@ def run(quick: bool = True, limit: int | None = None, limit_variables: int = 8, 
     overheads = list(envelope_overhead.values())
     report = {
         "benchmark": "service-api-overhead",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        "meta": _bench_config.bench_meta(quick),
         "quick": quick,
         "benchmarks": per_benchmark,
         "summary": {

@@ -18,11 +18,10 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
-import platform
 import sys
 import time
 
-import _bench_config  # noqa: F401  (sys.path setup)
+import _bench_config
 
 from repro.api.engine import Engine
 from repro.bench.runner import quick_subset, request_from_benchmark
@@ -126,8 +125,7 @@ def main(argv=None) -> int:
     benchmarks = _select(args.quick, args.limit)
     report = {
         "benchmark": "certify",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        "meta": _bench_config.bench_meta(args.quick),
         "quick": args.quick,
         **measure_certification(benchmarks, args.quick, args.max_repair_rounds),
     }

@@ -28,11 +28,10 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 
-import _bench_config  # noqa: F401  (sys.path setup)
+import _bench_config
 
 from repro.api.engine import Engine
 from repro.api.request import SynthesisRequest
@@ -240,8 +239,7 @@ def run(quick: bool = True, limit: int | None = None, workers: int = 4) -> dict:
     escalation = measure_escalation(benchmarks[: min(len(benchmarks), 6)])
     return {
         "benchmark": "staged-reduction",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        "meta": _bench_config.bench_meta(quick),
         "quick": quick,
         "programs": len(benchmarks),
         "degree_sweep": sweep,

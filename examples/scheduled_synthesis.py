@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Corpus-driven scheduling: warm a solve corpus, then watch a repeat run predict.
+
+The engine's portfolio (PR 2) races every Step-4 strategy on every request,
+and ``degree="auto"`` (PR 4) always ladders from d = 1.  The scheduler
+(:mod:`repro.schedule`) replaces both cold starts with predictions mined from
+a persistent corpus of past solves:
+
+1. **Warm-up run** — an ``Engine(scheduler="record-only")`` solves a handful
+   of suite programs exactly as an unscheduled engine would, appending one
+   JSONL row per completed solve (winning strategy, per-strategy wall-clock
+   including losers, final degree, verified flag) to the corpus file.
+2. **Repeat run** — a *brand-new* ``Engine(scheduler="on")`` against the same
+   corpus path: each request's nearest corpus neighbours pick the primary
+   strategy (launched first, the rest staggered behind a learned grace
+   period — never pruned) and the starting rung of the auto-degree ladder.
+
+The corpus is a plain append-only file, so step 2 works after a process
+restart just as well — that persistence is the point.
+
+Run with::
+
+    python examples/scheduled_synthesis.py [--corpus PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import tempfile
+import time
+
+from repro import Engine, SolveCorpus, SynthesisRequest
+from repro.solvers.base import SolverOptions
+from repro.suite.registry import get_benchmark
+
+PROGRAMS = ("sum", "cohendiv", "freire1", "sqrt")
+QUICK_SOLVE = SolverOptions(restarts=1, max_iterations=120, time_limit=15.0)
+
+
+def request_for(name: str) -> SynthesisRequest:
+    benchmark = get_benchmark(name)
+    options = dataclasses.replace(
+        benchmark.options(upsilon=1),
+        strategy="portfolio",
+        degree="auto",
+        max_degree=3,
+        verify="exact",
+    )
+    return SynthesisRequest(
+        program=benchmark.source,
+        precondition=benchmark.precondition,
+        objective=benchmark.objective(),
+        options=options,
+        request_id=name,
+    )
+
+
+def run_pass(title: str, scheduler: str, corpus: str) -> None:
+    print(f"=== {title} (scheduler={scheduler!r}) ===")
+    with Engine(solver_options=QUICK_SOLVE, scheduler=scheduler, corpus=corpus) as engine:
+        for name in PROGRAMS:
+            start = time.perf_counter()
+            response = engine.synthesize(request_for(name))
+            seconds = time.perf_counter() - start
+            verified = bool((response.verification or {}).get("verified"))
+            degrees = [attempt["degree"] for attempt in response.escalation["attempts"]]
+            line = (
+                f"  {name:10s} {response.status:4s} strategy={response.strategy:13s} "
+                f"degrees tried={degrees} verified={verified} {seconds:5.2f}s"
+            )
+            if response.timings.get("schedule_predicted"):
+                line += (
+                    f"  [predicted, stagger={response.timings['schedule_stagger_seconds']:.2f}s"
+                    f", start rung={int(response.timings.get('schedule_start_degree', degrees[0]))}]"
+                )
+            print(line)
+        stats = engine.stats()
+        print(
+            f"  engine stats: predictions={int(stats['schedule_predictions'])} "
+            f"strategy hits={int(stats['schedule_strategy_hits'])} "
+            f"degree hits={int(stats['schedule_degree_hits'])} "
+            f"rows recorded={int(stats['schedule_rows_recorded'])}"
+        )
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--corpus",
+        help="corpus path to reuse across invocations (default: a throwaway tempfile)",
+    )
+    args = parser.parse_args()
+
+    if args.corpus:
+        corpus, cleanup = args.corpus, None
+    else:
+        cleanup = tempfile.TemporaryDirectory()
+        corpus = os.path.join(cleanup.name, "solve_corpus.jsonl")
+
+    try:
+        run_pass("Warm-up run: record every solve outcome", "record-only", corpus)
+        rows = SolveCorpus(corpus).rows()
+        print(f"corpus now holds {len(rows)} rows at {corpus}")
+        for row in rows:
+            print(
+                f"  {row.features.program_sha}  win={row.strategy:13s} "
+                f"final_degree={row.final_degree} verified={row.verified}"
+            )
+        print()
+        # A fresh engine — new caches, nothing in memory — reads the same
+        # file: rows written by run 1 inform every prediction of run 2.
+        run_pass("Repeat run: a new engine predicts from the corpus", "on", corpus)
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+if __name__ == "__main__":
+    main()

@@ -104,6 +104,7 @@ from repro.reduction import (
     compile_plan,
 )
 from repro.polynomial import Monomial, Polynomial, parse_polynomial
+from repro.schedule import SchedulePlan, Scheduler, SolveCorpus
 from repro.semantics import Interpreter
 from repro.spec import (
     ConjunctiveAssertion,
@@ -153,9 +154,12 @@ __all__ = [
     "QuadraticSystem",
     "ReductionPlan",
     "RepresentativeEnumerator",
+    "SchedulePlan",
+    "Scheduler",
     "ReproError",
     "RequestValidationError",
     "SemanticsError",
+    "SolveCorpus",
     "SolverError",
     "SpecificationError",
     "StageCache",

@@ -1,0 +1,35 @@
+"""Corpus-driven portfolio scheduling (predict the winner, never prune).
+
+The :class:`~repro.schedule.corpus.SolveCorpus` persists one row per
+completed Step-4 solve (request features + outcome, keyed by stable content
+fingerprints); the :class:`~repro.schedule.scheduler.Scheduler` mines it with
+a dependency-free nearest-neighbour model to emit
+:class:`~repro.schedule.scheduler.SchedulePlan` values — a reordered,
+staggered strategy race and a predicted starting degree rung.  The
+:class:`~repro.api.engine.Engine` drives both through its
+``scheduler="off"|"on"|"record-only"`` knob.
+"""
+
+from repro.schedule.corpus import (
+    CORPUS_SCHEMA_VERSION,
+    FEATURE_NAMES,
+    RequestFeatures,
+    SolveCorpus,
+    SolveRecord,
+    default_corpus_path,
+    stable_fingerprints,
+)
+from repro.schedule.scheduler import SchedulePlan, Scheduler, ladder_for
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "FEATURE_NAMES",
+    "RequestFeatures",
+    "SchedulePlan",
+    "Scheduler",
+    "SolveCorpus",
+    "SolveRecord",
+    "default_corpus_path",
+    "ladder_for",
+    "stable_fingerprints",
+]

@@ -1,0 +1,299 @@
+"""The persistent solve corpus: one JSONL row per completed Step-4 solve.
+
+Every completed solve the engine executes with ``scheduler="on"`` or
+``"record-only"`` appends one :class:`SolveRecord` to a :class:`SolveCorpus`:
+the request's features (program size, template degree, scheme knobs, the
+reduction's pair/system counts), stable content fingerprints of the program
+and its reduction, and the outcome (winning strategy, per-strategy wall-clock
+including losers and cancellations, escalation ladder, repair rounds,
+verified flag).  The corpus is what the
+:class:`~repro.schedule.scheduler.Scheduler` mines to pre-rank strategies and
+pick a starting degree rung — recorded *after* verification, so rows reflect
+the certificate-gated result, never a rejected solution the repair loop later
+replaced.
+
+Storage is an append-only JSONL file written to be process-safe without any
+coordination beyond POSIX append semantics: each row is serialised to a
+single line and written with **one** ``os.write`` on an ``O_APPEND`` file
+descriptor, so concurrent writers (engine worker processes, parallel bench
+runs) interleave whole lines, never bytes.  Readers tolerate torn tails and
+foreign schema versions by skipping undecodable lines — a corrupt row costs
+one training example, never a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
+
+#: Bump when a row's JSON layout changes incompatibly; readers skip rows
+#: stamped with a different version instead of guessing at their fields.
+CORPUS_SCHEMA_VERSION = 1
+
+#: Environment override for :func:`default_corpus_path`.
+CORPUS_PATH_ENV = "REPRO_CORPUS_PATH"
+
+
+def default_corpus_path() -> str:
+    """Where an engine stores its corpus when the caller names no path.
+
+    ``$REPRO_CORPUS_PATH`` when set, else a per-user cache location —
+    corpora are meant to outlive processes, so a tmpdir would defeat them.
+    """
+    override = os.environ.get(CORPUS_PATH_ENV)
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro", "solve_corpus.jsonl")
+
+
+def stable_fingerprints(
+    source: str,
+    precondition_text: str,
+    scheme_knobs: tuple,
+    objective_text: str,
+) -> tuple[str, str]:
+    """``(program_sha, reduction_sha)`` — content hashes stable across processes.
+
+    The in-memory stage fingerprints of :mod:`repro.reduction.plan` identify
+    :class:`~repro.spec.preconditions.Precondition` objects by ``id()`` and
+    cannot be persisted; the corpus instead hashes the canonical *textual*
+    rendering of every input.  ``reduction_sha`` deliberately excludes the
+    template degree, so the rungs of a ``degree="auto"`` ladder and a later
+    fixed-degree request over the same program all match each other — the
+    degree itself travels as a feature.
+    """
+    program_sha = hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+    reduction_payload = json.dumps(
+        [source, precondition_text, list(scheme_knobs), objective_text], sort_keys=True
+    )
+    reduction_sha = hashlib.sha256(reduction_payload.encode("utf-8")).hexdigest()[:16]
+    return program_sha, reduction_sha
+
+
+#: Ordered numeric feature dimensions (the scheduler's distance space).
+FEATURE_NAMES = (
+    "program_chars",
+    "program_lines",
+    "degree",
+    "conjuncts",
+    "upsilon",
+    "scheme",
+    "bounded",
+    "strict",
+    "encode_sos",
+    "pairs",
+    "template_coefficients",
+    "system_size",
+)
+
+
+@dataclass(frozen=True)
+class RequestFeatures:
+    """The feature vector of one synthesis request (plus its fingerprints).
+
+    ``pairs``/``template_coefficients``/``system_size`` are only known after
+    the Step 1-3 reduction; pre-reduction extractions (the degree predictor
+    runs before any rung is reduced) leave them at 0 and rely on the
+    fingerprints plus the program-level features.
+    """
+
+    program_sha: str
+    reduction_sha: str
+    program_chars: float = 0.0
+    program_lines: float = 0.0
+    degree: float = 0.0  # -1.0 encodes degree="auto" at request level
+    conjuncts: float = 1.0
+    upsilon: float = 1.0
+    scheme: float = 0.0  # 0 = putinar, 1 = handelman
+    bounded: float = 0.0
+    strict: float = 1.0  # with_witness
+    encode_sos: float = 1.0
+    pairs: float = 0.0
+    template_coefficients: float = 0.0
+    system_size: float = 0.0
+
+    def vector(self) -> tuple[float, ...]:
+        """The numeric dimensions, in :data:`FEATURE_NAMES` order."""
+        return tuple(float(getattr(self, name)) for name in FEATURE_NAMES)
+
+    def with_reduction(
+        self, pairs: float, template_coefficients: float, system_size: float
+    ) -> "RequestFeatures":
+        """A copy enriched with the post-reduction size features."""
+        return replace(
+            self,
+            pairs=float(pairs),
+            template_coefficients=float(template_coefficients),
+            system_size=float(system_size),
+        )
+
+    def to_dict(self) -> dict:
+        payload = {name: float(getattr(self, name)) for name in FEATURE_NAMES}
+        payload["program_sha"] = self.program_sha
+        payload["reduction_sha"] = self.reduction_sha
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "RequestFeatures":
+        numeric = {
+            name: float(payload.get(name, 0.0))
+            for name in FEATURE_NAMES
+            if payload.get(name) is not None
+        }
+        return RequestFeatures(
+            program_sha=str(payload.get("program_sha", "")),
+            reduction_sha=str(payload.get("reduction_sha", "")),
+            **numeric,
+        )
+
+
+@dataclass(frozen=True)
+class SolveRecord:
+    """One corpus row: the features and outcome of one completed solve.
+
+    ``strategy_seconds`` maps every raced strategy — winners, losers and
+    cancelled entries alike — to its observed wall-clock, so the scheduler can
+    estimate how long the predicted primary needs before the deferred rest of
+    the line-up should launch.
+    """
+
+    features: RequestFeatures
+    strategy: str | None  # the winning strategy (None = nothing solved)
+    solver_status: str = ""
+    feasible: bool = False
+    solve_seconds: float = 0.0
+    strategy_seconds: Mapping[str, float] = field(default_factory=dict)
+    degree: int = 0  # the degree actually solved at (final rung for auto)
+    final_degree: int | None = None  # minimal feasible degree (auto requests)
+    degrees_tried: tuple[int, ...] = ()
+    repair_rounds: int = 0
+    verified: bool | None = None  # None = verification not requested
+    schema_version: int = CORPUS_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "v": self.schema_version,
+            "features": self.features.to_dict(),
+            "strategy": self.strategy,
+            "solver_status": self.solver_status,
+            "feasible": self.feasible,
+            "solve_seconds": self.solve_seconds,
+            "strategy_seconds": {name: float(s) for name, s in self.strategy_seconds.items()},
+            "degree": self.degree,
+            "final_degree": self.final_degree,
+            "degrees_tried": list(self.degrees_tried),
+            "repair_rounds": self.repair_rounds,
+            "verified": self.verified,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "SolveRecord":
+        final_degree = payload.get("final_degree")
+        return SolveRecord(
+            features=RequestFeatures.from_dict(payload.get("features") or {}),
+            strategy=payload.get("strategy"),
+            solver_status=str(payload.get("solver_status", "")),
+            feasible=bool(payload.get("feasible", False)),
+            solve_seconds=float(payload.get("solve_seconds", 0.0)),
+            strategy_seconds=dict(payload.get("strategy_seconds") or {}),
+            degree=int(payload.get("degree", 0)),
+            final_degree=int(final_degree) if final_degree is not None else None,
+            degrees_tried=tuple(int(d) for d in payload.get("degrees_tried") or ()),
+            repair_rounds=int(payload.get("repair_rounds", 0)),
+            verified=payload.get("verified"),
+            schema_version=int(payload.get("v", CORPUS_SCHEMA_VERSION)),
+        )
+
+
+class SolveCorpus:
+    """An append-only, process-safe JSONL store of :class:`SolveRecord` rows.
+
+    Appends are one ``os.write`` each on an ``O_APPEND`` descriptor (atomic
+    whole-line interleaving between processes for rows under the pipe-buffer
+    bound, which every realistic row is); reads parse the whole file and are
+    cached until its size changes, so the in-process reader sees its own
+    appends immediately and other processes' appends on the next stat.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._cached_rows: list[SolveRecord] = []
+        self._cached_size = -1
+        self.append_failures = 0
+
+    def __len__(self) -> int:
+        return len(self.rows())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SolveCorpus({self.path!r}, rows={len(self)})"
+
+    # -- writing -----------------------------------------------------------------
+
+    def append(self, record: SolveRecord) -> bool:
+        """Append one row; returns False (and counts) on filesystem failure.
+
+        Recording is advisory — a full disk or unwritable path must never
+        fail the solve whose outcome is being recorded.
+        """
+        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        try:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            fd = os.open(self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+            return True
+        except OSError:
+            with self._lock:
+                self.append_failures += 1
+            return False
+
+    # -- reading -----------------------------------------------------------------
+
+    def rows(self) -> list[SolveRecord]:
+        """Every valid row currently on disk (cached until the file grows)."""
+        try:
+            size = os.stat(self.path).st_size
+        except OSError:
+            return []
+        with self._lock:
+            if size == self._cached_size:
+                return list(self._cached_rows)
+        parsed = list(self._parse(self.path))
+        with self._lock:
+            self._cached_rows = parsed
+            self._cached_size = size
+            return list(parsed)
+
+    @staticmethod
+    def _parse(path: str) -> Iterable[SolveRecord]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail or foreign garbage: skip, never crash
+            if not isinstance(payload, Mapping):
+                continue
+            if payload.get("v") != CORPUS_SCHEMA_VERSION:
+                continue
+            try:
+                yield SolveRecord.from_dict(payload)
+            except (TypeError, ValueError):
+                continue

@@ -1,0 +1,250 @@
+"""The corpus-driven portfolio scheduler: predict, stagger, never prune.
+
+Given the features of an incoming request, the :class:`Scheduler` mines the
+persistent :class:`~repro.schedule.corpus.SolveCorpus` with a dependency-free
+distance-weighted nearest-neighbour model and emits a :class:`SchedulePlan`:
+
+* a **strategy order** — the full portfolio line-up with the predicted winner
+  moved to the front (the race is reordered and staggered, never pruned: a
+  misprediction costs the grace period, after which every other strategy
+  launches exactly as in the unscheduled race);
+* a **stagger** — how long the deferred strategies wait before launching,
+  derived from the neighbours' observed winner wall-clock (if the prediction
+  is right, the primary usually finishes inside the grace period and the
+  losers never burn a core);
+* a **starting degree rung** for ``degree="auto"`` requests — the neighbours'
+  minimal feasible degree, with the skipped lower rungs appended *after* the
+  upward ladder as downward repair (see :func:`ladder_for`), so a
+  misprediction still tries every degree the plain ladder would have tried.
+
+Safety model: the scheduler reorders work whose acceptance is gated elsewhere
+(exact certificates under ``verify="exact"``, the solver's own feasibility
+check otherwise), so a wrong prediction can only cost time, never
+correctness.  With an empty or too-small corpus the plan degrades to exactly
+the unscheduled PR 2 race: line-up order, no stagger, the d = 1 ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.schedule.corpus import FEATURE_NAMES, RequestFeatures, SolveCorpus, SolveRecord
+
+#: Distance penalty for a fingerprint mismatch (per fingerprint): dominates
+#: the numeric feature distance, so an exact program/reduction match is
+#: always preferred over a merely similar-shaped stranger.
+_MISMATCH_PENALTY = 0.25
+
+#: Weight boost for rows whose result carried an exact certificate.
+_VERIFIED_BOOST = 2.0
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """What the scheduler decided for one request.
+
+    ``strategy_order`` always contains the *entire* requested line-up —
+    scheduling reorders and staggers, it never prunes.  ``primary is None``
+    marks a cold start (the plan is exactly the unscheduled race).
+    """
+
+    strategy_order: tuple[str, ...]
+    primary: str | None = None
+    stagger_seconds: float = 0.0
+    start_degree: int | None = None
+    confidence: float = 0.0
+    neighbors: int = 0
+    source: str = "cold"  # "cold" | "fingerprint" | "knn"
+
+    @property
+    def predicted(self) -> bool:
+        return self.primary is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy_order": list(self.strategy_order),
+            "primary": self.primary,
+            "stagger_seconds": self.stagger_seconds,
+            "start_degree": self.start_degree,
+            "confidence": self.confidence,
+            "neighbors": self.neighbors,
+            "source": self.source,
+        }
+
+
+def ladder_for(start: int, max_degree: int) -> list[int]:
+    """The escalation ladder from a predicted starting rung.
+
+    ``[start, start+1, ..., max_degree]`` followed by the skipped rungs
+    ``[start-1, ..., 1]`` as downward repair: if the predicted rung (and
+    everything above it) fails where a lower degree would have been tried by
+    the plain d = 1 ladder, the lower degrees still run — prediction changes
+    the order of attempts, never the set.
+    """
+    start = max(1, min(int(start), max_degree))
+    return list(range(start, max_degree + 1)) + list(range(start - 1, 0, -1))
+
+
+class Scheduler:
+    """Distance-weighted nearest-neighbour planning over a solve corpus.
+
+    Deliberately dependency-free (no sklearn): the corpus is small (one row
+    per solve), features are a dozen floats, and a weighted k-NN vote over
+    normalised L1 distances — with fingerprint matches acting as a decision
+    rule that short-circuits to the recorded outcome — is both transparent
+    and fast enough to run on every request.
+    """
+
+    def __init__(
+        self,
+        corpus: SolveCorpus,
+        k: int = 5,
+        min_rows: int = 1,
+        stagger_margin: float = 4.0,
+        min_stagger: float = 0.02,
+        max_stagger: float = 2.0,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.corpus = corpus
+        self.k = k
+        self.min_rows = min_rows
+        self.stagger_margin = stagger_margin
+        self.min_stagger = min_stagger
+        self.max_stagger = max_stagger
+
+    # -- planning ----------------------------------------------------------------
+
+    def plan(
+        self,
+        features: RequestFeatures,
+        line_up: Sequence[str],
+        max_degree: int | None = None,
+    ) -> SchedulePlan:
+        """The schedule for one request (cold plan when the corpus is thin).
+
+        ``line_up`` is the strategy race order the request would run
+        unscheduled; the cold-start plan returns it verbatim.
+        """
+        line_up = tuple(line_up)
+        cold = SchedulePlan(strategy_order=line_up)
+        rows = [row for row in self.corpus.rows() if row.feasible and row.strategy]
+        if len(rows) < self.min_rows:
+            return cold
+        neighbors = self._nearest(features, rows)
+        if not neighbors:
+            return cold
+        primary, confidence = self._vote_strategy(neighbors, line_up)
+        start_degree = self._vote_degree(neighbors, max_degree)
+        if primary is None and start_degree is None:
+            return cold
+        order = line_up
+        stagger = 0.0
+        if primary is not None:
+            order = (primary, *[name for name in line_up if name != primary])
+            stagger = self._stagger_for(neighbors, primary)
+        exact = any(row.features.reduction_sha == features.reduction_sha for _, row in neighbors)
+        return SchedulePlan(
+            strategy_order=order,
+            primary=primary,
+            stagger_seconds=stagger,
+            start_degree=start_degree,
+            confidence=confidence,
+            neighbors=len(neighbors),
+            source="fingerprint" if exact else "knn",
+        )
+
+    # -- model internals ---------------------------------------------------------
+
+    def _nearest(
+        self, features: RequestFeatures, rows: list[SolveRecord]
+    ) -> list[tuple[float, SolveRecord]]:
+        """The k nearest rows as ``(weight, row)`` pairs, heaviest first."""
+        spans = self._spans(rows)
+        query = features.vector()
+        scored: list[tuple[float, int, SolveRecord]] = []
+        for order, row in enumerate(rows):
+            vector = row.features.vector()
+            numeric = sum(
+                abs(a - b) / span for a, b, span in zip(query, vector, spans)
+            ) / len(FEATURE_NAMES)
+            distance = numeric
+            if row.features.reduction_sha != features.reduction_sha:
+                distance += _MISMATCH_PENALTY
+            if row.features.program_sha != features.program_sha:
+                distance += _MISMATCH_PENALTY
+            weight = 1.0 / (distance + 1e-6)
+            if row.verified:
+                weight *= _VERIFIED_BOOST
+            scored.append((weight, order, row))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [(weight, row) for weight, _, row in scored[: self.k]]
+
+    @staticmethod
+    def _spans(rows: list[SolveRecord]) -> list[float]:
+        """Per-dimension normalisation spans (max - min, floored at 1)."""
+        vectors = [row.features.vector() for row in rows]
+        spans = []
+        for dim in range(len(FEATURE_NAMES)):
+            values = [vector[dim] for vector in vectors]
+            spans.append(max(max(values) - min(values), 1.0))
+        return spans
+
+    @staticmethod
+    def _vote_strategy(
+        neighbors: list[tuple[float, SolveRecord]], line_up: tuple[str, ...]
+    ) -> tuple[str | None, float]:
+        """Weighted vote over the neighbours' winning strategies."""
+        votes: dict[str, float] = {}
+        total = 0.0
+        for weight, row in neighbors:
+            if row.strategy not in line_up:
+                continue  # a winner the caller is not racing cannot lead
+            votes[row.strategy] = votes.get(row.strategy, 0.0) + weight
+            total += weight
+        if not votes or total <= 0.0:
+            return None, 0.0
+        primary = max(votes, key=lambda name: votes[name])
+        return primary, votes[primary] / total
+
+    @staticmethod
+    def _vote_degree(
+        neighbors: list[tuple[float, SolveRecord]], max_degree: int | None
+    ) -> int | None:
+        """Weighted vote over the neighbours' minimal feasible degrees."""
+        votes: dict[int, float] = {}
+        for weight, row in neighbors:
+            degree = row.final_degree if row.final_degree is not None else row.degree
+            if degree and degree > 0:
+                votes[degree] = votes.get(degree, 0.0) + weight
+        if not votes:
+            return None
+        start = max(votes, key=lambda degree: votes[degree])
+        if max_degree is not None:
+            start = min(start, max_degree)
+        return max(1, start)
+
+    def _stagger_for(self, neighbors: list[tuple[float, SolveRecord]], primary: str) -> float:
+        """The grace period before the deferred strategies launch.
+
+        A weighted mean of the neighbours' observed wall-clock for the
+        predicted primary, scaled by the safety margin: long enough that a
+        correct prediction finishes alone, short enough that a misprediction
+        costs little (and always clamped, so a pathological corpus row cannot
+        postpone the race indefinitely).
+        """
+        total_weight = 0.0
+        total_seconds = 0.0
+        for weight, row in neighbors:
+            seconds = row.strategy_seconds.get(primary)
+            if seconds is None and row.strategy == primary:
+                seconds = row.solve_seconds
+            if seconds is None or seconds <= 0.0:
+                continue
+            total_weight += weight
+            total_seconds += weight * seconds
+        if total_weight <= 0.0:
+            return self.min_stagger
+        predicted = total_seconds / total_weight
+        return min(max(self.stagger_margin * predicted, self.min_stagger), self.max_stagger)

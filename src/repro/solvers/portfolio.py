@@ -109,12 +109,21 @@ def make_solver(
 
 @dataclass
 class StrategyOutcome:
-    """What one racing strategy produced (``result`` is None when it was skipped)."""
+    """What one racing strategy produced (``result`` is None when it was skipped).
+
+    ``seconds`` is recorded for every strategy — winners, losers and
+    cancelled entries alike — so schedulers mining race outcomes see the full
+    per-strategy cost, not just the winning time.  ``cancelled`` marks a
+    strategy that never ran its solver: the race was already won (or the
+    deadline gone) when its turn came, including a staggered launch whose
+    grace period was cut short by the primary's win.
+    """
 
     name: str
     result: SolverResult | None
     seconds: float
     error: str | None = None
+    cancelled: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -137,10 +146,13 @@ class PortfolioSolver(Solver):
         strategies: Sequence[str] = DEFAULT_PORTFOLIO,
         executor: str = "auto",
         stop_on_feasible: bool = True,
+        stagger_seconds: float = 0.0,
     ):
         super().__init__(options)
         if not strategies:
             raise SynthesisError("a portfolio needs at least one strategy")
+        if stagger_seconds < 0:
+            raise SynthesisError(f"stagger_seconds must be non-negative, got {stagger_seconds}")
         unknown = [name for name in strategies if name not in STRATEGIES]
         if unknown:
             raise SynthesisError(
@@ -156,6 +168,10 @@ class PortfolioSolver(Solver):
         self.strategies = tuple(strategies)
         self.executor = executor
         self.stop_on_feasible = stop_on_feasible
+        #: Grace period before every strategy after the first launches (a
+        #: scheduler's "predicted primary first" staggered start).  0 races
+        #: everything at once — the historical behaviour.
+        self.stagger_seconds = stagger_seconds
 
     # -- strategy construction -----------------------------------------------------
 
@@ -205,7 +221,7 @@ class PortfolioSolver(Solver):
         outcomes = []
         for name, solver in self._solvers():
             if control.should_stop():
-                outcomes.append(StrategyOutcome(name=name, result=None, seconds=0.0))
+                outcomes.append(StrategyOutcome(name=name, result=None, seconds=0.0, cancelled=True))
                 continue
             start = time.perf_counter()
             try:
@@ -220,9 +236,14 @@ class PortfolioSolver(Solver):
     def _race_threads(self, problem: CompiledProblem, control: SolveControl) -> list[StrategyOutcome]:
         solvers = self._solvers()
 
-        def run(entry: tuple[str, Solver]) -> StrategyOutcome:
+        def run(entry: tuple[str, Solver], defer_seconds: float = 0.0) -> StrategyOutcome:
             name, solver = entry
             start = time.perf_counter()
+            # Staggered launch: sleep out the grace period on the shared
+            # control so a primary win (or the deadline) cancels the launch
+            # outright — the deferred strategy then never costs a core.
+            if defer_seconds > 0.0 and control.wait_stop(defer_seconds):
+                return StrategyOutcome(name, None, time.perf_counter() - start, cancelled=True)
             try:
                 result = solver.solve_compiled(problem, control)
                 return StrategyOutcome(name, result, time.perf_counter() - start)
@@ -230,7 +251,11 @@ class PortfolioSolver(Solver):
                 return StrategyOutcome(name, None, time.perf_counter() - start, error=repr(error))
 
         with ThreadPoolExecutor(max_workers=len(solvers)) as pool:
-            return list(pool.map(run, solvers))
+            futures = [
+                pool.submit(run, entry, self.stagger_seconds if index else 0.0)
+                for index, entry in enumerate(solvers)
+            ]
+            return [future.result() for future in futures]
 
     def _race_processes(self, problem: CompiledProblem, control: SolveControl) -> list[StrategyOutcome]:
         """Process racing: isolated strategies, first feasible completion wins.
@@ -275,7 +300,7 @@ class PortfolioSolver(Solver):
                         future.cancel()
                     break
         for name, _ in solvers:
-            outcomes.setdefault(name, StrategyOutcome(name=name, result=None, seconds=0.0))
+            outcomes.setdefault(name, StrategyOutcome(name=name, result=None, seconds=0.0, cancelled=True))
         return [outcomes[name] for name, _ in solvers]
 
     # -- result assembly ------------------------------------------------------------------
@@ -292,6 +317,7 @@ class PortfolioSolver(Solver):
 
         for outcome in outcomes:
             details[f"portfolio_{outcome.name}_seconds"] = outcome.seconds
+            details[f"portfolio_{outcome.name}_cancelled"] = float(outcome.cancelled)
             if outcome.result is None:
                 details[f"portfolio_{outcome.name}_feasible"] = -1.0  # skipped or failed
                 continue

@@ -1,0 +1,203 @@
+"""Integration tests of the corpus-driven scheduler threaded through the Engine.
+
+The scenarios here are the PR's safety and persistence contract: the corpus
+outlives the engine that wrote it, predictions come from rows a *previous*
+engine recorded, and a forced misprediction still ends in a verified
+certificate — scheduling reorders work, it never changes what is accepted.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import Engine, SynthesisRequest
+from repro.schedule import SolveCorpus, SolveRecord
+from repro.solvers.base import SolverOptions
+from repro.suite.registry import get_benchmark
+
+QUICK_SOLVE = SolverOptions(restarts=1, max_iterations=60)
+
+
+def request_for(name: str = "sum", *, verify: str = "none", **option_overrides) -> SynthesisRequest:
+    benchmark = get_benchmark(name)
+    options = dataclasses.replace(
+        benchmark.options(upsilon=1), strategy="portfolio", verify=verify, **option_overrides
+    )
+    return SynthesisRequest(
+        program=benchmark.source,
+        precondition=benchmark.precondition,
+        objective=benchmark.objective(),
+        options=options,
+        request_id=name,
+    )
+
+
+def corpus_path(tmp_path) -> str:
+    return str(tmp_path / "corpus.jsonl")
+
+
+# -- recording ---------------------------------------------------------------------
+
+
+def test_record_only_appends_rows_without_changing_the_race(tmp_path):
+    path = corpus_path(tmp_path)
+    with Engine(solver_options=QUICK_SOLVE, scheduler="record-only", corpus=path) as engine:
+        response = engine.synthesize(request_for())
+        assert response.status == "ok"
+        # record-only never predicts: no schedule_* timing fields appear.
+        assert not any(key.startswith("schedule_") for key in response.timings)
+        stats = engine.stats()
+    assert stats["schedule_rows_recorded"] == 1
+    assert stats["schedule_predictions"] == 0
+    rows = SolveCorpus(path).rows()
+    assert len(rows) == 1
+    assert rows[0].feasible and rows[0].strategy
+    # Loser/cancelled strategies appear in the per-strategy timing map too.
+    assert set(rows[0].strategy_seconds) == {"gauss-newton", "qclp", "alternating"}
+
+
+def test_shared_solves_are_recorded_once(tmp_path):
+    path = corpus_path(tmp_path)
+    with Engine(solver_options=QUICK_SOLVE, scheduler="record-only", corpus=path) as engine:
+        first = engine.synthesize(request_for())
+        second = engine.synthesize(request_for())
+    assert not first.shared_solve and second.shared_solve
+    assert len(SolveCorpus(path).rows()) == 1
+
+
+def test_scheduler_off_engine_never_touches_the_corpus(tmp_path):
+    path = corpus_path(tmp_path)
+    with Engine(solver_options=QUICK_SOLVE) as engine:
+        assert engine.synthesize(request_for()).status == "ok"
+    assert SolveCorpus(path).rows() == []
+
+
+def test_request_override_can_downgrade_but_not_arm_the_scheduler(tmp_path):
+    path = corpus_path(tmp_path)
+    with Engine(solver_options=QUICK_SOLVE, scheduler="record-only", corpus=path) as engine:
+        response = engine.synthesize(
+            request_for(scheduler="off"),
+        )
+        assert response.status == "ok"
+    assert SolveCorpus(path).rows() == []  # per-request "off" wins over the engine mode
+
+
+# -- persistence across restarts ---------------------------------------------------
+
+
+def test_corpus_survives_engine_restart_and_informs_predictions(tmp_path):
+    path = corpus_path(tmp_path)
+    with Engine(solver_options=QUICK_SOLVE, scheduler="record-only", corpus=path) as writer:
+        recorded = writer.synthesize(request_for())
+        assert recorded.status == "ok"
+    # A brand-new engine (fresh caches, fresh process state) reads the same
+    # corpus file and predicts from the rows the first engine persisted.
+    with Engine(solver_options=QUICK_SOLVE, scheduler="on", corpus=path) as reader:
+        predicted = reader.synthesize(request_for())
+        stats = reader.stats()
+    assert predicted.status == "ok"
+    assert predicted.timings.get("schedule_predicted") == 1.0
+    assert predicted.timings.get("schedule_neighbors", 0) >= 1
+    assert stats["schedule_predictions"] == 1
+    assert stats["schedule_strategy_hits"] + stats["schedule_strategy_misses"] == 1
+    # The winner matched the recorded history on this deterministic instance.
+    assert predicted.strategy == recorded.strategy
+    assert stats["schedule_strategy_hits"] == 1
+
+
+def test_cold_corpus_engine_runs_the_plain_race(tmp_path):
+    path = corpus_path(tmp_path)
+    with Engine(solver_options=QUICK_SOLVE, scheduler="on", corpus=path) as engine:
+        response = engine.synthesize(request_for())
+        stats = engine.stats()
+    assert response.status == "ok"
+    assert "schedule_predicted" not in response.timings
+    assert stats["schedule_cold_starts"] == 1
+    assert stats["schedule_predictions"] == 0
+
+
+# -- misprediction safety ----------------------------------------------------------
+
+
+def test_forced_misprediction_still_yields_a_verified_certificate(tmp_path):
+    """Poisoned corpus rows reorder the race but cannot corrupt the result."""
+    path = corpus_path(tmp_path)
+    request = request_for(verify="exact")
+    with Engine(solver_options=QUICK_SOLVE, scheduler="on", corpus=path) as engine:
+        features = engine._enriched_features(request, None)
+        # Claim, wrongly cheaply, that "alternating" always wins instantly.
+        corpus = SolveCorpus(path)
+        for _ in range(5):
+            corpus.append(
+                SolveRecord(
+                    features=features,
+                    strategy="alternating",
+                    solver_status="feasible",
+                    feasible=True,
+                    solve_seconds=0.001,
+                    strategy_seconds={"alternating": 0.001},
+                    degree=2,
+                    verified=True,
+                )
+            )
+        response = engine.synthesize(request)
+        stats = engine.stats()
+    assert response.timings.get("schedule_predicted") == 1.0
+    # Whatever the race ends up choosing, acceptance stays certificate-gated.
+    assert response.status == "ok"
+    assert response.verification is not None and response.verification["verified"]
+    assert response.certificate is not None
+    assert stats["schedule_strategy_hits"] + stats["schedule_strategy_misses"] == 1
+
+
+def test_poisoned_degree_prediction_keeps_auto_requests_correct(tmp_path):
+    """A wrong starting rung costs extra rungs, never the invariant."""
+    path = corpus_path(tmp_path)
+    request = request_for(verify="exact", degree="auto", max_degree=3)
+    with Engine(solver_options=QUICK_SOLVE, scheduler="on", corpus=path) as engine:
+        features = engine._request_features(request)
+        corpus = SolveCorpus(path)
+        corpus.append(
+            SolveRecord(
+                features=features,
+                strategy="gauss-newton",
+                solver_status="feasible",
+                feasible=True,
+                solve_seconds=0.01,
+                strategy_seconds={"gauss-newton": 0.01},
+                degree=3,
+                final_degree=3,  # wrong: the instance is feasible at a lower rung
+                verified=True,
+            )
+        )
+        response = engine.synthesize(request)
+    assert response.status == "ok"
+    assert response.verification is not None and response.verification["verified"]
+    assert response.timings.get("schedule_start_degree") == 3.0
+    attempts = [attempt["degree"] for attempt in response.escalation["attempts"]]
+    assert attempts[0] == 3  # started at the predicted rung
+
+
+def test_auto_degree_prediction_from_a_real_warm_corpus(tmp_path):
+    path = corpus_path(tmp_path)
+    auto = request_for(degree="auto", max_degree=3)
+    with Engine(solver_options=QUICK_SOLVE, scheduler="record-only", corpus=path) as writer:
+        cold = writer.synthesize(auto)
+    assert cold.status == "ok"
+    cold_final = cold.escalation["final_degree"]
+    rows = SolveCorpus(path).rows()
+    assert rows and rows[-1].final_degree == cold_final
+    with Engine(solver_options=QUICK_SOLVE, scheduler="on", corpus=path) as reader:
+        warm = reader.synthesize(auto)
+        stats = reader.stats()
+    assert warm.status == "ok"
+    assert warm.escalation["final_degree"] == cold_final
+    if cold_final > 1:
+        # The warm ladder starts at the recorded minimal feasible rung.
+        assert warm.timings.get("schedule_start_degree") == float(cold_final)
+        assert stats["schedule_degree_hits"] == 1
+
+
+def test_unknown_scheduler_mode_is_rejected():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        Engine(scheduler="sometimes")

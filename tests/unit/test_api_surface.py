@@ -40,7 +40,10 @@ EXPECTED_REPRO_ALL = [
     "RepresentativeEnumerator",
     "ReproError",
     "RequestValidationError",
+    "SchedulePlan",
+    "Scheduler",
     "SemanticsError",
+    "SolveCorpus",
     "SolverError",
     "SpecificationError",
     "StageCache",

@@ -1,0 +1,254 @@
+"""Tests of the solve corpus and the nearest-neighbour scheduler (repro.schedule)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.schedule import (
+    CORPUS_SCHEMA_VERSION,
+    FEATURE_NAMES,
+    RequestFeatures,
+    Scheduler,
+    SolveCorpus,
+    SolveRecord,
+    default_corpus_path,
+    ladder_for,
+    stable_fingerprints,
+)
+from repro.schedule.corpus import CORPUS_PATH_ENV
+
+LINE_UP = ("gauss-newton", "qclp", "alternating")
+
+
+def features_for(program: str = "x := x + 1", degree: float = 2.0, **overrides) -> RequestFeatures:
+    program_sha, reduction_sha = stable_fingerprints(program, "null", ("putinar",), "None")
+    fields = dict(
+        program_sha=program_sha,
+        reduction_sha=reduction_sha,
+        program_chars=float(len(program)),
+        program_lines=1.0,
+        degree=degree,
+        pairs=4.0,
+        template_coefficients=6.0,
+        system_size=40.0,
+    )
+    fields.update(overrides)
+    return RequestFeatures(**fields)
+
+
+def record_for(
+    strategy: str = "gauss-newton",
+    seconds: float = 0.05,
+    features: RequestFeatures | None = None,
+    **overrides,
+) -> SolveRecord:
+    fields = dict(
+        features=features if features is not None else features_for(),
+        strategy=strategy,
+        solver_status="feasible",
+        feasible=True,
+        solve_seconds=seconds,
+        strategy_seconds={strategy: seconds},
+        degree=2,
+        verified=True,
+    )
+    fields.update(overrides)
+    return SolveRecord(**fields)
+
+
+# -- fingerprints ------------------------------------------------------------------
+
+
+def test_stable_fingerprints_are_deterministic_and_content_sensitive():
+    first = stable_fingerprints("prog", "pre", ("putinar", True), "obj")
+    again = stable_fingerprints("prog", "pre", ("putinar", True), "obj")
+    assert first == again
+    other_program = stable_fingerprints("prog2", "pre", ("putinar", True), "obj")
+    assert other_program[0] != first[0] and other_program[1] != first[1]
+    other_knobs = stable_fingerprints("prog", "pre", ("handelman", True), "obj")
+    assert other_knobs[0] == first[0]  # program unchanged
+    assert other_knobs[1] != first[1]  # reduction changed
+
+
+def test_default_corpus_path_honours_environment_override(monkeypatch, tmp_path):
+    override = str(tmp_path / "corpus.jsonl")
+    monkeypatch.setenv(CORPUS_PATH_ENV, override)
+    assert default_corpus_path() == override
+    monkeypatch.delenv(CORPUS_PATH_ENV)
+    assert default_corpus_path().endswith(os.path.join("repro", "solve_corpus.jsonl"))
+
+
+# -- corpus ------------------------------------------------------------------------
+
+
+def test_corpus_round_trips_records(tmp_path):
+    corpus = SolveCorpus(str(tmp_path / "corpus.jsonl"))
+    record = record_for(final_degree=2, degrees_tried=(1, 2), repair_rounds=1)
+    assert corpus.append(record)
+    rows = corpus.rows()
+    assert len(rows) == 1
+    assert rows[0] == record
+
+
+def test_corpus_reader_skips_garbage_and_foreign_versions(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    corpus = SolveCorpus(str(path))
+    corpus.append(record_for())
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("{not json\n")
+        handle.write(json.dumps({"v": CORPUS_SCHEMA_VERSION + 1, "strategy": "qclp"}) + "\n")
+        handle.write('"a bare string"\n')
+    corpus.append(record_for(strategy="qclp"))
+    rows = corpus.rows()
+    assert [row.strategy for row in rows] == ["gauss-newton", "qclp"]
+
+
+def test_corpus_append_failure_is_counted_not_raised(tmp_path):
+    # A directory where the corpus file should be makes every append fail.
+    path = tmp_path / "corpus.jsonl"
+    path.mkdir()
+    corpus = SolveCorpus(str(path))
+    assert corpus.append(record_for()) is False
+    assert corpus.append_failures == 1
+    assert corpus.rows() == []
+
+
+def test_corpus_concurrent_append_from_two_processes(tmp_path):
+    """POSIX O_APPEND single-write rows interleave whole lines, never bytes."""
+    path = str(tmp_path / "corpus.jsonl")
+    script = """
+import sys
+from repro.schedule import SolveCorpus, SolveRecord, RequestFeatures
+corpus = SolveCorpus(sys.argv[1])
+for index in range(50):
+    features = RequestFeatures(program_sha=sys.argv[2], reduction_sha=sys.argv[2])
+    record = SolveRecord(features=features, strategy="qclp", feasible=True,
+                         solve_seconds=float(index))
+    assert corpus.append(record)
+"""
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    workers = [
+        subprocess.Popen([sys.executable, "-c", script, path, tag], env=env)
+        for tag in ("aaaa", "bbbb")
+    ]
+    for worker in workers:
+        assert worker.wait(timeout=60) == 0
+    rows = SolveCorpus(path).rows()
+    assert len(rows) == 100  # every row parsed: no torn/interleaved lines
+    by_writer = {tag: [r for r in rows if r.features.program_sha == tag] for tag in ("aaaa", "bbbb")}
+    assert all(len(rows_) == 50 for rows_ in by_writer.values())
+
+
+def test_corpus_rows_sees_foreign_appends_after_size_change(tmp_path):
+    path = str(tmp_path / "corpus.jsonl")
+    reader, writer = SolveCorpus(path), SolveCorpus(path)
+    writer.append(record_for())
+    assert len(reader.rows()) == 1
+    writer.append(record_for(strategy="qclp"))
+    assert len(reader.rows()) == 2  # size-based cache invalidation
+
+
+# -- ladder ------------------------------------------------------------------------
+
+
+def test_ladder_for_appends_skipped_rungs_as_downward_repair():
+    assert ladder_for(1, 3) == [1, 2, 3]
+    assert ladder_for(2, 3) == [2, 3, 1]
+    assert ladder_for(3, 4) == [3, 4, 2, 1]
+    # Prediction reorders the attempts but never changes the attempted set.
+    assert sorted(ladder_for(2, 4)) == [1, 2, 3, 4]
+
+
+def test_ladder_for_clamps_out_of_range_predictions():
+    assert ladder_for(7, 3) == [3, 2, 1]
+    assert ladder_for(0, 3) == [1, 2, 3]
+
+
+# -- scheduler ---------------------------------------------------------------------
+
+
+def test_cold_start_degrades_to_the_unscheduled_race(tmp_path):
+    """With an empty corpus the plan is exactly the PR 2 race: line-up order,
+    no stagger, no predicted rung."""
+    scheduler = Scheduler(SolveCorpus(str(tmp_path / "corpus.jsonl")))
+    plan = scheduler.plan(features_for(), line_up=LINE_UP)
+    assert plan.strategy_order == LINE_UP
+    assert not plan.predicted
+    assert plan.primary is None
+    assert plan.stagger_seconds == 0.0
+    assert plan.start_degree is None
+    assert plan.source == "cold"
+
+
+def test_fingerprint_match_predicts_the_recorded_winner(tmp_path):
+    corpus = SolveCorpus(str(tmp_path / "corpus.jsonl"))
+    for _ in range(3):
+        corpus.append(record_for(strategy="qclp", seconds=0.1))
+    scheduler = Scheduler(corpus)
+    plan = scheduler.plan(features_for(), line_up=LINE_UP)
+    assert plan.predicted and plan.primary == "qclp"
+    assert plan.strategy_order == ("qclp", "gauss-newton", "alternating")
+    assert set(plan.strategy_order) == set(LINE_UP)  # reordered, never pruned
+    assert plan.source == "fingerprint"
+    assert scheduler.min_stagger <= plan.stagger_seconds <= scheduler.max_stagger
+    assert plan.confidence == pytest.approx(1.0)
+
+
+def test_knn_prediction_without_fingerprint_match(tmp_path):
+    corpus = SolveCorpus(str(tmp_path / "corpus.jsonl"))
+    near = features_for(program="y := y * 2", pairs=5.0, system_size=44.0)
+    corpus.append(record_for(strategy="alternating", features=near))
+    scheduler = Scheduler(corpus)
+    plan = scheduler.plan(features_for(), line_up=LINE_UP)
+    assert plan.predicted and plan.primary == "alternating"
+    assert plan.source == "knn"
+
+
+def test_winners_outside_the_line_up_cannot_lead(tmp_path):
+    corpus = SolveCorpus(str(tmp_path / "corpus.jsonl"))
+    corpus.append(record_for(strategy="qclp-feasibility"))
+    scheduler = Scheduler(corpus)
+    plan = scheduler.plan(features_for(), line_up=("gauss-newton",))
+    assert plan.primary is None
+    assert plan.strategy_order == ("gauss-newton",)
+
+
+def test_degree_vote_prefers_minimal_feasible_degree(tmp_path):
+    corpus = SolveCorpus(str(tmp_path / "corpus.jsonl"))
+    corpus.append(record_for(degree=3, final_degree=2, degrees_tried=(1, 2)))
+    scheduler = Scheduler(corpus)
+    plan = scheduler.plan(features_for(degree=-1.0), line_up=LINE_UP, max_degree=3)
+    assert plan.start_degree == 2
+
+
+def test_degree_vote_is_clamped_to_max_degree(tmp_path):
+    corpus = SolveCorpus(str(tmp_path / "corpus.jsonl"))
+    corpus.append(record_for(degree=5, final_degree=5))
+    scheduler = Scheduler(corpus)
+    plan = scheduler.plan(features_for(degree=-1.0), line_up=LINE_UP, max_degree=3)
+    assert plan.start_degree == 3
+
+
+def test_stagger_scales_with_recorded_winner_seconds_and_is_clamped(tmp_path):
+    corpus = SolveCorpus(str(tmp_path / "corpus.jsonl"))
+    corpus.append(record_for(seconds=0.1))
+    scheduler = Scheduler(corpus)
+    plan = scheduler.plan(features_for(), line_up=LINE_UP)
+    assert plan.stagger_seconds == pytest.approx(0.4, rel=0.01)  # 4x recorded 0.1s
+    slow = SolveCorpus(str(tmp_path / "slow.jsonl"))
+    slow.append(record_for(seconds=100.0))
+    plan = Scheduler(slow).plan(features_for(), line_up=LINE_UP)
+    assert plan.stagger_seconds == Scheduler(slow).max_stagger  # pathological row clamped
+
+
+def test_feature_vector_matches_feature_names():
+    features = features_for()
+    assert len(features.vector()) == len(FEATURE_NAMES)
+    payload = features.to_dict()
+    assert RequestFeatures.from_dict(payload) == features
