@@ -1,0 +1,177 @@
+"""Front-door benchmark: the HTTP server under concurrent load, cold vs warm.
+
+Runs one :class:`~repro.server.app.SynthesisServer` against a fresh
+persistent store root and drives the quick-preset suite subset through it
+with concurrent stdlib clients, in three phases:
+
+* **cold** — empty store: every request pays reduction + solve,
+* **warm** — same server, same requests: served from the content-addressed
+  store (``served_from_store=True``),
+* **restart_warm** — a *new* server (fresh engine, fresh process-level
+  caches) on the same store root: persistence across restarts, not
+  process-lifetime memoisation.
+
+Reports requests/sec and p50/p95 latency per phase to ``BENCH_server.json``
+(shared ``bench_meta`` provenance block).  ``--min-warm-speedup`` turns the
+warm-vs-cold mean-latency ratio into a CI gate::
+
+    python benchmarks/bench_server.py --quick --limit 6 --min-warm-speedup 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import _bench_config
+
+from repro.api import SynthesisRequest
+from repro.server import SynthesisClient, SynthesisServer, serve_in_background
+from repro.solvers.base import SolverOptions
+from repro.suite.registry import all_benchmarks
+
+SOLVE_BUDGET = SolverOptions(restarts=1, max_iterations=100, time_limit=10.0)
+
+
+def _documents(quick: bool, limit: int | None, limit_variables: int = 8) -> list[dict]:
+    benchmarks = all_benchmarks()
+    if quick:
+        benchmarks = [b for b in benchmarks if b.variable_count() <= limit_variables]
+    if limit is not None:
+        benchmarks = benchmarks[:limit]
+    return [
+        SynthesisRequest(
+            program=benchmark.source,
+            mode="weak",
+            precondition=benchmark.precondition,
+            objective=benchmark.objective(),
+            options=benchmark.options(upsilon=1),
+            solver_options=SOLVE_BUDGET,
+            request_id=benchmark.name,
+        ).to_dict()
+        for benchmark in benchmarks
+    ]
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))]
+
+
+def _drive(url: str, documents: list[dict], clients: int, rounds: int) -> dict:
+    """Fire ``rounds`` copies of every document from ``clients`` threads."""
+    work = [document for _ in range(rounds) for document in documents]
+    latencies: list[float] = []
+    served = 0
+
+    def one(document: dict) -> tuple[float, bool]:
+        client = SynthesisClient(url)
+        start = time.perf_counter()
+        envelope = client.synthesize(document)
+        elapsed = time.perf_counter() - start
+        if envelope["status"] == "error":
+            raise RuntimeError(f"{document.get('request_id')}: {envelope['error']}")
+        return elapsed, bool(envelope.get("served_from_store"))
+
+    wall_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        for elapsed, from_store in pool.map(one, work):
+            latencies.append(elapsed)
+            served += from_store
+    wall = time.perf_counter() - wall_start
+    return {
+        "requests": len(work),
+        "served_from_store": served,
+        "wall_seconds": wall,
+        "requests_per_second": len(work) / wall if wall else None,
+        "latency_mean_ms": statistics.fmean(latencies) * 1e3,
+        "latency_p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "latency_p95_ms": _percentile(latencies, 0.95) * 1e3,
+    }
+
+
+def run(
+    quick: bool = True,
+    limit: int | None = None,
+    clients: int = 4,
+    warm_rounds: int = 3,
+) -> dict:
+    documents = _documents(quick, limit)
+    with tempfile.TemporaryDirectory(prefix="bench-server-store-") as root:
+        first = SynthesisServer(store=root, workers=clients, scheduler="off")
+        with serve_in_background(first) as handle:
+            cold = _drive(handle.url, documents, clients, rounds=1)
+            warm = _drive(handle.url, documents, clients, rounds=warm_rounds)
+        # A brand-new server+engine on the same root: only the disk is warm.
+        second = SynthesisServer(store=root, workers=clients, scheduler="off")
+        with serve_in_background(second) as handle:
+            restart = _drive(handle.url, documents, clients, rounds=warm_rounds)
+
+    assert cold["served_from_store"] == 0
+    warm_speedup = cold["latency_mean_ms"] / warm["latency_mean_ms"]
+    restart_speedup = cold["latency_mean_ms"] / restart["latency_mean_ms"]
+    return {
+        "benchmark": "server-front-door",
+        "meta": _bench_config.bench_meta(quick),
+        "quick": quick,
+        "phases": {"cold": cold, "warm": warm, "restart_warm": restart},
+        "summary": {
+            "programs": len(documents),
+            "concurrent_clients": clients,
+            "warm_speedup": warm_speedup,
+            "restart_warm_speedup": restart_speedup,
+            "warm_hit_rate": warm["served_from_store"] / warm["requests"],
+            "restart_hit_rate": restart["served_from_store"] / restart["requests"],
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", default=True, help="small benchmarks only (default)")
+    parser.add_argument("--full", dest="quick", action="store_false", help="include the large benchmarks")
+    parser.add_argument("--limit", type=int, default=None, help="only the first N programs")
+    parser.add_argument("--clients", type=int, default=4, help="concurrent client threads")
+    parser.add_argument("--output", default="BENCH_server.json", help="write the JSON report here")
+    parser.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) when warm mean latency is not this many times "
+        "better than cold (CI gate)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick, limit=args.limit, clients=args.clients)
+    phases, summary = report["phases"], report["summary"]
+    for name in ("cold", "warm", "restart_warm"):
+        phase = phases[name]
+        print(
+            f"{name:<13}: {phase['requests']:>3} requests, "
+            f"{phase['requests_per_second']:7.2f} req/s, "
+            f"p50 {phase['latency_p50_ms']:8.2f}ms, p95 {phase['latency_p95_ms']:8.2f}ms, "
+            f"{phase['served_from_store']} from store"
+        )
+    print(f"warm speedup  : {summary['warm_speedup']:.2f}x (hit rate {summary['warm_hit_rate']:.0%})")
+    print(f"restart warm  : {summary['restart_warm_speedup']:.2f}x (hit rate {summary['restart_hit_rate']:.0%})")
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if args.min_warm_speedup is not None and summary["warm_speedup"] < args.min_warm_speedup:
+        print(
+            f"FAIL: warm speedup {summary['warm_speedup']:.2f}x "
+            f"< required {args.min_warm_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,18 +1,18 @@
 """The service boundary end to end: JSON requests in, JSON responses out.
 
-This example plays both sides of the wire protocol a queue/HTTP front-end
-would speak:
-
-1. a *client* builds typed :class:`~repro.api.request.SynthesisRequest`
-   values and serialises them to JSON documents,
-2. a *server* deserialises (and validates) the documents, runs them on an
-   :class:`~repro.api.Engine`, and streams JSON responses back as they
-   finish — including a structured error for the malformed request that
-   rides along.
+This example runs the real network stack (:mod:`repro.server`): it starts
+the asyncio HTTP front door on a loopback port, submits JSON request
+documents over the wire with the stdlib client, and streams the response
+envelopes back as they finish — including a structured rejection for the
+malformed request that rides along.
 
 Run with::
 
     PYTHONPATH=src python examples/service_requests.py
+
+Pass ``--in-process`` to skip the network and drive the same documents
+through :class:`~repro.api.Engine` directly (the original wire-format demo —
+useful where sockets are unavailable).
 """
 
 from __future__ import annotations
@@ -24,6 +24,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 from repro.api import Engine, RequestValidationError, SynthesisRequest, SynthesisResponse
+from repro.server import SynthesisClient, SynthesisServer, serve_in_background
 from repro.solvers.base import SolverOptions
 from repro.suite.registry import get_benchmark
 
@@ -49,8 +50,52 @@ def client_side() -> list[str]:
     return documents
 
 
-def server_side(documents: list[str]) -> None:
-    """Validate, execute and answer — the loop a service front-end runs."""
+def print_envelope(envelope: dict) -> None:
+    if envelope["status"] == "error":
+        error = envelope.get("error") or {}
+        print(f"\n  response ({envelope.get('request_id') or '<malformed>'}): error")
+        for entry in error.get("errors", []):
+            print(f"    {entry['field']}: {entry['reason']}")
+        if not error.get("errors"):
+            print(f"    {error.get('type')}: {error.get('message')}")
+        return
+    print(f"\n  response #{envelope['submission_id']} ({envelope['request_id']}): {envelope['status']}")
+    if envelope["status"] == "ok":
+        best = envelope["invariants"][0]["assertions"][-1]
+        print(f"    invariant at {best['function']}:{best['index']}: {best['text']}")
+        print(f"    solver: {envelope['solver_status']} via {envelope['strategy']} "
+              f"in {envelope['timings']['solve_seconds']:.2f}s")
+        if envelope.get("served_from_store"):
+            print("    served from the persistent store (nothing recomputed)")
+
+
+def over_the_wire(documents: list[str]) -> None:
+    """Start the HTTP front door and drive the documents through it."""
+    server = SynthesisServer(workers=2)
+    with serve_in_background(server) as handle:
+        print(f"  server listening on {handle.url}")
+        client = SynthesisClient(handle.url)
+        print(f"  health: {client.healthz()['status']}")
+
+        job = client.submit([json.loads(document) for document in documents])
+        print(f"  job {job['job_id']}: {job['accepted']} accepted, {job['rejected']} rejected")
+        for envelope in client.events(job["job_id"]):
+            # The envelope is pure data: it survives the wire and reloads
+            # (rejected documents carry validation errors instead).
+            if envelope.get("submission_id") is not None:
+                SynthesisResponse.from_dict(envelope)
+            print_envelope(envelope)
+
+        # The blocking endpoint answers one document at a time.
+        single = client.synthesize(json.loads(documents[0]))
+        print(f"\n  blocking /v1/synthesize: {single['request_id']} -> {single['status']}")
+        stats = client.stats()
+        print(f"  server stats: {int(stats['server_requests_total'])} requests, "
+              f"{int(stats['server_validation_failures'])} validation failures")
+
+
+def in_process(documents: list[str]) -> None:
+    """Validate, execute and answer without sockets (the original demo loop)."""
     requests = []
     for position, document in enumerate(documents):
         try:
@@ -62,17 +107,10 @@ def server_side(documents: list[str]) -> None:
 
     with Engine(workers=2) as engine:
         for response in engine.map(requests):
-            print(f"\n  response #{response.submission_id} ({response.request_id}): {response.status}")
-            envelope = response.to_json(indent=2)
-            # The envelope is pure data: it survives the wire and reloads.
+            envelope = response.to_json()
             revived = SynthesisResponse.from_json(envelope)
             assert revived == response
-            if response.success:
-                best = response.invariants[0]["assertions"][-1]
-                print(f"    invariant at {best['function']}:{best['index']}: {best['text']}")
-                print(f"    solver: {response.solver_status} via {response.strategy} "
-                      f"in {response.timings['solve_seconds']:.2f}s")
-            print(f"    envelope: {len(envelope)} bytes of JSON")
+            print_envelope(json.loads(envelope))
 
 
 def main() -> int:
@@ -82,8 +120,12 @@ def main() -> int:
         preview = json.loads(document)
         print(f"  {preview.get('request_id') or '<malformed>'}: {len(document)} bytes")
 
-    print("\n=== server: validating, executing, answering ===")
-    server_side(documents)
+    if "--in-process" in sys.argv[1:]:
+        print("\n=== in-process: validating, executing, answering ===")
+        in_process(documents)
+    else:
+        print("\n=== over the wire: HTTP server + stdlib client ===")
+        over_the_wire(documents)
     return 0
 
 

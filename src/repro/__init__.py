@@ -105,6 +105,7 @@ from repro.reduction import (
 )
 from repro.polynomial import Monomial, Polynomial, parse_polynomial
 from repro.schedule import SchedulePlan, Scheduler, SolveCorpus
+from repro.store import BlobStore, EngineStore, open_store
 from repro.semantics import Interpreter
 from repro.spec import (
     ConjunctiveAssertion,
@@ -129,12 +130,14 @@ __version__ = "1.0.0"
 __all__ = [
     "AUTO_DEGREE",
     "AlternatingSolver",
+    "BlobStore",
     "Certificate",
     "CertificateCheck",
     "CheckReport",
     "CompiledProblem",
     "ConjunctiveAssertion",
     "Engine",
+    "EngineStore",
     "ErrorInfo",
     "EscalationTrace",
     "FeasibilityObjective",
@@ -185,6 +188,7 @@ __all__ = [
     "compile_problem",
     "default_engine",
     "lift_solution",
+    "open_store",
     "repair_solution",
     "verify_solution",
     "generate_constraint_pairs",

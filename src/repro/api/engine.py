@@ -45,6 +45,7 @@ from repro.invariants.synthesis import (
 from repro.pipeline.cache import TaskCache
 from repro.reduction.escalate import DEADLINE_SKIPPED, EscalationAttempt, EscalationTrace
 from repro.reduction.plan import objective_fingerprint
+from repro.reduction.task import STAGE_NAMES
 from repro.schedule import (
     RequestFeatures,
     SchedulePlan,
@@ -61,6 +62,7 @@ from repro.solvers.strong import RepresentativeEnumerator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.invariants.translation import TranslationPool
+    from repro.store import BlobStore, EngineStore
 
 EXECUTORS = ("auto", "thread", "process")
 
@@ -168,6 +170,22 @@ class Engine:
         ``scheduler="off"`` arms the engine for per-request
         ``SynthesisOptions(scheduler=...)`` overrides without changing the
         engine default.
+    store:
+        The persistent content-addressed store (:mod:`repro.store`): an
+        :class:`~repro.store.EngineStore`, a :class:`~repro.store.BlobStore`
+        or a root directory path.  When set, the engine (1) re-serves whole
+        response envelopes for previously completed requests straight from
+        disk (``served_from_store=True``; nothing is recomputed — not even by
+        this process or since the last restart), (2) persists every feasible
+        Step-4 solve under its stable content hash, so requests differing
+        only in e.g. their verification tier reuse the solve across
+        processes, (3) files every issued certificate under its own
+        fingerprint (named in ``verification["certificate_sha"]``), and
+        (4) roots the schedule corpus in the same data directory, one per
+        deployment.  A corrupt or half-written blob degrades to a cache
+        miss, never an error.  Store-served responses carry the JSON
+        envelope only — the in-process ``result``/``task`` extras are
+        absent, exactly as over the wire.
     """
 
     def __init__(
@@ -181,6 +199,7 @@ class Engine:
         translation_workers: int | str = 0,
         scheduler: str = "off",
         corpus: SolveCorpus | str | None = None,
+        store: "EngineStore | BlobStore | str | None" = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
@@ -231,12 +250,28 @@ class Engine:
             "repair_successes": 0,
             "certificates_issued": 0,
         }
+        self.store: "EngineStore | None" = None
+        if store is not None:
+            from repro.store import open_store
+
+            self.store = open_store(store)
+        self._store_lock = threading.Lock()
+        self._store_stats = {
+            "store_response_hits": 0,
+            "store_response_misses": 0,
+            "store_response_writes": 0,
+            "store_solve_hits": 0,
+            "store_solve_writes": 0,
+            "store_certificates_stored": 0,
+        }
         self.scheduler = scheduler
         self._corpus: SolveCorpus | None = None
         self._planner: Scheduler | None = None
-        if scheduler != "off" or corpus is not None:
+        if scheduler != "off" or corpus is not None or self.store is not None:
             if corpus is None:
-                corpus = default_corpus_path()
+                # One data directory per deployment: a store-backed engine
+                # roots its corpus next to the blob namespaces.
+                corpus = self.store.corpus_path if self.store is not None else default_corpus_path()
             self._corpus = corpus if isinstance(corpus, SolveCorpus) else SolveCorpus(corpus)
             self._planner = Scheduler(self._corpus)
         self._schedule_lock = threading.Lock()
@@ -306,7 +341,15 @@ class Engine:
             stats.update({key: float(value) for key, value in self._schedule_stats.items()})
         if self._corpus is not None:
             stats["schedule_corpus_rows"] = float(len(self._corpus))
+        with self._store_lock:
+            stats.update({key: float(value) for key, value in self._store_stats.items()})
+        if self.store is not None:
+            stats.update(self.store.stats())
         return stats
+
+    def _bump_store(self, key: str) -> None:
+        with self._store_lock:
+            self._store_stats[key] += 1
 
     def _record_translation(self, report) -> None:
         """Accumulate a reduction's translation sub-phase split into :meth:`stats`.
@@ -628,9 +671,65 @@ class Engine:
         task: SynthesisTask | None,
         enumerator: RepresentativeEnumerator | None,
     ) -> SynthesisResponse:
+        # The persistent store short-circuits the whole request: an identical
+        # request completed by any process against this root — including a
+        # previous life of this one — is re-served from disk.  Escape-hatch
+        # submissions (live solver/task/enumerator) and reduce-only runs
+        # (whose callers want the in-process task) bypass the store.
+        store_key: str | None = None
+        if (
+            self.store is not None
+            and solver is None
+            and task is None
+            and enumerator is None
+            and self.solver is None
+            and not request.reduce_only
+        ):
+            lookup_start = time.perf_counter()
+            store_key = self.store.responses.key_for(request, repr(self.solver_options))
+            served = self.store.responses.load(store_key)
+            if served is not None:
+                self._bump_store("store_response_hits")
+                return self._serve_from_store(
+                    served, request, submission_id, time.perf_counter() - lookup_start
+                )
+            self._bump_store("store_response_misses")
         if request.options.is_auto_degree and task is None:
-            return self._execute_escalation(request, submission_id, solver, enumerator)
-        return self._execute_fixed(request, submission_id, solver, task, enumerator)
+            response = self._execute_escalation(request, submission_id, solver, enumerator)
+        else:
+            response = self._execute_fixed(request, submission_id, solver, task, enumerator)
+        if store_key is not None and response.exception is None:
+            if self.store.responses.store(store_key, response):
+                self._bump_store("store_response_writes")
+        return response
+
+    def _serve_from_store(
+        self,
+        served: SynthesisResponse,
+        request: SynthesisRequest,
+        submission_id: int,
+        seconds: float,
+    ) -> SynthesisResponse:
+        """Stamp a disk-served envelope for this submission (no recompute).
+
+        Volatile bookkeeping is rewritten to reflect what actually happened
+        *now*: zero reduction/solve work, every stage effectively cached, and
+        the store lookup as the total cost.  The semantic payload (status,
+        invariants, assignment, certificate, ...) is the stored one.
+        """
+        served.request_id = request.request_id
+        served.submission_id = submission_id
+        served.from_cache = True
+        served.shared_solve = True
+        served.served_from_store = True
+        served.timings = {
+            "reduction_seconds": 0.0,
+            "solve_seconds": 0.0,
+            "stages_from_cache": float(len(STAGE_NAMES)),
+            "store_seconds": seconds,
+            "total_seconds": seconds,
+        }
+        return served
 
     def _execute_escalation(
         self,
@@ -869,6 +968,13 @@ class Engine:
                         certificate = outcome.certificate.to_dict()
                         exact_assignment = outcome.exact_assignment
                     verification = outcome.to_dict()
+                    if certificate is not None and self.store is not None:
+                        # File the exact witness under its own fingerprint so
+                        # auditors can re-load and re-check it by name.
+                        cert_sha, wrote = self.store.certificates.put(certificate)
+                        verification["certificate_sha"] = cert_sha
+                        if wrote:
+                            self._bump_store("store_certificates_stored")
                     timings["verify_seconds"] = outcome.seconds
                 result = result_from_solution(
                     built,
@@ -982,6 +1088,14 @@ class Engine:
             result, seconds = self._run_solve(solver, task.system)
             return result, seconds, False, schedule
 
+        # The persistent solve store is the cross-process sibling of the
+        # in-memory dedup table; an engine-level live solver is not captured
+        # by content keys, so it opts the engine out.
+        store_key: str | None = None
+        if self.store is not None and self.solver is None:
+            store_key = self.store.solves.key_for(
+                request, self._schedule_mode(request) == "on", repr(options)
+            )
         key = self._solve_dedup_key(request, job)
         with self._solve_lock:
             future = self._solves.get(key)
@@ -998,6 +1112,14 @@ class Engine:
         if not owner:
             result, seconds = future.result()
             return result, seconds, True, schedule
+        if store_key is not None:
+            stored = self.store.solves.load(store_key)
+            if stored is not None:
+                # Another process (or a previous life of this one) already
+                # paid for this solve: publish it to waiters and skip Step 4.
+                self._bump_store("store_solve_hits")
+                future.set_result(stored)
+                return stored[0], stored[1], True, schedule
         try:
             pair = self._run_solve(solver, task.system)
         except BaseException as exc:
@@ -1007,6 +1129,8 @@ class Engine:
                 self._solves.pop(key, None)
             raise
         future.set_result(pair)
+        if store_key is not None and self.store.solves.store(store_key, pair[0], pair[1]):
+            self._bump_store("store_solve_writes")
         if plan is not None and plan.predicted:
             self._bump_schedule(
                 "schedule_strategy_hits"
@@ -1042,6 +1166,13 @@ class Engine:
         with self._solve_lock:
             if key in self._solves:
                 self._solves[key] = future
+        if self.store is not None and self.solver is None:
+            options = self._effective_solver_options(request)
+            store_key = self.store.solves.key_for(
+                request, self._schedule_mode(request) == "on", repr(options)
+            )
+            if self.store.solves.store(store_key, result, seconds, overwrite=True):
+                self._bump_store("store_solve_writes")
 
     def _run_solve(self, solver: Solver, system) -> tuple[SolverResult, float]:
         if self._executor_kind == "process" and self.workers > 1:

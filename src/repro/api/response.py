@@ -120,6 +120,10 @@ class SynthesisResponse:
     from_cache, shared_solve:
         Whether the reduction was reused from the task cache, and whether the
         solve was shared with an identical in-flight/completed request.
+    served_from_store:
+        Whether the whole envelope was re-served from the engine's persistent
+        content-addressed store (:mod:`repro.store`) — nothing was recomputed,
+        possibly not even by this process or since the last restart.
     escalation:
         For ``degree="auto"`` requests, the JSON form of the
         :class:`~repro.reduction.escalate.EscalationTrace`: one entry per
@@ -155,6 +159,7 @@ class SynthesisResponse:
     system_size: int | None = None
     from_cache: bool = False
     shared_solve: bool = False
+    served_from_store: bool = False
     escalation: dict | None = None
     certificate: dict | None = None
     verification: dict | None = None
@@ -220,6 +225,7 @@ class SynthesisResponse:
             "system_size": self.system_size,
             "from_cache": self.from_cache,
             "shared_solve": self.shared_solve,
+            "served_from_store": self.served_from_store,
             "escalation": self.escalation,
             "certificate": self.certificate,
             "verification": self.verification,
@@ -231,7 +237,15 @@ class SynthesisResponse:
 
     @staticmethod
     def from_dict(payload: Mapping) -> "SynthesisResponse":
-        """Rebuild a response envelope from its JSON form."""
+        """Rebuild a response envelope from its JSON form.
+
+        Strict towards malformed documents: any shape the codec cannot
+        coerce — a truncated blob that still parses, a field of the wrong
+        container type — raises a structured
+        :class:`~repro.api.errors.RequestValidationError`, never a bare
+        ``TypeError``/``ValueError``.  This is the contract the persistent
+        store's miss-and-repair boundary relies on.
+        """
         if not isinstance(payload, Mapping):
             raise RequestValidationError.single("$", "expected a JSON object")
         status = payload.get("status")
@@ -240,25 +254,33 @@ class SynthesisResponse:
                 "status", f"unknown status {status!r}; known statuses: {', '.join(STATUSES)}"
             )
         error = payload.get("error")
-        return SynthesisResponse(
-            mode=str(payload.get("mode", "weak")),
-            status=status,
-            request_id=payload.get("request_id"),
-            submission_id=payload.get("submission_id"),
-            solver_status=str(payload.get("solver_status", "")),
-            strategy=payload.get("strategy"),
-            invariants=list(payload.get("invariants") or []),
-            assignment=dict(payload["assignment"]) if payload.get("assignment") is not None else None,
-            statistics=dict(payload.get("statistics") or {}),
-            timings=dict(payload.get("timings") or {}),
-            system_size=payload.get("system_size"),
-            from_cache=bool(payload.get("from_cache", False)),
-            shared_solve=bool(payload.get("shared_solve", False)),
-            escalation=dict(payload["escalation"]) if payload.get("escalation") is not None else None,
-            certificate=dict(payload["certificate"]) if payload.get("certificate") is not None else None,
-            verification=dict(payload["verification"]) if payload.get("verification") is not None else None,
-            error=ErrorInfo.from_dict(error) if error else None,
-        )
+        try:
+            return SynthesisResponse(
+                mode=str(payload.get("mode", "weak")),
+                status=status,
+                request_id=payload.get("request_id"),
+                submission_id=payload.get("submission_id"),
+                solver_status=str(payload.get("solver_status", "")),
+                strategy=payload.get("strategy"),
+                invariants=list(payload.get("invariants") or []),
+                assignment=dict(payload["assignment"]) if payload.get("assignment") is not None else None,
+                statistics=dict(payload.get("statistics") or {}),
+                timings=dict(payload.get("timings") or {}),
+                system_size=payload.get("system_size"),
+                from_cache=bool(payload.get("from_cache", False)),
+                shared_solve=bool(payload.get("shared_solve", False)),
+                served_from_store=bool(payload.get("served_from_store", False)),
+                escalation=dict(payload["escalation"]) if payload.get("escalation") is not None else None,
+                certificate=dict(payload["certificate"]) if payload.get("certificate") is not None else None,
+                verification=dict(payload["verification"]) if payload.get("verification") is not None else None,
+                error=ErrorInfo.from_dict(error) if error else None,
+            )
+        except RequestValidationError:
+            raise
+        except (TypeError, ValueError, AttributeError, KeyError) as exc:
+            raise RequestValidationError.single(
+                "$", f"malformed response document: {exc}"
+            ) from exc
 
     @staticmethod
     def from_json(text: str) -> "SynthesisResponse":

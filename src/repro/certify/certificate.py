@@ -22,12 +22,13 @@ Certificates serialise to JSON (polynomials as text, rationals as
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import TYPE_CHECKING, Mapping, Sequence
 
-from repro.errors import SynthesisError
+from repro.errors import ReproError, SynthesisError, ValidationError
 from repro.polynomial.monomial import Monomial
 from repro.polynomial.parse import parse_polynomial
 from repro.polynomial.polynomial import Polynomial
@@ -37,6 +38,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Witness schemes a certificate can carry.
 SCHEMES = ("putinar", "handelman")
+
+
+def certificate_fingerprint(payload: Mapping) -> str:
+    """The sha256 content hash of a certificate's canonical JSON form.
+
+    This is the key the persistent store files certificates under (and the
+    name responses carry in ``verification["certificate_sha"]``), so an
+    auditor can re-load the exact witness a response was gated by.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _fraction_to_str(value: Fraction) -> str:
@@ -256,21 +268,46 @@ class Certificate:
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
+    def fingerprint(self) -> str:
+        """This certificate's stable content hash (see :func:`certificate_fingerprint`)."""
+        return certificate_fingerprint(self.to_dict())
+
     @staticmethod
     def from_dict(payload: Mapping) -> "Certificate":
-        return Certificate(
-            scheme=str(payload.get("scheme", "putinar")),
-            assignment={
-                str(name): _fraction_from_str(value)
-                for name, value in (payload.get("assignment") or {}).items()
-            },
-            pairs=tuple(PairCertificate.from_dict(entry) for entry in payload.get("pairs", [])),
-            denominator=int(payload.get("denominator", 1)),
-        )
+        """Rebuild a certificate from its JSON form.
+
+        Malformed documents — truncated blobs that still parse, fields of the
+        wrong shape, unparsable polynomial/fraction text — raise a
+        :class:`~repro.errors.ValidationError`, never a bare
+        ``KeyError``/``TypeError``: the persistent store's miss-and-repair
+        boundary (and every other loader) catches exactly that.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValidationError("certificate document must be a JSON object")
+        try:
+            return Certificate(
+                scheme=str(payload.get("scheme", "putinar")),
+                assignment={
+                    str(name): _fraction_from_str(value)
+                    for name, value in (payload.get("assignment") or {}).items()
+                },
+                pairs=tuple(
+                    PairCertificate.from_dict(entry) for entry in payload.get("pairs") or []
+                ),
+                denominator=int(payload.get("denominator", 1)),
+            )
+        except ValidationError:
+            raise
+        except (ReproError, TypeError, ValueError, KeyError, AttributeError, ZeroDivisionError) as exc:
+            raise ValidationError(f"malformed certificate document: {exc}") from exc
 
     @staticmethod
     def from_json(text: str) -> "Certificate":
-        return Certificate.from_dict(json.loads(text))
+        try:
+            payload = json.loads(text)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"certificate document is not valid JSON: {exc}") from exc
+        return Certificate.from_dict(payload)
 
 
 def _concretize(polynomial: Polynomial, assignment: Mapping[str, Fraction]) -> Polynomial:

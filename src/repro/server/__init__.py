@@ -1,0 +1,31 @@
+"""repro.server — the HTTP front door over :mod:`repro.api`.
+
+Run one with ``python -m repro.server --store /var/lib/repro`` (or
+programmatically)::
+
+    from repro.server import SynthesisServer, SynthesisClient, serve_in_background
+
+    with serve_in_background(SynthesisServer(store="/var/lib/repro")) as handle:
+        client = SynthesisClient(handle.url)
+        envelope = client.synthesize({"program": source, "mode": "weak"})
+
+Everything is stdlib: a hand-rolled asyncio HTTP/1.1 loop on the server
+side, ``http.client`` on the client side.  The wire format is exactly the
+JSON codec of :class:`~repro.api.request.SynthesisRequest` /
+:class:`~repro.api.response.SynthesisResponse`.
+"""
+
+from repro.server.app import Job, ServerHandle, SynthesisServer, serve_in_background
+from repro.server.client import ServerError, SynthesisClient
+from repro.server.http import HttpError, HttpRequest
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "Job",
+    "ServerError",
+    "ServerHandle",
+    "SynthesisClient",
+    "SynthesisServer",
+    "serve_in_background",
+]

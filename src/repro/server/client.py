@@ -1,0 +1,121 @@
+"""A small stdlib client for the synthesis server.
+
+:class:`SynthesisClient` speaks plain ``http.client`` — no dependencies, one
+connection per call — and mirrors the endpoint set of
+:class:`~repro.server.app.SynthesisServer`.  Payloads stay JSON documents
+(the wire format); rebuild typed objects with
+``SynthesisResponse.from_dict`` when the in-process view is wanted.
+
+Transport-level failures and non-2xx statuses raise :class:`ServerError`
+carrying the decoded error envelope; synthesis failures do **not** — they
+arrive as normal ``status="error"`` envelopes, exactly as in-process.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Iterator, Mapping
+from urllib.parse import urlsplit
+
+
+class ServerError(Exception):
+    """A non-2xx response (or transport failure) from the synthesis server."""
+
+    def __init__(self, status: int, payload: dict | None = None, reason: str = ""):
+        self.status = status
+        self.payload = payload or {}
+        detail = self.payload.get("error", {}).get("reason", reason) or reason
+        super().__init__(f"server returned {status}: {detail}")
+
+    @property
+    def errors(self) -> list:
+        """The structured per-field validation entries, when present."""
+        return self.payload.get("error", {}).get("errors", [])
+
+
+class SynthesisClient:
+    """Client for one synthesis server (``SynthesisClient("http://host:port")``)."""
+
+    def __init__(self, base_url: str, timeout: float | None = 600.0):
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {split.scheme!r} (plain http only)")
+        if not split.hostname:
+            raise ValueError(f"no host in server url {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port if split.port is not None else 80
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------
+
+    def _open(self, method: str, path: str, payload=None):
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=body, headers=headers)
+        return connection, connection.getresponse()
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        connection, response = self._open(method, path, payload)
+        try:
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServerError(response.status, reason=f"undecodable body: {exc}") from exc
+        if response.status >= 300:
+            raise ServerError(response.status, document)
+        return document
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def synthesize(self, document: Mapping) -> dict:
+        """Run one request document; returns the response envelope (blocking)."""
+        return self._request("POST", "/v1/synthesize", dict(document))
+
+    def submit(self, documents) -> dict:
+        """Submit a batch; returns ``{"job_id", "total", "accepted", "rejected"}``."""
+        if isinstance(documents, Mapping):
+            payload = dict(documents)
+        else:
+            payload = {"requests": [dict(entry) for entry in documents]}
+        return self._request("POST", "/v1/submit", payload)
+
+    def job(self, job_id: str) -> dict:
+        """Progress + completed envelopes of one job."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's envelopes as they finish (NDJSON until EOF).
+
+        Yields validation rejects first, then completed responses in
+        completion order — :meth:`repro.api.engine.Engine.map` semantics over
+        the wire.
+        """
+        connection, response = self._open("GET", f"/v1/jobs/{job_id}/events")
+        try:
+            if response.status >= 300:
+                raw = response.read()
+                try:
+                    document = json.loads(raw.decode("utf-8")) if raw else {}
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    document = {}
+                raise ServerError(response.status, document)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()

@@ -1,0 +1,165 @@
+"""A minimal asyncio HTTP/1.1 layer for the synthesis front door.
+
+Deliberately tiny and dependency-free: the server speaks exactly the subset
+of HTTP/1.1 its own endpoints need — request line + headers + an optional
+``Content-Length`` body in, status line + headers + a (possibly streamed)
+body out.  Anything outside that subset is answered with a structured error
+status (``411`` for missing lengths, ``413`` for oversized bodies, ``501``
+for chunked uploads) instead of being half-parsed.
+
+The module knows nothing about synthesis: :mod:`repro.server.app` maps the
+parsed :class:`HttpRequest` onto ``repro.api`` and renders responses back
+through :func:`json_response` / :func:`response_head`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Upper bound on accepted request bodies (16 MiB — a batch of synthesis
+#: documents is text, not data).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Upper bound on the header block (sanity bound, not a protocol limit).
+MAX_HEADER_BYTES = 64 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure that maps directly onto a status code."""
+
+    def __init__(self, status: int, reason: str):
+        self.status = status
+        self.reason = reason
+        super().__init__(f"{status} {reason}")
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, lowercased headers, raw body."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The body decoded as JSON; raises :class:`HttpError` (400) when it isn't."""
+        if not self.body:
+            raise HttpError(400, "empty body where a JSON document was expected")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"body is not valid JSON: {exc}") from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> HttpRequest | None:
+    """Parse one request off the stream; ``None`` on a clean EOF before any bytes."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError, ValueError) as exc:
+        raise HttpError(400, f"malformed request line: {exc}") from exc
+    if not line:
+        return None  # client closed the connection between requests
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line")
+    method, target = parts[0].upper(), parts[1]
+
+    headers: dict[str, str] = {}
+    seen = 0
+    while True:
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError, ValueError) as exc:
+            raise HttpError(400, f"malformed header line: {exc}") from exc
+        if line in (b"\r\n", b"\n", b""):
+            break
+        seen += len(line)
+        if seen > MAX_HEADER_BYTES:
+            raise HttpError(413, "header block too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line.decode('latin-1')!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise HttpError(400, f"malformed Content-Length: {length_text!r}") from exc
+        if length < 0:
+            raise HttpError(400, f"malformed Content-Length: {length_text!r}")
+        if length > max_body:
+            raise HttpError(413, f"request body exceeds {max_body} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "request body shorter than Content-Length") from exc
+    elif method in ("POST", "PUT", "PATCH"):
+        raise HttpError(411, "Content-Length required")
+
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method,
+        path=unquote(split.path) or "/",
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def response_head(
+    status: int,
+    *,
+    content_type: str = "application/json",
+    content_length: int | None = None,
+    close: bool = False,
+) -> bytes:
+    """The status line + headers (``content_length=None`` means a streamed body)."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {phrase}", f"Content-Type: {content_type}"]
+    if content_length is None:
+        # Streamed responses delimit the body by closing the connection —
+        # readers consume lines until EOF (the NDJSON event protocol).
+        close = True
+    else:
+        lines.append(f"Content-Length: {content_length}")
+    lines.append("Connection: close" if close else "Connection: keep-alive")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(status: int, payload, *, close: bool = False) -> bytes:
+    """A complete JSON response (head + body) ready to write."""
+    body = json.dumps(payload).encode("utf-8")
+    return response_head(status, content_length=len(body), close=close) + body
+
+
+def error_payload(status: int, reason: str, errors: list | None = None) -> dict:
+    """The uniform error envelope every non-2xx JSON response carries."""
+    payload = {"error": {"status": status, "reason": reason}}
+    if errors:
+        payload["error"]["errors"] = errors
+    return payload

@@ -79,6 +79,41 @@ class SolverResult:
         """Whether the solver returned an assignment it considers feasible."""
         return self.assignment is not None
 
+    # -- JSON round-trip (the persistent solve store speaks this) -----------------
+
+    def to_dict(self) -> dict:
+        return {
+            "assignment": dict(self.assignment) if self.assignment is not None else None,
+            "status": self.status,
+            "objective_value": self.objective_value,
+            "max_violation": self.max_violation,
+            "iterations": self.iterations,
+            "restarts_used": self.restarts_used,
+            "details": {str(name): float(value) for name, value in self.details.items()},
+            "strategy": self.strategy,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "SolverResult":
+        if not isinstance(payload, Mapping):
+            raise ValueError("solver result document must be a JSON object")
+        assignment = payload.get("assignment")
+        objective_value = payload.get("objective_value")
+        max_violation = payload.get("max_violation")
+        strategy = payload.get("strategy")
+        return SolverResult(
+            assignment={str(k): float(v) for k, v in assignment.items()}
+            if assignment is not None
+            else None,
+            status=str(payload.get("status", "")),
+            objective_value=float(objective_value) if objective_value is not None else None,
+            max_violation=float(max_violation) if max_violation is not None else None,
+            iterations=int(payload.get("iterations", 0)),
+            restarts_used=int(payload.get("restarts_used", 0)),
+            details={str(k): float(v) for k, v in (payload.get("details") or {}).items()},
+            strategy=str(strategy) if strategy is not None else None,
+        )
+
     def __str__(self) -> str:
         pieces = [f"status={self.status}"]
         if self.objective_value is not None:

@@ -1,0 +1,166 @@
+"""Two engine processes sharing one persistent store root.
+
+The contract under test is the deployment story of :mod:`repro.store`: a
+*separate* worker process warms the store, then a fresh engine in *this*
+process — no shared memory, no shared caches, only the directory — re-serves
+the same request entirely from disk.  ``Engine.stats()`` must show the hits
+(``store_response_hits``) and the absence of recompute (no stage misses, no
+solve), and the filed certificate must re-load and re-check by fingerprint.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.api import Engine, SynthesisRequest
+from repro.certify import check_certificate
+from repro.pipeline.jobs import job_from_benchmark
+from repro.solvers.base import SolverOptions
+from repro.store import open_store
+from repro.suite.running_example import RUNNING_EXAMPLE
+
+BENCH_SOLVE = SolverOptions(restarts=1, max_iterations=200, time_limit=60.0)
+
+#: What the warmer subprocess runs: synthesize one certified request against
+#: the shared root and report its stats as JSON on stdout.
+WARMER = textwrap.dedent(
+    """
+    import dataclasses, json, sys
+    from repro.api import Engine, SynthesisRequest
+    from repro.pipeline.jobs import job_from_benchmark
+    from repro.solvers.base import SolverOptions
+    from repro.suite.running_example import RUNNING_EXAMPLE
+
+    root = sys.argv[1]
+    benchmark = RUNNING_EXAMPLE
+    job = job_from_benchmark(benchmark, quick=True)
+    options = dataclasses.replace(job.options, verify="exact", strategy="portfolio")
+    request = SynthesisRequest(
+        program=benchmark.source,
+        mode="weak",
+        precondition=benchmark.precondition,
+        objective=benchmark.objective(),
+        options=options,
+        solver_options=SolverOptions(restarts=1, max_iterations=200, time_limit=60.0),
+        request_id="warm",
+    )
+    with Engine(store=root) as engine:
+        response = engine.synthesize(request)
+        assert response.status == "ok", response.error
+        assert response.verification and response.verification["verified"]
+        print(json.dumps({
+            "stats": engine.stats(),
+            "certificate_sha": response.verification["certificate_sha"],
+        }))
+    """
+)
+
+
+def exact_request() -> SynthesisRequest:
+    job = job_from_benchmark(RUNNING_EXAMPLE, quick=True)
+    options = dataclasses.replace(job.options, verify="exact", strategy="portfolio")
+    return SynthesisRequest(
+        program=RUNNING_EXAMPLE.source,
+        mode="weak",
+        precondition=RUNNING_EXAMPLE.precondition,
+        objective=RUNNING_EXAMPLE.objective(),
+        options=options,
+        solver_options=BENCH_SOLVE,
+        request_id="warm",
+    )
+
+
+@pytest.fixture(scope="module")
+def warmed_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("shared-store")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", WARMER, str(root)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    report = json.loads(completed.stdout.strip().splitlines()[-1])
+    return root, report
+
+
+def test_warmer_process_wrote_every_artifact_kind(warmed_root):
+    root, report = warmed_root
+    stats = report["stats"]
+    assert stats["store_response_writes"] == 1.0
+    assert stats["store_solve_writes"] >= 1.0
+    assert stats["store_certificates_stored"] == 1.0
+    store = open_store(root)
+    assert store.blobs.count("responses") == 1
+    assert store.blobs.count("solves") >= 1
+    assert store.blobs.count("certificates") == 1
+
+
+def test_second_process_is_served_from_disk_without_recompute(warmed_root):
+    root, _ = warmed_root
+    with Engine(store=root) as engine:
+        response = engine.synthesize(exact_request())
+        stats = engine.stats()
+
+    assert response.status == "ok"
+    assert response.served_from_store and response.from_cache and response.shared_solve
+    assert response.verification and response.verification["verified"]
+    # The envelope says "every stage cached, nothing solved"...
+    assert response.timings["stages_from_cache"] == 5.0
+    assert response.timings["reduction_seconds"] == 0.0
+    assert response.timings["solve_seconds"] == 0.0
+    # ...and the engine's counters agree: one response hit, zero stage
+    # activity, zero solves — this process never built a reduction.
+    assert stats["store_response_hits"] == 1.0
+    assert stats["store_response_misses"] == 0.0
+    assert stats["stage_misses"] == 0.0
+    assert stats["stage_hits"] == 0.0
+    assert stats["store_blob_reads"] == 1.0
+
+
+def test_filed_certificate_reloads_and_rechecks_by_fingerprint(warmed_root):
+    root, report = warmed_root
+    store = open_store(root)
+    certificate = store.certificates.load(report["certificate_sha"])
+    assert certificate is not None
+    assert certificate.fingerprint() == report["certificate_sha"]
+    check = check_certificate(certificate)
+    assert check.ok, check.summary()
+
+    # The re-served envelope names the same certificate.
+    with Engine(store=root) as engine:
+        response = engine.synthesize(exact_request())
+    assert response.verification["certificate_sha"] == report["certificate_sha"]
+
+
+def test_solve_store_is_shared_across_verification_tiers(warmed_root):
+    root, _ = warmed_root
+    # Same request at verify="none": the response envelope differs (its key
+    # includes the options), so it misses — but the *solve* is re-served.
+    job = job_from_benchmark(RUNNING_EXAMPLE, quick=True)
+    options = dataclasses.replace(job.options, verify="none", strategy="portfolio")
+    request = SynthesisRequest(
+        program=RUNNING_EXAMPLE.source,
+        mode="weak",
+        precondition=RUNNING_EXAMPLE.precondition,
+        objective=RUNNING_EXAMPLE.objective(),
+        options=options,
+        solver_options=BENCH_SOLVE,
+        request_id="no-verify",
+    )
+    with Engine(store=root) as engine:
+        response = engine.synthesize(request)
+        stats = engine.stats()
+    assert response.status == "ok" and not response.served_from_store
+    assert response.shared_solve
+    assert stats["store_response_misses"] == 1.0
+    assert stats["store_solve_hits"] == 1.0

@@ -1,0 +1,199 @@
+"""Property tests of the store's miss-and-repair boundary.
+
+Half-written blobs are a fact of life for a crash-interrupted deployment
+(pre-rename writers, bit rot, hand edits).  Two layers defend against them:
+
+1. the artifact codecs (``SynthesisResponse.from_json``,
+   ``Certificate.from_json``) raise only *structured* validation errors on
+   malformed documents — truncations, duplicated keys, junk field values —
+   never bare ``KeyError``/``TypeError``;
+2. the namespace views catch exactly those and degrade to a cache miss.
+
+These tests fuzz both layers: whatever hypothesis does to a valid document,
+``load`` must return an artifact or ``None`` — raising is the one forbidden
+outcome.
+"""
+
+import json
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import RequestValidationError, SynthesisRequest, SynthesisResponse
+from repro.certify.certificate import Certificate
+from repro.errors import ValidationError
+from repro.store import STORE_SCHEMA_VERSION, content_key, open_store
+from repro.suite.registry import get_benchmark
+
+SUM = get_benchmark("sum")
+
+
+def valid_response_text() -> str:
+    request = SynthesisRequest(
+        program=SUM.source,
+        mode="weak",
+        precondition=SUM.precondition,
+        objective=SUM.objective(),
+        options=SUM.options(upsilon=1),
+        request_id="sum",
+    )
+    return SynthesisResponse(
+        mode=request.mode,
+        status="ok",
+        request_id="sum",
+        submission_id=3,
+        solver_status="optimal",
+        strategy="qclp",
+        invariants=[{"assertions": [{"function": "sum", "index": 9, "kind": "loop",
+                                     "text": "s > 0", "atoms": [{"polynomial": "s", "strict": True}]}],
+                     "postconditions": []}],
+        assignment={"c_0": 0.5, "c_1": -1.25},
+        statistics={"solve_seconds": 0.5},
+        timings={"total_seconds": 1.0},
+        system_size=12,
+        verification={"verified": True, "tier": "exact", "repair_rounds": 0},
+    ).to_json()
+
+
+# A small but fully valid certificate document (Handelman: conclusion equals
+# one lambda times the sole assumption, so the identity holds exactly).
+VALID_CERTIFICATE = {
+    "scheme": "handelman",
+    "assignment": {"c_0": "1/2"},
+    "pairs": [
+        {
+            "name": "pair0",
+            "target": "inv",
+            "scheme": "handelman",
+            "assumptions": ["x - 1"],
+            "conclusion": "x - 1",
+            "witness": None,
+            "multipliers": [],
+            "lambdas": ["1"],
+            "products": [[0]],
+        }
+    ],
+    "denominator": 2,
+}
+
+RESPONSE_TEXT = valid_response_text()
+CERTIFICATE_TEXT = json.dumps(VALID_CERTIFICATE)
+
+_JUNK = st.one_of(
+    st.none(),
+    st.integers(),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+    st.lists(st.integers(), max_size=3),
+    st.dictionaries(st.text(max_size=6), st.integers(), max_size=3),
+)
+
+
+def test_the_valid_documents_actually_round_trip():
+    assert SynthesisResponse.from_json(RESPONSE_TEXT).success
+    certificate = Certificate.from_dict(VALID_CERTIFICATE)
+    assert certificate.pairs[0].check() is None
+
+
+# -- layer 1: codecs raise only structured validation errors -----------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=len(RESPONSE_TEXT)))
+def test_truncated_response_documents_never_raise_bare_errors(cut):
+    try:
+        response = SynthesisResponse.from_json(RESPONSE_TEXT[:cut])
+    except RequestValidationError as exc:
+        assert exc.errors  # structured: at least one field named
+    else:
+        assert response.status in ("ok", "no_invariant", "reduced", "error")
+
+
+@settings(max_examples=120, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=len(CERTIFICATE_TEXT)))
+def test_truncated_certificate_documents_never_raise_bare_errors(cut):
+    try:
+        Certificate.from_json(CERTIFICATE_TEXT[:cut])
+    except ValidationError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    key=st.sampled_from(
+        ["status", "invariants", "assignment", "timings", "verification", "error", "mode"]
+    ),
+    value=_JUNK,
+)
+def test_duplicated_response_keys_never_raise_bare_errors(key, value):
+    # JSON objects with duplicated keys parse last-wins: appending a second
+    # binding of an existing key is exactly what a partially re-written blob
+    # (old document + new tail) looks like.
+    duplicated = RESPONSE_TEXT[:-1] + f", {json.dumps(key)}: {json.dumps(value)}}}"
+    try:
+        SynthesisResponse.from_json(duplicated)
+    except RequestValidationError as exc:
+        assert exc.errors
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    key=st.sampled_from(["scheme", "assignment", "pairs", "denominator"]),
+    value=_JUNK,
+)
+def test_duplicated_certificate_keys_never_raise_bare_errors(key, value):
+    duplicated = CERTIFICATE_TEXT[:-1] + f", {json.dumps(key)}: {json.dumps(value)}}}"
+    try:
+        Certificate.from_json(duplicated)
+    except ValidationError:
+        pass
+
+
+# -- layer 2: the store never lets either escape -----------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=200), data=st.data())
+def test_store_load_of_mangled_blobs_is_always_a_miss_or_a_value(cut, data, tmp_path_factory):
+    root = tmp_path_factory.mktemp("store")
+    store = open_store(root)
+    key = content_key("fuzz")
+
+    kind = data.draw(st.sampled_from(["truncated", "duplicated", "binary"]))
+    blob_text = json.dumps({"v": STORE_SCHEMA_VERSION, "response": json.loads(RESPONSE_TEXT)})
+    if kind == "truncated":
+        payload = blob_text[: min(cut * len(blob_text) // 200, len(blob_text))].encode()
+    elif kind == "duplicated":
+        junk = data.draw(_JUNK)
+        payload = (blob_text[:-1] + f', "response": {json.dumps(junk)}}}').encode()
+    else:
+        payload = bytes(data.draw(st.binary(max_size=64)))
+
+    path = store.blobs.path_for("responses", key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+
+    loaded = store.responses.load(key)  # must never raise
+    assert loaded is None or isinstance(loaded, SynthesisResponse)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_store_load_of_mangled_certificates_is_always_a_miss_or_a_value(data, tmp_path_factory):
+    root = tmp_path_factory.mktemp("store")
+    store = open_store(root)
+    key = content_key("fuzz-cert")
+
+    blob_text = json.dumps({"v": STORE_SCHEMA_VERSION, "certificate": VALID_CERTIFICATE})
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob_text)))
+    payload = blob_text[:cut].encode()
+
+    path = store.blobs.path_for("certificates", key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+
+    loaded = store.certificates.load(key)  # must never raise
+    assert loaded is None or isinstance(loaded, Certificate)

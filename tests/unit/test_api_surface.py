@@ -13,12 +13,14 @@ import repro.reduction
 EXPECTED_REPRO_ALL = [
     "AUTO_DEGREE",
     "AlternatingSolver",
+    "BlobStore",
     "Certificate",
     "CertificateCheck",
     "CheckReport",
     "CompiledProblem",
     "ConjunctiveAssertion",
     "Engine",
+    "EngineStore",
     "ErrorInfo",
     "EscalationTrace",
     "FeasibilityObjective",
@@ -71,6 +73,7 @@ EXPECTED_REPRO_ALL = [
     "generate_constraint_pairs",
     "job_from_benchmark",
     "lift_solution",
+    "open_store",
     "parse_assertion",
     "parse_polynomial",
     "parse_program",
