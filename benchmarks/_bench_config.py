@@ -14,6 +14,13 @@ import os
 import platform
 import subprocess
 import sys
+import threading
+import time
+
+try:  # POSIX-only stdlib module; benches degrade gracefully without it
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
@@ -41,22 +48,116 @@ def _git_revision() -> str | None:
     return out.stdout.strip() or None if out.returncode == 0 else None
 
 
+def _rss_bytes() -> float | None:
+    """Resident set size of this process right now (Linux; None elsewhere)."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return float(fields[1]) * float(os.sysconf("SC_PAGE_SIZE"))
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+class ResourceMonitor:
+    """RSS high-water + CPU-time sampling for one benchmark run.
+
+    A daemon thread samples this process's resident set every
+    ``interval`` seconds; :meth:`snapshot` folds in ``getrusage`` for the
+    process *and its children* — under the process executor the workers do
+    the heavy lifting, so children CPU is where the real cost shows up.
+    All fields degrade to ``None``/``0`` where the platform lacks the
+    counters rather than failing a bench.
+    """
+
+    def __init__(self, interval: float = 0.2) -> None:
+        self.interval = interval
+        self._started = time.time()
+        self._rss_high_water = _rss_bytes() or 0.0
+        self._samples = 1 if self._rss_high_water else 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="bench-resource-monitor", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            rss = _rss_bytes()
+            if rss is None:
+                continue
+            with self._lock:
+                self._samples += 1
+                if rss > self._rss_high_water:
+                    self._rss_high_water = rss
+
+    def snapshot(self) -> dict:
+        """The resource block to stamp into a report's meta (monitor keeps running)."""
+        with self._lock:
+            rss_high_water = self._rss_high_water
+            samples = self._samples
+        block: dict = {
+            "rss_high_water_bytes": rss_high_water or None,
+            "rss_samples": samples,
+            "wall_seconds": time.time() - self._started,
+        }
+        if _resource is not None:
+            own = _resource.getrusage(_resource.RUSAGE_SELF)
+            kids = _resource.getrusage(_resource.RUSAGE_CHILDREN)
+            block.update(
+                {
+                    "cpu_user_seconds": own.ru_utime,
+                    "cpu_system_seconds": own.ru_stime,
+                    "cpu_children_user_seconds": kids.ru_utime,
+                    "cpu_children_system_seconds": kids.ru_stime,
+                    # ru_maxrss is KiB on Linux; the high-water here covers
+                    # the whole process lifetime, not just this monitor.
+                    "maxrss_bytes": float(own.ru_maxrss) * 1024.0,
+                    "maxrss_children_bytes": float(kids.ru_maxrss) * 1024.0,
+                }
+            )
+        return block
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+_monitor: ResourceMonitor | None = None
+
+
+def start_resource_monitor() -> ResourceMonitor:
+    """Start (or reuse) the module-level resource monitor of this bench run."""
+    global _monitor
+    if _monitor is None:
+        _monitor = ResourceMonitor()
+    return _monitor
+
+
+def resource_snapshot() -> dict | None:
+    """The running monitor's snapshot, or ``None`` when none was started."""
+    return _monitor.snapshot() if _monitor is not None else None
+
+
 def bench_meta(quick: bool) -> dict:
     """The provenance block every BENCH_*.json emitter stamps into its report.
 
     One shared shape (schema version, git revision, interpreter, UTC
-    timestamp, quick flag) so the reports of different harnesses can be
-    correlated across PRs without per-file parsing rules.
+    timestamp, quick flag, resource usage) so the reports of different
+    harnesses can be correlated across PRs without per-file parsing rules.
+    The ``resources`` block is present when the emitter called
+    :func:`start_resource_monitor` early in its ``main``.
     """
     return {
         "schema_version": BENCH_META_SCHEMA_VERSION,
         "git_revision": _git_revision(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpus": os.cpu_count(),
         "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
         ),
         "quick": quick,
+        "resources": resource_snapshot(),
     }
 
 

@@ -131,6 +131,7 @@ def run(quick: bool = True, limit: int | None = None, limit_variables: int = 8, 
 
 
 def main(argv: list[str] | None = None) -> int:
+    _bench_config.start_resource_monitor()
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", default=True, help="small benchmarks only (default)")
     parser.add_argument("--full", dest="quick", action="store_false", help="include the large benchmarks")

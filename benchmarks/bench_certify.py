@@ -115,6 +115,7 @@ def measure_certification(benchmarks, quick: bool, max_repair_rounds: int) -> di
 
 
 def main(argv=None) -> int:
+    _bench_config.start_resource_monitor()
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI preset (small benchmarks, Upsilon=1)")
     parser.add_argument("--limit", type=int, default=None, help="measure at most N benchmarks")

@@ -24,7 +24,7 @@ import sys
 import timeit
 from fractions import Fraction
 
-import _bench_config  # noqa: F401  (sys.path setup)
+import _bench_config
 
 from repro.polynomial.monomial import Monomial
 from repro.polynomial.ordering import monomials_up_to_degree
@@ -91,7 +91,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", help="also write the JSON report to this file")
     args = parser.parse_args(argv)
 
+    _bench_config.start_resource_monitor()
     report = run(repeat=args.repeat)
+    report["meta"] = {**_bench_config.bench_meta(quick=False), **report["meta"]}
     rendered = json.dumps(report, indent=2, sort_keys=True)
     print(rendered)
     if args.output:

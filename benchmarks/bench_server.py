@@ -11,17 +11,28 @@ with concurrent stdlib clients, in three phases:
   caches) on the same store root: persistence across restarts, not
   process-lifetime memoisation.
 
-Reports requests/sec and p50/p95 latency per phase to ``BENCH_server.json``
-(shared ``bench_meta`` provenance block).  ``--min-warm-speedup`` turns the
-warm-vs-cold mean-latency ratio into a CI gate::
+On a multi-core host a fourth section runs the **concurrency sweep**: a
+fresh store-less server per point at ``--workers`` 1/2/4 (process executor
+via ``executor="auto"``), all-cold traffic each time, reporting req/s and
+p50/p95 per point — the multi-core scaling curve of the engine.  The sweep
+is skipped entirely on single-vCPU hosts, where ``"auto"`` resolves to
+threads and the curve would only measure the GIL.
 
-    python benchmarks/bench_server.py --quick --limit 6 --min-warm-speedup 2
+Reports to ``BENCH_server.json`` (shared ``bench_meta`` provenance block,
+resource monitor included) and appends one summary row per run to
+``BENCH_history.jsonl`` for cross-PR trend tracking.  ``--min-warm-speedup``
+and ``--min-scaling`` turn the warm-latency ratio and the workers=2-vs-1
+throughput ratio into CI gates::
+
+    python benchmarks/bench_server.py --quick --limit 6 \
+        --min-warm-speedup 2 --min-scaling 1.3
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import tempfile
@@ -37,6 +48,38 @@ from repro.suite.registry import all_benchmarks
 
 SOLVE_BUDGET = SolverOptions(restarts=1, max_iterations=100, time_limit=10.0)
 
+#: The concurrency-sweep work-list: quick-preset programs whose cold cost sits
+#: in the same tens-to-hundreds-of-ms band.  A balanced set is what makes the
+#: workers=2-vs-1 ratio measure the *executor*: one dominant program (e.g.
+#: ``sum`` at ~10x the rest) would put a serial floor under every point and
+#: cap the apparent scaling at ~1.1x however many cores run.
+SWEEP_PROGRAMS = (
+    "euclidex2",
+    "prod4br",
+    "wensley",
+    "prodbin",
+    "hard",
+    "petter",
+    "cohencu",
+    "lcm1",
+    "lcm2",
+    "z3sqrt",
+    "mannadiv",
+    "dijkstra",
+)
+
+
+def _document(benchmark) -> dict:
+    return SynthesisRequest(
+        program=benchmark.source,
+        mode="weak",
+        precondition=benchmark.precondition,
+        objective=benchmark.objective(),
+        options=benchmark.options(upsilon=1),
+        solver_options=SOLVE_BUDGET,
+        request_id=benchmark.name,
+    ).to_dict()
+
 
 def _documents(quick: bool, limit: int | None, limit_variables: int = 8) -> list[dict]:
     benchmarks = all_benchmarks()
@@ -44,18 +87,13 @@ def _documents(quick: bool, limit: int | None, limit_variables: int = 8) -> list
         benchmarks = [b for b in benchmarks if b.variable_count() <= limit_variables]
     if limit is not None:
         benchmarks = benchmarks[:limit]
-    return [
-        SynthesisRequest(
-            program=benchmark.source,
-            mode="weak",
-            precondition=benchmark.precondition,
-            objective=benchmark.objective(),
-            options=benchmark.options(upsilon=1),
-            solver_options=SOLVE_BUDGET,
-            request_id=benchmark.name,
-        ).to_dict()
-        for benchmark in benchmarks
-    ]
+    return [_document(benchmark) for benchmark in benchmarks]
+
+
+def _sweep_documents() -> list[dict]:
+    from repro.suite.registry import get_benchmark
+
+    return [_document(get_benchmark(name)) for name in SWEEP_PROGRAMS]
 
 
 def _percentile(samples: list[float], fraction: float) -> float:
@@ -95,11 +133,53 @@ def _drive(url: str, documents: list[dict], clients: int, rounds: int) -> dict:
     }
 
 
+def _sweep_points(cpus: int) -> list[int]:
+    """The worker counts of the concurrency sweep (empty on a 1-vCPU host)."""
+    if cpus < 2:
+        return []
+    return [w for w in (1, 2, 4) if w <= max(2, cpus)]
+
+
+def workers_sweep(
+    documents: list[dict] | None = None, clients: int = 4, cpus: int | None = None
+) -> dict:
+    """Cold req/s per worker count: a fresh store-less server per point.
+
+    Every point pays full reduction + solve for every request (no store, a
+    brand-new engine each time) over the balanced :data:`SWEEP_PROGRAMS`
+    work-list, so the curve isolates how the engine's executor scales with
+    worker processes — ``executor="auto"`` resolves to the process back-end
+    at every multi-worker point on these hosts.
+    """
+    documents = documents if documents is not None else _sweep_documents()
+    cpus = cpus if cpus is not None else (os.cpu_count() or 1)
+    points: dict[str, dict] = {}
+    for workers in _sweep_points(cpus):
+        server = SynthesisServer(workers=workers, scheduler="off")
+        with serve_in_background(server) as handle:
+            executor_kind = server.engine.executor_kind
+            point = _drive(handle.url, documents, clients, rounds=1)
+        point["workers"] = workers
+        point["executor"] = executor_kind
+        points[str(workers)] = point
+    result: dict = {"skipped": not points, "cpus": cpus, "points": points}
+    if "1" in points and "2" in points:
+        result["scaling_2x"] = (
+            points["2"]["requests_per_second"] / points["1"]["requests_per_second"]
+        )
+    if "1" in points and "4" in points:
+        result["scaling_4x"] = (
+            points["4"]["requests_per_second"] / points["1"]["requests_per_second"]
+        )
+    return result
+
+
 def run(
     quick: bool = True,
     limit: int | None = None,
     clients: int = 4,
     warm_rounds: int = 3,
+    sweep: bool = True,
 ) -> dict:
     documents = _documents(quick, limit)
     with tempfile.TemporaryDirectory(prefix="bench-server-store-") as root:
@@ -111,24 +191,61 @@ def run(
         second = SynthesisServer(store=root, workers=clients, scheduler="off")
         with serve_in_background(second) as handle:
             restart = _drive(handle.url, documents, clients, rounds=warm_rounds)
+    scaling = workers_sweep(clients=clients) if sweep else {"skipped": True, "points": {}}
 
     assert cold["served_from_store"] == 0
     warm_speedup = cold["latency_mean_ms"] / warm["latency_mean_ms"]
     restart_speedup = cold["latency_mean_ms"] / restart["latency_mean_ms"]
+    summary = {
+        "programs": len(documents),
+        "concurrent_clients": clients,
+        "warm_speedup": warm_speedup,
+        "restart_warm_speedup": restart_speedup,
+        "warm_hit_rate": warm["served_from_store"] / warm["requests"],
+        "restart_hit_rate": restart["served_from_store"] / restart["requests"],
+    }
+    if "scaling_2x" in scaling:
+        summary["scaling_2x"] = scaling["scaling_2x"]
     return {
         "benchmark": "server-front-door",
         "meta": _bench_config.bench_meta(quick),
         "quick": quick,
         "phases": {"cold": cold, "warm": warm, "restart_warm": restart},
-        "summary": {
-            "programs": len(documents),
-            "concurrent_clients": clients,
-            "warm_speedup": warm_speedup,
-            "restart_warm_speedup": restart_speedup,
-            "warm_hit_rate": warm["served_from_store"] / warm["requests"],
-            "restart_hit_rate": restart["served_from_store"] / restart["requests"],
+        "workers_sweep": scaling,
+        "summary": summary,
+    }
+
+
+def append_history(path: str, report: dict) -> None:
+    """Append one compact trend row for this run to the in-repo history file.
+
+    One JSON object per line (append-only, like the solve corpus): enough to
+    plot req/s, store-hit behaviour and multi-core scaling across PRs
+    without re-opening the full per-run reports.
+    """
+    meta = report["meta"]
+    sweep = report.get("workers_sweep", {})
+    row = {
+        "bench": report["benchmark"],
+        "git_revision": meta.get("git_revision"),
+        "timestamp_utc": meta.get("timestamp_utc"),
+        "quick": report["quick"],
+        "cpus": meta.get("cpus"),
+        "summary": report["summary"],
+        "cold_rps": report["phases"]["cold"]["requests_per_second"],
+        "sweep_rps": {
+            workers: point["requests_per_second"]
+            for workers, point in sweep.get("points", {}).items()
         },
     }
+    resources = meta.get("resources")
+    if resources:
+        row["rss_high_water_bytes"] = resources.get("rss_high_water_bytes")
+        row["cpu_children_seconds"] = resources.get(
+            "cpu_children_user_seconds", 0.0
+        ) + resources.get("cpu_children_system_seconds", 0.0)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -139,15 +256,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--clients", type=int, default=4, help="concurrent client threads")
     parser.add_argument("--output", default="BENCH_server.json", help="write the JSON report here")
     parser.add_argument(
+        "--no-sweep",
+        dest="sweep",
+        action="store_false",
+        help="skip the multi-core concurrency sweep",
+    )
+    parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="append one summary row per run to this JSONL trend file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-history", dest="history", action="store_const", const=None,
+        help="do not append to the trend history",
+    )
+    parser.add_argument(
         "--min-warm-speedup",
         type=float,
         default=None,
         help="fail (exit 1) when warm mean latency is not this many times "
         "better than cold (CI gate)",
     )
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=None,
+        help="fail (exit 1) when workers=2 cold throughput is not this many "
+        "times workers=1 (CI gate; skipped where the sweep is skipped)",
+    )
     args = parser.parse_args(argv)
 
-    report = run(quick=args.quick, limit=args.limit, clients=args.clients)
+    _bench_config.start_resource_monitor()
+    report = run(quick=args.quick, limit=args.limit, clients=args.clients, sweep=args.sweep)
+    report["meta"]["resources"] = _bench_config.resource_snapshot()
     phases, summary = report["phases"], report["summary"]
     for name in ("cold", "warm", "restart_warm"):
         phase = phases[name]
@@ -159,18 +300,43 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(f"warm speedup  : {summary['warm_speedup']:.2f}x (hit rate {summary['warm_hit_rate']:.0%})")
     print(f"restart warm  : {summary['restart_warm_speedup']:.2f}x (hit rate {summary['restart_hit_rate']:.0%})")
+    sweep = report["workers_sweep"]
+    if sweep.get("skipped"):
+        print(f"workers sweep : skipped ({sweep.get('cpus', '?')} vCPU host)")
+    else:
+        for workers, point in sweep["points"].items():
+            print(
+                f"workers={workers:<5} : {point['requests_per_second']:7.2f} req/s cold "
+                f"({point['executor']}), p50 {point['latency_p50_ms']:8.2f}ms, "
+                f"p95 {point['latency_p95_ms']:8.2f}ms"
+            )
+        if "scaling_2x" in sweep:
+            print(f"scaling 2x    : {sweep['scaling_2x']:.2f}x req/s at workers=2 vs 1")
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     print(f"\nwrote {args.output}")
+    if args.history:
+        append_history(args.history, report)
+        print(f"appended trend row to {args.history}")
 
+    failed = False
     if args.min_warm_speedup is not None and summary["warm_speedup"] < args.min_warm_speedup:
         print(
             f"FAIL: warm speedup {summary['warm_speedup']:.2f}x "
             f"< required {args.min_warm_speedup:.2f}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if args.min_scaling is not None and not sweep.get("skipped"):
+        scaling = sweep.get("scaling_2x")
+        if scaling is None or scaling < args.min_scaling:
+            print(
+                f"FAIL: workers=2 scaling {scaling if scaling is None else f'{scaling:.2f}x'} "
+                f"< required {args.min_scaling:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -238,6 +238,7 @@ def measure_scheduler(
 
 
 def main(argv: list[str] | None = None) -> int:
+    _bench_config.start_resource_monitor()
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI preset: small benchmarks, multiplier degree 1")

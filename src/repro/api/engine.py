@@ -28,6 +28,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import json
+import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
@@ -37,6 +38,12 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from repro.api.errors import EngineClosedError, RequestValidationError
 from repro.api.request import STRONG_MODES, SynthesisRequest, precondition_to_spec
 from repro.api.response import ErrorInfo, SynthesisResponse, response_from_result
+from repro.api.workers import (
+    FAULT_MARKER_ENV,
+    ProcessWorkerPool,
+    WorkerConfig,
+    WorkerCrashError,
+)
 from repro.invariants.synthesis import (
     SynthesisTask,
     enumerate_task,
@@ -64,7 +71,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.invariants.translation import TranslationPool
     from repro.store import BlobStore, EngineStore
 
-EXECUTORS = ("auto", "thread", "process")
+#: Engine execution back-ends.  ``"process"`` is the multi-core production
+#: path: whole synthesize jobs ship to persistent worker processes over the
+#: JSON wire protocol (:mod:`repro.api.workers`).  ``"solve-process"`` is the
+#: legacy Step-4-only fan-out kept for in-process batch consumers (the
+#: pipeline, the bench runner) that need the rich ``result``/``task`` extras
+#: a wire envelope cannot carry.  ``"auto"`` picks ``"process"`` when the
+#: engine is pooled (``workers > 1``) and the host has at least two cores,
+#: else ``"thread"``.
+EXECUTORS = ("auto", "thread", "process", "solve-process")
 
 #: Engine-level scheduler modes (requests can override via
 #: ``SynthesisOptions.scheduler``; ``"inherit"`` follows the engine).
@@ -130,10 +145,24 @@ class Engine:
         Default Step-4 solver knobs for resolved solvers; a request's own
         ``solver_options``/``deadline`` override/tighten these.
     executor:
-        ``"thread"`` (default under ``"auto"``) solves inside the worker
-        threads — the numeric closures release the GIL for most of their
-        work; ``"process"`` fans the (picklable) solves out across a process
-        pool of the same width, which also isolates native crashes.
+        ``"thread"`` executes requests on the engine's worker threads — fine
+        for warm traffic (cache hits, store hits) but CPU-bound cold work
+        serialises on the GIL.  ``"process"`` — the production path — ships
+        whole synthesize jobs (reduce, solve, verify) to a pool of
+        ``workers`` persistent worker processes over the strict JSON wire
+        protocol (:mod:`repro.api.workers`): each worker holds a warm
+        sequential engine with its own stage caches, store/corpus writes
+        happen in the workers, identical in-flight requests are deduplicated
+        parent-side (the rider's envelope reports ``shared_solve=True``), and
+        a worker crash mid-job becomes a structured ``status="error"``
+        envelope while the pool rebuilds.  Responses carry the JSON envelope
+        only (no in-process ``result``/``task`` extras), exactly as over the
+        wire; requests that need live objects — escape-hatch submissions, an
+        engine-level ``solver``, ``reduce_only`` — transparently fall back to
+        the thread path.  ``"solve-process"`` is the legacy Step-4-only
+        process fan-out kept for batch consumers that need the rich extras.
+        ``"auto"`` (default) picks ``"process"`` when ``workers > 1`` and the
+        host has at least two cores, else ``"thread"``.
     max_cached_solves:
         Size bound of the solve-dedup result table (oldest entries evicted
         first), so a long-lived engine's memory stays bounded.  ``None``
@@ -223,9 +252,18 @@ class Engine:
         self.solver = solver
         self.solver_options = solver_options
         self.translation_workers = translation_workers
-        self._executor_kind = "thread" if executor == "auto" else executor
+        self.executor = executor
+        self._executor_kind = self._resolve_executor(executor, workers)
         self._threads: ThreadPoolExecutor | None = None
         self._processes: ProcessPoolExecutor | None = None
+        self._jobs: ProcessWorkerPool | None = None
+        self._inflight: dict[str, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._process_stats = {
+            "process_jobs": 0,
+            "process_jobs_shared": 0,
+            "process_jobs_failed": 0,
+        }
         self._translators: "TranslationPool | None" = None
         self._translation_disabled = False
         self._pool_lock = threading.Lock()
@@ -285,6 +323,59 @@ class Engine:
             "schedule_rows_recorded": 0,
             "schedule_record_failures": 0,
         }
+        if self._executor_kind == "process" and self.workers > 1:
+            # Fork the job workers now, from the constructing thread — before
+            # the engine's own worker threads exist — so the pool is warm for
+            # the first request.  A construction failure tears the partial
+            # pool down: a half-built engine must leave no child processes.
+            pool = ProcessWorkerPool(self.workers, self._worker_config())
+            try:
+                pool.warm()
+            except BaseException:
+                pool.close(wait=False)
+                raise
+            self._jobs = pool
+
+    @staticmethod
+    def _resolve_executor(executor: str, workers: int, cpus: int | None = None) -> str:
+        """The effective executor of one engine (the ``"auto"`` decision table).
+
+        ========== ============ =========== =================
+        executor   workers      host cores  resolved
+        ========== ============ =========== =================
+        auto       <= 1         any         thread
+        auto       > 1          1           thread
+        auto       > 1          >= 2        process
+        anything else                       itself (explicit)
+        ========== ============ =========== =================
+        """
+        if executor != "auto":
+            return executor
+        cpus = cpus if cpus is not None else (os.cpu_count() or 1)
+        return "process" if workers > 1 and cpus >= 2 else "thread"
+
+    @property
+    def executor_kind(self) -> str:
+        """The resolved executor back-end this engine runs requests on."""
+        return self._executor_kind
+
+    def _worker_config(self) -> WorkerConfig:
+        """The JSON-able config the job workers build their engines from."""
+        corpus_path = None
+        if self.store is None and self._corpus is not None:
+            corpus_path = self._corpus.path
+        return WorkerConfig(
+            store_root=self.store.root if self.store is not None else None,
+            corpus_path=corpus_path,
+            scheduler=self.scheduler,
+            solver_options=(
+                dataclasses.asdict(self.solver_options)
+                if self.solver_options is not None
+                else None
+            ),
+            max_cached_solves=self.max_cached_solves,
+            fault_marker=os.environ.get(FAULT_MARKER_ENV),
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -315,12 +406,15 @@ class Engine:
             threads, self._threads = self._threads, None
             processes, self._processes = self._processes, None
             translators, self._translators = self._translators, None
+            jobs, self._jobs = self._jobs, None
         if threads is not None:
             threads.shutdown(wait=wait_for_pending)
         if processes is not None:
             processes.shutdown(wait=wait_for_pending)
         if translators is not None:
             translators.close()
+        if jobs is not None:
+            jobs.close(wait=wait_for_pending)
 
     def stats(self) -> dict[str, float]:
         """Cache and dedup counters (for service dashboards).
@@ -343,6 +437,9 @@ class Engine:
             stats["schedule_corpus_rows"] = float(len(self._corpus))
         with self._store_lock:
             stats.update({key: float(value) for key, value in self._store_stats.items()})
+        with self._inflight_lock:
+            stats.update({key: float(value) for key, value in self._process_stats.items()})
+            stats["process_inflight"] = float(len(self._inflight))
         if self.store is not None:
             stats.update(self.store.stats())
         return stats
@@ -529,15 +626,25 @@ class Engine:
         solver: Solver | None = None,
         task: SynthesisTask | None = None,
         enumerator: RepresentativeEnumerator | None = None,
+        deadline_epoch: float | None = None,
     ) -> SynthesisResponse:
         """Execute one request and return its response (blocking).
 
         The keyword-only ``solver``/``task``/``enumerator`` escape hatches
         carry live in-process objects (a pre-built Step 1-3 reduction, a
         hand-configured solver); they are not part of the wire format and
-        bypass the solve-dedup table.
+        bypass the solve-dedup table.  ``deadline_epoch`` anchors the
+        request's relative ``deadline`` to an absolute wall-clock instant
+        (``time.time()`` scale) so a deadline keeps ticking across queueing
+        and process hops; callers normally leave it ``None``.
         """
-        return self.submit(request, solver=solver, task=task, enumerator=enumerator).result()
+        return self.submit(
+            request,
+            solver=solver,
+            task=task,
+            enumerator=enumerator,
+            deadline_epoch=deadline_epoch,
+        ).result()
 
     def submit(
         self,
@@ -546,21 +653,38 @@ class Engine:
         solver: Solver | None = None,
         task: SynthesisTask | None = None,
         enumerator: RepresentativeEnumerator | None = None,
+        deadline_epoch: float | None = None,
     ) -> SynthesisHandle:
         """Schedule one request; returns a handle whose ``result()`` is the response."""
         if self._closed:
             raise EngineClosedError("engine is closed")
         if not isinstance(request, SynthesisRequest):
             raise RequestValidationError.single("$", "expected a SynthesisRequest")
+        if deadline_epoch is None and request.deadline is not None:
+            # Anchor the relative deadline now, at admission: queue time and
+            # the process hop both count against the request's budget.
+            deadline_epoch = time.time() + float(request.deadline)
         with self._submit_lock:
             submission_id = self._next_id
             self._next_id += 1
         if self.workers > 1:
             pool = self._thread_pool()
-            future = pool.submit(self._execute, request, submission_id, solver, task, enumerator)
+            future = pool.submit(
+                self._execute,
+                request,
+                submission_id,
+                solver,
+                task,
+                enumerator,
+                deadline_epoch=deadline_epoch,
+            )
         else:
             future: Future = Future()
-            future.set_result(self._execute(request, submission_id, solver, task, enumerator))
+            future.set_result(
+                self._execute(
+                    request, submission_id, solver, task, enumerator, deadline_epoch=deadline_epoch
+                )
+            )
         return SynthesisHandle(submission_id, request, future)
 
     def map(
@@ -670,21 +794,28 @@ class Engine:
         solver: Solver | None,
         task: SynthesisTask | None,
         enumerator: RepresentativeEnumerator | None,
+        deadline_epoch: float | None = None,
     ) -> SynthesisResponse:
-        # The persistent store short-circuits the whole request: an identical
-        # request completed by any process against this root — including a
-        # previous life of this one — is re-served from disk.  Escape-hatch
-        # submissions (live solver/task/enumerator) and reduce-only runs
-        # (whose callers want the in-process task) bypass the store.
-        store_key: str | None = None
-        if (
-            self.store is not None
-            and solver is None
+        # A request is wire-clean when everything it needs round-trips the
+        # JSON codec: no live solver/task/enumerator escape hatches, no
+        # engine-level solver object, and the caller does not want the
+        # in-process ``task`` back (``reduce_only``).  Only wire-clean
+        # requests can hit the store or ship to a worker process.
+        wire_clean = (
+            solver is None
             and task is None
             and enumerator is None
             and self.solver is None
             and not request.reduce_only
-        ):
+        )
+        # The persistent store short-circuits the whole request: an identical
+        # request completed by any process against this root — including a
+        # previous life of this one — is re-served from disk.  Store keys are
+        # always computed from the *original* request (never a
+        # deadline-clamped derivation), so warm hits are stable across queue
+        # delays and restarts.
+        store_key: str | None = None
+        if self.store is not None and wire_clean:
             lookup_start = time.perf_counter()
             store_key = self.store.responses.key_for(request, repr(self.solver_options))
             served = self.store.responses.load(store_key)
@@ -694,14 +825,154 @@ class Engine:
                     served, request, submission_id, time.perf_counter() - lookup_start
                 )
             self._bump_store("store_response_misses")
-        if request.options.is_auto_degree and task is None:
-            response = self._execute_escalation(request, submission_id, solver, enumerator)
+        if self._executor_kind == "process" and self.workers > 1 and wire_clean:
+            # The production path: the whole job — reduce, solve, verify,
+            # store/corpus writes — runs in a worker process.  The parent
+            # does not write the store (the worker owns the write); it only
+            # deduplicates identical in-flight requests.
+            return self._execute_process_job(request, submission_id, deadline_epoch)
+        exec_request = self._clamp_deadline(request, deadline_epoch)
+        if exec_request.options.is_auto_degree and task is None:
+            response = self._execute_escalation(exec_request, submission_id, solver, enumerator)
         else:
-            response = self._execute_fixed(request, submission_id, solver, task, enumerator)
+            response = self._execute_fixed(exec_request, submission_id, solver, task, enumerator)
         if store_key is not None and response.exception is None:
             if self.store.responses.store(store_key, response):
                 self._bump_store("store_response_writes")
         return response
+
+    @staticmethod
+    def _clamp_deadline(
+        request: SynthesisRequest, deadline_epoch: float | None
+    ) -> SynthesisRequest:
+        """Re-anchor a request's relative deadline to its admission instant.
+
+        Only ever *tightens*: when less of the budget remains than the
+        request's own ``deadline`` (queue time, a process hop), execution
+        runs on a derived request carrying the remaining budget.  The
+        original request — and therefore every content-addressed key — is
+        never mutated.
+        """
+        if deadline_epoch is None or request.deadline is None:
+            return request
+        remaining = deadline_epoch - time.time()
+        if remaining >= float(request.deadline):
+            return request
+        return dataclasses.replace(request, deadline=max(remaining, 0.001))
+
+    # -- the process-backed job path ---------------------------------------------
+
+    def _job_pool(self) -> ProcessWorkerPool:
+        with self._pool_lock:
+            if self._closed:
+                raise EngineClosedError("engine is closed")
+            if self._jobs is None:
+                self._jobs = ProcessWorkerPool(self.workers, self._worker_config())
+            return self._jobs
+
+    def _bump_process(self, key: str) -> None:
+        with self._inflight_lock:
+            self._process_stats[key] += 1
+
+    def _process_dedup_key(self, request: SynthesisRequest) -> str:
+        """In-flight dedup key: the same content hash the response store uses.
+
+        ``request_id`` is excluded, so two clients racing the same program
+        share one worker job; the engine's default solver options
+        participate because they shape the solve.  Works with or without a
+        persistent store.
+        """
+        from repro.store.views import ResponseStore
+
+        return ResponseStore.key_for(request, repr(self.solver_options))
+
+    def _execute_process_job(
+        self, request: SynthesisRequest, submission_id: int, deadline_epoch: float | None
+    ) -> SynthesisResponse:
+        """Ship one synthesize job to a worker process (or ride a twin's).
+
+        The first request for a given content key *owns* the worker job;
+        identical requests arriving while it is in flight become *riders* on
+        the owner's future and re-parse their own copy of the owner's wire
+        envelope (``shared_solve=True``, like a dedup hit).  A worker crash
+        mid-job becomes a structured ``status="error"`` envelope for the
+        owner and every rider — never an exception out of the engine.
+        """
+        key = self._process_dedup_key(request)
+        with self._inflight_lock:
+            future = self._inflight.get(key)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._inflight[key] = future
+        if not owner:
+            self._bump_process("process_jobs_shared")
+            try:
+                wire = future.result()
+            except WorkerCrashError as exc:
+                return self._crash_envelope(request, submission_id, exc)
+            return self._envelope_from_wire(wire, request, submission_id, shared=True)
+        self._bump_process("process_jobs")
+        start = time.perf_counter()
+        try:
+            wire = self._job_pool().execute(request.to_dict(), deadline_epoch)
+        except WorkerCrashError as exc:
+            self._bump_process("process_jobs_failed")
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            future.set_exception(exc)
+            return self._crash_envelope(request, submission_id, exc)
+        except BaseException as exc:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            future.set_exception(exc)
+            raise
+        with self._inflight_lock:
+            self._inflight.pop(key, None)
+        future.set_result(wire)
+        return self._envelope_from_wire(
+            wire,
+            request,
+            submission_id,
+            shared=False,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    def _envelope_from_wire(
+        self,
+        wire: str,
+        request: SynthesisRequest,
+        submission_id: int,
+        shared: bool,
+        wall_seconds: float | None = None,
+    ) -> SynthesisResponse:
+        """Parse a worker's envelope and stamp it for this submission.
+
+        Riders get their own parsed copy (responses are mutable), flagged
+        ``from_cache``/``shared_solve`` exactly like an in-memory dedup hit.
+        """
+        response = SynthesisResponse.from_dict(json.loads(wire))
+        response.request_id = request.request_id
+        response.submission_id = submission_id
+        if shared:
+            response.from_cache = True
+            response.shared_solve = True
+        if wall_seconds is not None:
+            timings = dict(response.timings)
+            timings["process_wall_seconds"] = wall_seconds
+            response.timings = timings
+        return response
+
+    def _crash_envelope(
+        self, request: SynthesisRequest, submission_id: int, exc: WorkerCrashError
+    ) -> SynthesisResponse:
+        return SynthesisResponse(
+            mode=request.mode,
+            status="error",
+            request_id=request.request_id,
+            submission_id=submission_id,
+            error=ErrorInfo(type="WorkerCrashed", message=str(exc)),
+        )
 
     def _serve_from_store(
         self,
@@ -1175,7 +1446,7 @@ class Engine:
                 self._bump_store("store_solve_writes")
 
     def _run_solve(self, solver: Solver, system) -> tuple[SolverResult, float]:
-        if self._executor_kind == "process" and self.workers > 1:
+        if self._executor_kind == "solve-process" and self.workers > 1:
             return self._process_pool().submit(_solve_system, solver, system).result()
         return _solve_system(solver, system)
 

@@ -89,7 +89,9 @@ def bench_engine(
         workers=workers,
         solver=solver,
         solver_options=bench_solver_options(),
-        executor="process" if workers > 1 else "thread",
+        # Step-4-only fan-out: the runner reads in-process result extras,
+        # which the whole-job wire path (executor="process") does not carry.
+        executor="solve-process" if workers > 1 else "thread",
         scheduler=scheduler,
         corpus=corpus,
     )

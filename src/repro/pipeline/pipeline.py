@@ -103,7 +103,10 @@ class SynthesisPipeline:
             cache=cache,
             solver=solver,
             solver_options=solver_options,
-            executor="process" if workers > 1 else "thread",
+            # Step-4-only fan-out: pipeline consumers read the in-process
+            # ``result``/``task`` extras, which the whole-job wire path
+            # (executor="process") deliberately does not carry.
+            executor="solve-process" if workers > 1 else "thread",
         )
         self.cache = self.engine.cache
 

@@ -24,7 +24,18 @@ def main(argv: list[str] | None = None) -> int:
         "defaults to no persistence",
     )
     parser.add_argument(
-        "--workers", type=int, default=4, help="engine worker threads (default: %(default)s)"
+        "--workers",
+        type=int,
+        default=4,
+        help="engine concurrency: worker processes under the process executor, "
+        "threads otherwise (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="auto",
+        choices=("auto", "thread", "process"),
+        help="engine executor back-end; auto picks processes on multi-core hosts "
+        "when --workers > 1 (default: %(default)s)",
     )
     parser.add_argument(
         "--scheduler",
@@ -39,13 +50,17 @@ def main(argv: list[str] | None = None) -> int:
         port=options.port,
         store=options.store,
         workers=options.workers,
+        executor=options.executor,
         scheduler=options.scheduler,
     )
 
     async def run() -> None:
         await server.start()
         store_note = f", store={server.engine.store.root}" if server.engine.store else ""
-        print(f"repro.server listening on {server.url} (workers={server.engine.workers}{store_note})")
+        print(
+            f"repro.server listening on {server.url} "
+            f"(workers={server.engine.workers}, executor={server.engine.executor_kind}{store_note})"
+        )
         try:
             await server.serve_forever()
         finally:

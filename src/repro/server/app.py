@@ -122,9 +122,16 @@ class SynthesisServer:
         The persistent store root handed to an owned engine — warm responses,
         solves, certificates and the schedule corpus all live there.
     workers:
-        Worker threads of an owned engine; clamped to at least 2 so
-        submissions never execute on (and block) the event loop's feeder
-        thread.
+        Concurrency of an owned engine (default 2).  Under the process
+        executor this is the number of worker *processes* — the server's
+        cold-traffic throughput scales with it up to the host's cores.
+        ``workers=1`` serves strictly sequentially (useful as a scaling
+        baseline); the engine still executes off-loop, so the health probe
+        stays responsive either way.
+    executor:
+        Executor back-end of an owned engine (default ``"auto"``: worker
+        processes when ``workers > 1`` and the host is multi-core, else
+        threads).  See :class:`~repro.api.engine.Engine`.
     scheduler:
         Scheduler mode of an owned engine.  Defaults to ``"record-only"``:
         every server-handled solve contributes a corpus row to the deployment
@@ -141,13 +148,15 @@ class SynthesisServer:
         port: int = 0,
         store=None,
         workers: int | None = None,
+        executor: str = "auto",
         scheduler: str = "record-only",
         solver_options=None,
     ) -> None:
         self._owns_engine = engine is None
         if engine is None:
             engine = Engine(
-                workers=max(2, workers if workers else 2),
+                workers=max(1, workers) if workers is not None else 2,
+                executor=executor,
                 scheduler=scheduler,
                 store=store,
                 solver_options=solver_options,
@@ -312,7 +321,13 @@ class SynthesisServer:
 
     async def _synthesize(self, document) -> dict:
         request = self._parse_document(document)
-        response = await asyncio.to_thread(self.engine.synthesize, request)
+        # Submit off-loop (a sequential engine executes inside submit();
+        # a pooled one takes locks), then await the engine future directly —
+        # under the process executor many requests are then genuinely
+        # in flight at once, one per worker process, without pinning a
+        # to_thread slot each.
+        handle = await asyncio.to_thread(self.engine.submit, request)
+        response = await asyncio.wrap_future(handle._future)
         return response.to_dict()
 
     async def _submit(self, document) -> Job:
@@ -465,7 +480,12 @@ def serve_in_background(server: SynthesisServer, ready_timeout: float = 30.0) ->
             await server.start()
         except BaseException as exc:  # bind failure: surface it to the caller
             failure.append(exc)
-            ready.set()
+            try:
+                # An owned engine was already constructed (its pools may be
+                # warm): release it, or the failed server leaks processes.
+                await server.stop()
+            finally:
+                ready.set()
             return
         ready.set()
         try:

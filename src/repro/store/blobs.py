@@ -210,6 +210,50 @@ class BlobStore:
         """Number of blobs stored under ``namespace`` (directory scan)."""
         return sum(1 for _ in self.keys(namespace))
 
+    def usage(self, namespaces: tuple[str, ...] | None = None) -> dict[str, float]:
+        """Per-namespace blob and byte counts of what is on disk right now.
+
+        Walks the root (so it reflects *every* process writing to it, not
+        just this handle) and reports ``store_<ns>_blobs`` /
+        ``store_<ns>_bytes`` per namespace plus ``store_total_bytes``.
+        In-flight temp files are excluded; a namespace directory that does
+        not exist yet reports zeros.  Advisory like everything else here: an
+        unreadable entry is skipped, never an exception.
+        """
+        if namespaces is None:
+            try:
+                namespaces = tuple(
+                    sorted(
+                        entry
+                        for entry in os.listdir(self.root)
+                        if _NAMESPACE_RE.match(entry)
+                        and entry != "corpus"
+                        and os.path.isdir(os.path.join(self.root, entry))
+                    )
+                )
+            except OSError:
+                namespaces = ()
+        report: dict[str, float] = {}
+        total_bytes = 0.0
+        for namespace in namespaces:
+            blobs = 0.0
+            size = 0.0
+            base = os.path.join(self.root, namespace)
+            for dirpath, _dirnames, filenames in os.walk(base):
+                for name in filenames:
+                    if not name.endswith(".json") or name.startswith(".tmp-"):
+                        continue
+                    try:
+                        size += float(os.path.getsize(os.path.join(dirpath, name)))
+                    except OSError:
+                        continue
+                    blobs += 1.0
+            report[f"store_{namespace}_blobs"] = blobs
+            report[f"store_{namespace}_bytes"] = size
+            total_bytes += size
+        report["store_total_bytes"] = total_bytes
+        return report
+
     # -- counters ----------------------------------------------------------------
 
     def _bump(self, key: str) -> None:

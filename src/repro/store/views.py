@@ -212,7 +212,19 @@ class EngineStore:
         return self.blobs.corpus_path
 
     def stats(self) -> dict[str, float]:
-        return self.blobs.stats()
+        """Handle counters plus on-disk byte/blob accounting per namespace.
+
+        The usage side is computed from the filesystem, so it reflects what
+        every process sharing this root has written — the first slice of
+        store lifecycle management (watch ``store_total_bytes`` grow).
+        """
+        stats = self.blobs.stats()
+        stats.update(
+            self.blobs.usage(
+                (ResponseStore.namespace, SolveStore.namespace, CertificateStore.namespace)
+            )
+        )
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EngineStore({self.root!r})"

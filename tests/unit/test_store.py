@@ -79,6 +79,29 @@ def test_blob_roundtrip_and_sharded_layout(tmp_path):
     assert stats["store_blob_writes"] == 1 and stats["store_blob_reads"] == 1
 
 
+def test_usage_reports_per_namespace_blob_and_byte_counts(tmp_path):
+    blobs = BlobStore(tmp_path)
+    key_a, key_b = content_key("a"), content_key("b")
+    blobs.put("responses", key_a, {"v": 1})
+    blobs.put("responses", key_b, {"v": 2, "data": list(range(50))})
+    blobs.put("solves", key_a, {"v": 3})
+    usage = blobs.usage(("responses", "solves", "certificates"))
+    assert usage["store_responses_blobs"] == 2.0
+    assert usage["store_solves_blobs"] == 1.0
+    assert usage["store_certificates_blobs"] == 0.0  # namespace not created yet
+    assert usage["store_responses_bytes"] > usage["store_solves_bytes"] > 0.0
+    assert usage["store_total_bytes"] == (
+        usage["store_responses_bytes"] + usage["store_solves_bytes"]
+    )
+    # Auto-discovery walks whatever namespaces exist on disk.
+    assert blobs.usage()["store_total_bytes"] == usage["store_total_bytes"]
+    # The engine-store stats document carries the usage block (this is what
+    # GET /v1/stats serves).
+    stats = open_store(tmp_path).stats()
+    assert stats["store_total_bytes"] == usage["store_total_bytes"]
+    assert stats["store_responses_blobs"] == 2.0
+
+
 def test_blob_write_once_skips_then_overwrites(tmp_path):
     blobs = BlobStore(tmp_path)
     key = content_key("k")
