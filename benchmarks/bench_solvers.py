@@ -13,6 +13,17 @@ is tracked across PRs::
 The report's ``portfolio_vs_qclp`` section states the portfolio acceptance
 criterion directly: the portfolio must solve every program the sequential
 penalty solver solves, at equal-or-better median wall-clock.
+
+The ``batch_vs_off`` section (``--batch-compare`` / ``--min-batch-speedup``)
+states the batched-kernel acceptance criterion: the batched qclp solver
+(``batch="on"``) must beat the retired per-restart SciPy loop
+(``batch="off"``) on total wall-clock without losing coverage, and its
+winning assignments must be bit-identical to the one-member-at-a-time replay
+(``batch="rows"``).
+
+Every run also appends one compact row (shared meta block, per-strategy
+totals, RSS high-water) to ``BENCH_history.jsonl`` so the trajectory across
+revisions survives the per-PR overwrite of ``BENCH_solvers.json``.
 """
 
 from __future__ import annotations
@@ -78,6 +89,9 @@ def run(
                 "status": result.status,
                 "winner": result.strategy,
                 "max_violation": result.max_violation,
+                "residual_evaluations": result.residual_evaluations,
+                "jacobian_evaluations": result.jacobian_evaluations,
+                "batch_width": result.batch_width,
             }
         per_benchmark[benchmark.name] = {"system_size": task.system.size, "strategies": rows}
 
@@ -92,6 +106,9 @@ def run(
             "feasibility_rate": solved / len(rows) if rows else 0.0,
             "median_seconds": _median(seconds),
             "total_seconds": sum(seconds),
+            "residual_evaluations": sum(row["residual_evaluations"] for row in rows),
+            "jacobian_evaluations": sum(row["jacobian_evaluations"] for row in rows),
+            "batch_width_max": max((row["batch_width"] for row in rows), default=0),
         }
 
     report = {
@@ -103,6 +120,7 @@ def run(
                 "restarts": solver_options.restarts,
                 "max_iterations": solver_options.max_iterations,
                 "time_limit": solver_options.time_limit,
+                "batch": solver_options.batch,
             },
             "reduction_seconds_total": reduction_seconds,
         },
@@ -237,6 +255,121 @@ def measure_scheduler(
     }
 
 
+def measure_batch(
+    quick: bool = True,
+    limit: int | None = None,
+    limit_variables: int = 8,
+    solver_options: SolverOptions | None = None,
+) -> dict:
+    """Batched qclp (``batch="on"``) vs the retired per-restart SciPy loop.
+
+    Three qclp solves per suite program on one shared compiled problem:
+
+    * ``batch="on"`` — the vectorised restart batch (the default);
+    * ``batch="off"`` — the retired sequential SciPy loop, kept as the
+      performance baseline the ``--min-batch-speedup`` gate measures against;
+    * ``batch="rows"`` — the batched engine one member at a time, whose
+      winning assignment must be *bit-identical* to ``"on"`` (lockstep row
+      independence), which is the differential-determinism check.
+    """
+    if solver_options is None:
+        solver_options = SolverOptions(restarts=1, max_iterations=150, time_limit=15.0)
+    benchmarks = all_benchmarks()
+    if quick:
+        benchmarks = [b for b in benchmarks if b.variable_count() <= limit_variables]
+    if limit is not None:
+        benchmarks = benchmarks[:limit]
+
+    per_benchmark: dict[str, dict] = {}
+    for benchmark in benchmarks:
+        options = benchmark.options(upsilon=1) if quick else benchmark.options()
+        task = build_task(benchmark.source, benchmark.precondition, benchmark.objective(), options)
+        compile_problem(task.system)
+
+        results: dict[str, object] = {}
+        seconds: dict[str, float] = {}
+        for mode in ("on", "off", "rows"):
+            solver = make_solver("qclp", dataclasses.replace(solver_options, batch=mode))
+            start = time.perf_counter()
+            results[mode] = solver.solve(task.system)
+            seconds[mode] = time.perf_counter() - start
+        on, off, rows = results["on"], results["off"], results["rows"]
+        per_benchmark[benchmark.name] = {
+            "on_seconds": seconds["on"],
+            "off_seconds": seconds["off"],
+            "rows_seconds": seconds["rows"],
+            "on_feasible": bool(on.feasible),
+            "off_feasible": bool(off.feasible),
+            # The determinism oracle: identical winning assignment (raw
+            # floats), status and final violation between "on" and "rows".
+            "fingerprint_match": (
+                on.assignment == rows.assignment
+                and on.status == rows.status
+                and on.max_violation == rows.max_violation
+            ),
+        }
+
+    entries = per_benchmark.values()
+    on_total = sum(row["on_seconds"] for row in entries)
+    off_total = sum(row["off_seconds"] for row in entries)
+    on_solved = sum(1 for row in entries if row["on_feasible"])
+    off_solved = sum(1 for row in entries if row["off_feasible"])
+    matches = sum(1 for row in entries if row["fingerprint_match"])
+    return {
+        "strategy": "qclp",
+        "programs": len(per_benchmark),
+        "per_benchmark": per_benchmark,
+        "on_total_seconds": on_total,
+        "off_total_seconds": off_total,
+        "speedup": (off_total / on_total) if on_total else None,
+        "on_solved": on_solved,
+        "off_solved": off_solved,
+        "coverage_preserved": on_solved >= off_solved,
+        "fingerprint_matches": matches,
+        "fingerprints_deterministic": matches == len(per_benchmark),
+    }
+
+
+def append_history(report: dict, path: str) -> dict:
+    """Append one compact trajectory row for this run to ``path`` (JSONL).
+
+    ``BENCH_solvers.json`` is overwritten per revision; the history file
+    accumulates, so regressions show as a series, not a diff.  Each row keeps
+    just the shared meta block (minus the per-run resource dump), per-strategy
+    totals and the RSS high-water of the run.
+    """
+    resources = _bench_config.resource_snapshot() or {}
+    meta = report["meta"]
+    row = {
+        "bench": "solvers",
+        "git_revision": meta.get("git_revision"),
+        "timestamp_utc": meta.get("timestamp_utc"),
+        "quick": meta.get("quick"),
+        "cpus": meta.get("cpus"),
+        "solver_options": meta.get("solver_options"),
+        "rss_high_water_bytes": resources.get("rss_high_water_bytes"),
+        "per_strategy": {
+            name: {
+                "solved": entry["solved"],
+                "total": entry["total"],
+                "median_seconds": entry["median_seconds"],
+                "total_seconds": entry["total_seconds"],
+            }
+            for name, entry in report["per_strategy"].items()
+        },
+    }
+    if "batch_vs_off" in report:
+        row["batch_speedup"] = report["batch_vs_off"]["speedup"]
+        row["batch_fingerprints_deterministic"] = report["batch_vs_off"][
+            "fingerprints_deterministic"
+        ]
+    if "scheduler" in report:
+        row["scheduler_speedup"] = report["scheduler"]["speedup"]
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return row
+
+
 def main(argv: list[str] | None = None) -> int:
     _bench_config.start_resource_monitor()
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -256,6 +389,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-scheduler-speedup", type=float, default=None, metavar="RATIO",
                         help="fail unless scheduler-on is at least RATIO x scheduler-off "
                              "wall-clock with coverage preserved (implies --scheduler)")
+    parser.add_argument("--batch-compare", action="store_true",
+                        help="also compare batched qclp against the retired per-restart "
+                             "loop (batch='off') and replay determinism (batch='rows')")
+    parser.add_argument("--min-batch-speedup", type=float, default=None, metavar="RATIO",
+                        help="fail unless batched qclp is at least RATIO x faster than "
+                             "batch='off' total wall-clock, with coverage preserved and "
+                             "bit-identical on/rows fingerprints (implies --batch-compare)")
+    parser.add_argument("--history", default="BENCH_history.jsonl", metavar="PATH",
+                        help="append one compact per-run row here (JSONL trajectory)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending to the history file")
     args = parser.parse_args(argv)
 
     strategies = tuple(name.strip() for name in args.strategies.split(",") if name.strip())
@@ -267,6 +411,36 @@ def main(argv: list[str] | None = None) -> int:
     report = run(strategies=strategies, quick=args.quick, limit=args.limit, solver_options=options)
 
     failures: list[str] = []
+    if args.batch_compare or args.min_batch_speedup is not None:
+        batch = measure_batch(quick=args.quick, limit=args.limit, solver_options=options)
+        report["batch_vs_off"] = batch
+        speedup = batch["speedup"]
+        print(
+            f"[batch] qclp off {batch['off_total_seconds']:.2f}s -> "
+            f"on {batch['on_total_seconds']:.2f}s "
+            f"(speedup {speedup if speedup is None else round(speedup, 2)}x, "
+            f"solved on {batch['on_solved']}/off {batch['off_solved']}, "
+            f"fingerprints {batch['fingerprint_matches']}/{batch['programs']})",
+            file=sys.stderr,
+        )
+        if args.min_batch_speedup is not None:
+            if not batch["coverage_preserved"]:
+                failures.append(
+                    f"batched qclp lost coverage: solved {batch['on_solved']} "
+                    f"(off {batch['off_solved']})"
+                )
+            if not batch["fingerprints_deterministic"]:
+                mismatched = sorted(
+                    name
+                    for name, row in batch["per_benchmark"].items()
+                    if not row["fingerprint_match"]
+                )
+                failures.append(f"batch on/rows fingerprints diverged: {mismatched}")
+            if speedup is None or speedup < args.min_batch_speedup:
+                failures.append(
+                    f"batch speedup {speedup if speedup is None else round(speedup, 3)} "
+                    f"below required {args.min_batch_speedup}"
+                )
     if args.scheduler or args.min_scheduler_speedup is not None:
         scheduler = measure_scheduler(quick=args.quick, limit=args.limit, solver_options=options)
         report["scheduler"] = scheduler
@@ -296,6 +470,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.output and args.output != "-":
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
+    if args.history and not args.no_history:
+        append_history(report, args.history)
+        print(f"appended trend row to {args.history}", file=sys.stderr)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

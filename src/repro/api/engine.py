@@ -312,6 +312,12 @@ class Engine:
                 corpus = self.store.corpus_path if self.store is not None else default_corpus_path()
             self._corpus = corpus if isinstance(corpus, SolveCorpus) else SolveCorpus(corpus)
             self._planner = Scheduler(self._corpus)
+        self._solver_stats_lock = threading.Lock()
+        self._solver_stats = {
+            "solver_residual_evaluations": 0,
+            "solver_jacobian_evaluations": 0,
+            "solver_batch_width_max": 0,
+        }
         self._schedule_lock = threading.Lock()
         self._schedule_stats = {
             "schedule_predictions": 0,
@@ -433,6 +439,8 @@ class Engine:
             stats.update({key: float(value) for key, value in self._verify_stats.items()})
         with self._schedule_lock:
             stats.update({key: float(value) for key, value in self._schedule_stats.items()})
+        with self._solver_stats_lock:
+            stats.update({key: float(value) for key, value in self._solver_stats.items()})
         if self._corpus is not None:
             stats["schedule_corpus_rows"] = float(len(self._corpus))
         with self._store_lock:
@@ -1447,8 +1455,18 @@ class Engine:
 
     def _run_solve(self, solver: Solver, system) -> tuple[SolverResult, float]:
         if self._executor_kind == "solve-process" and self.workers > 1:
-            return self._process_pool().submit(_solve_system, solver, system).result()
-        return _solve_system(solver, system)
+            pair = self._process_pool().submit(_solve_system, solver, system).result()
+        else:
+            pair = _solve_system(solver, system)
+        # Kernel-evaluation accounting of the batched Step-4 engines, surfaced
+        # through :meth:`stats` next to the cache/dedup counters.
+        with self._solver_stats_lock:
+            self._solver_stats["solver_residual_evaluations"] += pair[0].residual_evaluations
+            self._solver_stats["solver_jacobian_evaluations"] += pair[0].jacobian_evaluations
+            self._solver_stats["solver_batch_width_max"] = max(
+                self._solver_stats["solver_batch_width_max"], pair[0].batch_width
+            )
+        return pair
 
 
 # ---------------------------------------------------------------------------

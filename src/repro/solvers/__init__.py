@@ -9,6 +9,11 @@ problem IR:
   system (memoised through :func:`compile_problem`), strict-margin
   rewriting, variable ordering and role masks, plus the solve-time control
   plane (:class:`Deadline`, :class:`SolveControl`).
+* :mod:`repro.solvers.batched` — the batched multi-start descent engines
+  (per-member Levenberg–Marquardt and L-BFGS over the batch
+  kernels of the IR) that vectorise the restart axis of every multi-start
+  solver; ``SolverOptions.batch`` selects between them and the retired
+  per-restart SciPy loops.
 * :class:`~repro.solvers.qclp.PenaltyQCLPSolver` — the default: an
   exact-penalty / multi-restart nonlinear programming solver with analytic
   gradients and a Gauss-Newton polish.
@@ -33,6 +38,15 @@ problem IR:
 
 from repro.solvers.alternating import AlternatingSolver
 from repro.solvers.base import Solver, SolverOptions, SolverResult
+from repro.solvers.batched import (
+    BatchDescent,
+    KernelCounters,
+    batched_least_squares,
+    batched_penalty_descent,
+    run_multistart,
+    start_batch,
+    winning_member,
+)
 from repro.solvers.farkas import farkas_translate, linear_baseline_system
 from repro.solvers.portfolio import (
     DEFAULT_PORTFOLIO,
@@ -54,10 +68,12 @@ from repro.solvers.strong import RepresentativeEnumerator
 
 __all__ = [
     "AlternatingSolver",
+    "BatchDescent",
     "CompiledProblem",
     "DEFAULT_PORTFOLIO",
     "Deadline",
     "GaussNewtonSolver",
+    "KernelCounters",
     "PenaltyQCLPSolver",
     "PortfolioSolver",
     "RepresentativeEnumerator",
@@ -68,11 +84,16 @@ __all__ = [
     "SolverInterrupted",
     "SolverOptions",
     "SolverResult",
+    "batched_least_squares",
+    "batched_penalty_descent",
     "check_putinar_certificate",
     "compile_problem",
     "farkas_translate",
     "linear_baseline_system",
     "make_solver",
+    "run_multistart",
     "solve_sos_feasibility",
+    "start_batch",
     "strategy_names",
+    "winning_member",
 ]

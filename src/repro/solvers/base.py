@@ -49,6 +49,14 @@ class SolverOptions:
         Stop restarting as soon as a feasible point with an objective value at
         or below this threshold has been found (the objectives used for weak
         synthesis are squared distances, so 0 means "target matched exactly").
+    batch:
+        How the multi-start solvers walk the restart axis.  ``"on"`` (the
+        default) iterates all restarts as one vectorised batch with survivor
+        masks; ``"rows"`` runs the same batched engine one restart at a time
+        (the sequential loop — the differential-test oracle: same-seed
+        ``"on"``/``"rows"`` runs produce the same winning assignment
+        fingerprint); ``"off"`` selects the retired per-restart SciPy path
+        (the perf baseline of the ``--min-batch-speedup`` gate).
     """
 
     max_iterations: int = 400
@@ -59,11 +67,25 @@ class SolverOptions:
     verbose: bool = False
     time_limit: float | None = None
     stop_at_objective: float = 1e-6
+    batch: str = "on"
+
+    def __post_init__(self) -> None:
+        if self.batch not in ("on", "rows", "off"):
+            raise ValueError(
+                f"batch must be one of 'on', 'rows', 'off'; got {self.batch!r}"
+            )
 
 
 @dataclass
 class SolverResult:
-    """Outcome of a Step-4 solve."""
+    """Outcome of a Step-4 solve.
+
+    ``residual_evaluations`` / ``jacobian_evaluations`` count kernel work in
+    *member evaluations* (a width-``k`` batched call on ``k`` live members
+    counts ``k``), so they stay comparable across batch modes;
+    ``batch_width`` is the restart-batch width the solver iterated (1 per
+    member in ``"rows"`` mode, 0 on the legacy ``"off"`` path).
+    """
 
     assignment: Mapping[str, float] | None
     status: str
@@ -73,6 +95,9 @@ class SolverResult:
     restarts_used: int = 0
     details: dict[str, float] = field(default_factory=dict)
     strategy: str | None = None
+    residual_evaluations: int = 0
+    jacobian_evaluations: int = 0
+    batch_width: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -91,6 +116,9 @@ class SolverResult:
             "restarts_used": self.restarts_used,
             "details": {str(name): float(value) for name, value in self.details.items()},
             "strategy": self.strategy,
+            "residual_evaluations": self.residual_evaluations,
+            "jacobian_evaluations": self.jacobian_evaluations,
+            "batch_width": self.batch_width,
         }
 
     @staticmethod
@@ -112,6 +140,9 @@ class SolverResult:
             restarts_used=int(payload.get("restarts_used", 0)),
             details={str(k): float(v) for k, v in (payload.get("details") or {}).items()},
             strategy=str(strategy) if strategy is not None else None,
+            residual_evaluations=int(payload.get("residual_evaluations", 0)),
+            jacobian_evaluations=int(payload.get("jacobian_evaluations", 0)),
+            batch_width=int(payload.get("batch_width", 0)),
         )
 
     def __str__(self) -> str:

@@ -313,6 +313,9 @@ class PortfolioSolver(Solver):
         best_objective = float("inf")
         iterations = 0
         restarts = 0
+        residual_evaluations = 0
+        jacobian_evaluations = 0
+        batch_width = 0
         details: dict[str, float] = {}
 
         for outcome in outcomes:
@@ -325,6 +328,9 @@ class PortfolioSolver(Solver):
             details[f"portfolio_{outcome.name}_feasible"] = float(result.feasible)
             iterations += result.iterations
             restarts += result.restarts_used
+            residual_evaluations += result.residual_evaluations
+            jacobian_evaluations += result.jacobian_evaluations
+            batch_width = max(batch_width, result.batch_width)
             violation = result.max_violation if result.max_violation is not None else float("inf")
             objective = result.objective_value if result.objective_value is not None else float("inf")
             if best is None or improves(best_violation, best_objective, violation, objective, tolerance):
@@ -339,6 +345,9 @@ class PortfolioSolver(Solver):
                 restarts_used=restarts,
                 details=details,
                 strategy=None,
+                residual_evaluations=residual_evaluations,
+                jacobian_evaluations=jacobian_evaluations,
+                batch_width=batch_width,
             )
         details.update(best.details)
         details["timed_out"] = float(control.timed_out)
@@ -350,6 +359,9 @@ class PortfolioSolver(Solver):
             iterations=iterations,
             restarts_used=restarts,
             details=details,
+            residual_evaluations=residual_evaluations,
+            jacobian_evaluations=jacobian_evaluations,
+            batch_width=batch_width,
             # The strategy whose result is actually returned; the first
             # feasible *reporter* (control.winner) can differ when a slower
             # strategy still finishes with a better point.

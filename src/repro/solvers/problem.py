@@ -195,15 +195,33 @@ class SolveControl:
 
 
 class _QuadraticTerms:
-    """Flat triplet representation of all bilinear terms, tagged by constraint row."""
+    """Flat triplet representation of all bilinear terms, tagged by constraint row.
 
-    __slots__ = ("rows", "left", "right", "coefficients")
+    Besides the per-point evaluation used by the scalar kernels, the class
+    lazily builds three aggregation matrices that turn per-term contribution
+    arrays into per-row (or per-variable) sums with one sparse ``dot`` — the
+    building blocks of the batched kernels, where a ``(k, n_terms)``
+    contribution matrix covers all ``k`` batch members at once:
+
+    * ``row_agg @ C.T`` sums term contributions into constraint rows;
+    * ``left_agg @ C.T`` / ``right_agg @ C.T`` scatter weighted term
+      contributions onto the left/right variable of each bilinear term (the
+      two halves of the product rule).
+
+    The term coefficients are baked into the aggregation values, so the
+    contribution matrices carry only the point-dependent factors.
+    """
+
+    __slots__ = ("rows", "left", "right", "coefficients", "_row_agg", "_left_agg", "_right_agg")
 
     def __init__(self, rows: np.ndarray, left: np.ndarray, right: np.ndarray, coefficients: np.ndarray):
         self.rows = rows
         self.left = left
         self.right = right
         self.coefficients = coefficients
+        self._row_agg: sparse.csr_matrix | None = None
+        self._left_agg: sparse.csr_matrix | None = None
+        self._right_agg: sparse.csr_matrix | None = None
 
     def values(self, point: np.ndarray, row_count: int) -> np.ndarray:
         if self.rows.size == 0:
@@ -219,6 +237,46 @@ class _QuadraticTerms:
         scale = weights[self.rows] * self.coefficients
         np.add.at(gradient, self.left, scale * point[self.right])
         np.add.at(gradient, self.right, scale * point[self.left])
+
+    # -- batched aggregation -----------------------------------------------------
+
+    def row_aggregator(self, row_count: int) -> sparse.csr_matrix:
+        if self._row_agg is None:
+            term_ids = np.arange(self.rows.size)
+            self._row_agg = sparse.csr_matrix(
+                (self.coefficients, (self.rows, term_ids)), shape=(row_count, self.rows.size)
+            )
+        return self._row_agg
+
+    def side_aggregators(self, dimension: int) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        if self._left_agg is None:
+            term_ids = np.arange(self.rows.size)
+            self._left_agg = sparse.csr_matrix(
+                (self.coefficients, (self.left, term_ids)), shape=(dimension, self.rows.size)
+            )
+            self._right_agg = sparse.csr_matrix(
+                (self.coefficients, (self.right, term_ids)), shape=(dimension, self.rows.size)
+            )
+        return self._left_agg, self._right_agg
+
+    def values_batch(self, points: np.ndarray, row_count: int) -> np.ndarray:
+        """Constraint-row sums of the bilinear terms for every batch member."""
+        if self.rows.size == 0:
+            return np.zeros((points.shape[0], row_count))
+        contributions = points[:, self.left] * points[:, self.right]
+        return self.row_aggregator(row_count).dot(contributions.T).T
+
+    def weighted_gradient_batch(
+        self, points: np.ndarray, weights: np.ndarray, dimension: int
+    ) -> np.ndarray:
+        """Per-member gradient contribution of ``sum_r weights[r] * quad_r(x)``."""
+        if self.rows.size == 0:
+            return np.zeros((points.shape[0], dimension))
+        left_agg, right_agg = self.side_aggregators(dimension)
+        row_weights = weights[:, self.rows]
+        gradient = np.ascontiguousarray(left_agg.dot((row_weights * points[:, self.right]).T).T)
+        gradient += right_agg.dot((row_weights * points[:, self.left]).T).T
+        return gradient
 
 
 def _compile_rows(
@@ -361,7 +419,138 @@ class CompiledProblem:
             jacobian = jacobian + quadratic_part.tocsr()
         return sparse.diags(active).dot(jacobian).tocsr()
 
+    # -- batched kernels (one call per iteration covers every restart) -------------
+
+    def _linear_transposed(self) -> sparse.csr_matrix:
+        cached = getattr(self, "_linear_T", None)
+        if cached is None:
+            cached = self.linear.T.tocsr()
+            self._linear_T = cached
+        return cached
+
+    def constraint_values_batch(self, points: np.ndarray) -> np.ndarray:
+        """:meth:`constraint_values` over a ``(k, d)`` batch of points → ``(k, rows)``.
+
+        Every batched kernel evaluates its members independently — row ``i``
+        of the result is a pure function of row ``i`` of ``points`` — so a
+        width-``k`` call is equivalent to ``k`` width-1 calls (the lockstep
+        guarantee the batched solvers' determinism rests on).
+        """
+        points = np.asarray(points, dtype=float)
+        if self.row_count == 0:
+            return np.zeros((points.shape[0], 0))
+        # ascontiguousarray: sparse dot yields an F-ordered transpose view, and
+        # strided row reductions are not bit-identical to contiguous ones —
+        # C-contiguous outputs keep the lockstep guarantee exact.
+        values = np.ascontiguousarray(self.linear.dot(points.T).T)
+        values += self.constants[None, :]
+        values += self.quadratic.values_batch(points, self.row_count)
+        return values
+
+    def residuals_batch(self, points: np.ndarray) -> np.ndarray:
+        """:meth:`residuals` over a batch → ``(k, rows)`` signed residuals."""
+        return self._residuals_of_batch(self.constraint_values_batch(points))
+
+    def _residuals_of_batch(self, values: np.ndarray) -> np.ndarray:
+        residuals = np.zeros_like(values)
+        residuals[:, self.equality_mask] = values[:, self.equality_mask]
+        nonneg = self.nonneg_mask
+        residuals[:, nonneg] = np.minimum(values[:, nonneg], 0.0)
+        positive = self.positive_mask
+        residuals[:, positive] = np.minimum(values[:, positive] - self.strict_margin, 0.0)
+        return residuals
+
+    def max_violation_batch(self, points: np.ndarray) -> np.ndarray:
+        """Per-member largest absolute residual → ``(k,)``."""
+        residuals = self.residuals_batch(points)
+        if residuals.shape[1] == 0:
+            return np.zeros(residuals.shape[0])
+        return np.max(np.abs(residuals), axis=1)
+
+    def objective_value_batch(self, points: np.ndarray) -> np.ndarray:
+        """Per-member objective value → ``(k,)``."""
+        points = np.asarray(points, dtype=float)
+        values = self.objective_constant + points @ self.objective_linear_dense
+        values += self.objective_quadratic.values_batch(points, 1)[:, 0]
+        return values
+
+    def objective_gradient_batch(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        gradient = np.broadcast_to(self.objective_linear_dense, points.shape).copy()
+        gradient += self.objective_quadratic.weighted_gradient_batch(
+            points, np.ones((points.shape[0], 1)), self.dimension
+        )
+        return gradient
+
+    def penalty_batch(
+        self, points: np.ndarray, rho: float | np.ndarray, objective_weight: float = 1.0
+    ) -> np.ndarray:
+        """:meth:`penalty` over a batch → ``(k,)`` merit values.
+
+        ``rho`` may be a scalar or a ``(k,)`` array — the batched penalty
+        solver walks its members through the rho schedule independently.
+        """
+        residuals = self.residuals_batch(points)
+        merit = np.asarray(rho, dtype=float) * np.einsum("km,km->k", residuals, residuals)
+        if objective_weight:
+            merit = merit + objective_weight * self.objective_value_batch(points)
+        return merit
+
+    def penalty_gradient_batch(
+        self, points: np.ndarray, rho: float | np.ndarray, objective_weight: float = 1.0
+    ) -> np.ndarray:
+        """Analytic gradient of :meth:`penalty_batch` → ``(k, d)``."""
+        points = np.asarray(points, dtype=float)
+        residuals = self._residuals_of_batch(self.constraint_values_batch(points))
+        rho = np.asarray(rho, dtype=float)
+        weights = 2.0 * (rho[:, None] if rho.ndim else rho) * residuals
+        gradient = np.ascontiguousarray(self._linear_transposed().dot(weights.T).T)
+        gradient += self.quadratic.weighted_gradient_batch(points, weights, self.dimension)
+        if objective_weight:
+            gradient += objective_weight * self.objective_gradient_batch(points)
+        return gradient
+
+    def residual_jacobian_batch(self, points: np.ndarray) -> "BatchJacobian":
+        """The stacked block-sparse Jacobian of :meth:`residuals_batch`.
+
+        Returned as an operator (per-member ``matvec``/``rmatvec`` plus an
+        explicit :meth:`BatchJacobian.block_diagonal` materialisation) so the
+        batched least-squares solver can run matrix-free CG without ever
+        assembling ``k`` sparse matrices per iteration.
+        """
+        return BatchJacobian(self, np.asarray(points, dtype=float))
+
     # -- starting points ------------------------------------------------------------
+
+    def initial_points(self, rng: np.random.Generator, scales: np.ndarray) -> np.ndarray:
+        """All ``k`` restart starting points of a batched solve in one draw.
+
+        ``scales[i]`` is member ``i``'s Gaussian spread; a zero scale yields
+        the deterministic role-floor point (the draw is still consumed, so
+        the batch is reproducible regardless of which rows are cold).  Rows
+        with distinct non-zero scales are almost surely pairwise distinct —
+        the no-duplicate-rows property the restart-jitter fix guarantees.
+        """
+        scales = np.asarray(scales, dtype=float)
+        points = rng.standard_normal((scales.size, self.dimension)) * scales[:, None]
+        return self.apply_role_floors_batch(points)
+
+    def perturbed_batch(
+        self, point: np.ndarray, rng: np.random.Generator, scales: np.ndarray
+    ) -> np.ndarray:
+        """A batch of warm-start restarts: per-member jitter around one point."""
+        scales = np.asarray(scales, dtype=float)
+        jittered = point[None, :] + rng.standard_normal((scales.size, self.dimension)) * scales[:, None]
+        return self.apply_role_floors_batch(jittered)
+
+    def apply_role_floors_batch(self, points: np.ndarray) -> np.ndarray:
+        points[:, self.witness_mask] = np.maximum(
+            points[:, self.witness_mask], 10 * self.strict_margin
+        )
+        points[:, self.cholesky_diagonal_mask] = (
+            np.abs(points[:, self.cholesky_diagonal_mask]) + 1e-3
+        )
+        return points
 
     def initial_point(self, rng: np.random.Generator, scale: float) -> np.ndarray:
         """A restart's starting point: optional Gaussian spread plus role floors.
@@ -396,6 +585,77 @@ class CompiledProblem:
     def vector(self, assignment: Mapping[str, float]) -> np.ndarray:
         """Vector view of a name-to-value assignment (missing names default to 0)."""
         return np.array([float(assignment.get(name, 0.0)) for name in self.variables])
+
+
+class BatchJacobian:
+    """The Jacobian of :meth:`CompiledProblem.residuals_batch` at ``k`` points.
+
+    Logically a block-diagonal ``(k * rows, k * dim)`` sparse matrix (one
+    :meth:`CompiledProblem.residual_jacobian` block per batch member); held as
+    an operator because the batched Levenberg–Marquardt solver only ever needs
+    per-member products.  ``matvec``/``rmatvec`` keep members strictly
+    independent — member ``i`` of the output touches only member ``i`` of the
+    input — preserving the lockstep guarantee of the batched kernels.
+    """
+
+    __slots__ = ("problem", "points", "active", "_left_values", "_right_values")
+
+    def __init__(self, problem: CompiledProblem, points: np.ndarray):
+        self.problem = problem
+        self.points = points
+        values = problem.constraint_values_batch(points)
+        active = np.ones_like(values)
+        nonneg = problem.nonneg_mask
+        active[:, nonneg] = (values[:, nonneg] < 0.0).astype(float)
+        positive = problem.positive_mask
+        active[:, positive] = (values[:, positive] < problem.strict_margin).astype(float)
+        #: (k, rows) 0/1 mask: rows of inactive inequalities are zeroed.
+        self.active = active
+        quadratic = problem.quadratic
+        #: Point-dependent term factors, shared by matvec and rmatvec.
+        self._left_values = points[:, quadratic.left] if quadratic.rows.size else None
+        self._right_values = points[:, quadratic.right] if quadratic.rows.size else None
+
+    @property
+    def batch_width(self) -> int:
+        return self.points.shape[0]
+
+    def matvec(self, vectors: np.ndarray) -> np.ndarray:
+        """Per-member ``J_i @ v_i`` → ``(k, rows)``."""
+        problem = self.problem
+        result = np.ascontiguousarray(problem.linear.dot(vectors.T).T)
+        quadratic = problem.quadratic
+        if quadratic.rows.size:
+            contributions = (
+                self._left_values * vectors[:, quadratic.right]
+                + self._right_values * vectors[:, quadratic.left]
+            )
+            result += quadratic.row_aggregator(problem.row_count).dot(contributions.T).T
+        return self.active * result
+
+    def rmatvec(self, weights: np.ndarray) -> np.ndarray:
+        """Per-member ``J_i.T @ w_i`` → ``(k, dim)``."""
+        problem = self.problem
+        masked = self.active * weights
+        result = np.ascontiguousarray(problem._linear_transposed().dot(masked.T).T)
+        quadratic = problem.quadratic
+        if quadratic.rows.size:
+            left_agg, right_agg = quadratic.side_aggregators(problem.dimension)
+            row_weights = masked[:, quadratic.rows]
+            result += left_agg.dot((row_weights * self._right_values).T).T
+            result += right_agg.dot((row_weights * self._left_values).T).T
+        return result
+
+    def gradient(self, residuals: np.ndarray) -> np.ndarray:
+        """The least-squares gradient ``J_i.T @ r_i`` of ``0.5 * ||r_i||^2``."""
+        return self.rmatvec(residuals)
+
+    def block_diagonal(self) -> sparse.csr_matrix:
+        """The stacked ``(k * rows, k * dim)`` block-diagonal materialisation."""
+        return sparse.block_diag(
+            [self.problem.residual_jacobian(self.points[i]) for i in range(self.batch_width)],
+            format="csr",
+        )
 
 
 def compile_problem(system: QuadraticSystem, strict_margin: float | None = None) -> CompiledProblem:

@@ -23,6 +23,13 @@ import numpy as np
 from scipy import optimize
 
 from repro.solvers.base import Solver, SolverResult
+from repro.solvers.batched import (
+    BatchDescent,
+    KernelCounters,
+    batched_least_squares,
+    batched_penalty_descent,
+    run_multistart,
+)
 from repro.solvers.problem import (
     CompiledProblem,
     Deadline,
@@ -71,12 +78,14 @@ def _restart_point(
 
     Alternating keeps the exploration of independent random restarts while
     still exploiting whatever the portfolio (or this solver's earlier
-    restarts) already found.
+    restarts) already found.  The jitter scale grows with ``attempt + 1`` so
+    the first warm restart is already perturbed — a zero scale would
+    duplicate the warm point exactly and waste the restart.
     """
     if attempt % 2 == 1:
         warm = control.warm_start()
         if warm is not None:
-            return problem.perturbed(warm, rng, warm_scale * attempt)
+            return problem.perturbed(warm, rng, warm_scale * (attempt + 1))
     return problem.initial_point(rng, cold_scale)
 
 
@@ -97,7 +106,7 @@ class PenaltyQCLPSolver(Solver):
 
     def _polish(
         self, problem: CompiledProblem, point: np.ndarray, control: SolveControl
-    ) -> tuple[np.ndarray, int]:
+    ) -> tuple[np.ndarray, int, int]:
         """Drive the residuals to zero with a sparse Gauss-Newton (least-squares) phase."""
         latest = point
 
@@ -122,13 +131,142 @@ class PenaltyQCLPSolver(Solver):
         except SolverInterrupted:
             candidate = np.asarray(latest, dtype=float)
             if problem.max_violation(candidate) <= problem.max_violation(point):
-                return candidate, 0
-            return point, 0
+                return candidate, 0, 0
+            return point, 0, 0
         except Exception:  # pragma: no cover - scipy edge cases on degenerate systems
-            return point, 0
+            return point, 0, 0
+        nfev, njev = int(result.nfev), int(getattr(result, "njev", 0) or 0)
         if problem.max_violation(result.x) <= problem.max_violation(point):
-            return result.x, int(result.nfev)
-        return point, int(result.nfev)
+            return result.x, nfev, njev
+        return point, nfev, njev
+
+    # -- batched restart axis (batch="on"/"rows") --------------------------------------
+
+    def _cold_scale(self, attempt: int) -> float:
+        # The very first restart of the default seed starts from the origin (good
+        # for the highly structured Step-3 systems); every other restart perturbs
+        # randomly so multi-seed enumeration explores different components.
+        return 0.0 if (attempt == 0 and self.options.seed == 0) else 0.1 * max(attempt, 1)
+
+    def _win_trigger(self):
+        options = self.options
+        if self.objective_weight == 0.0:
+            return lambda violation, objective: violation <= options.tolerance
+        return lambda violation, objective: (
+            violation <= options.tolerance and objective <= options.stop_at_objective
+        )
+
+    def _descend(
+        self,
+        problem: CompiledProblem,
+        control: SolveControl,
+        points: np.ndarray,
+        counters: KernelCounters,
+    ) -> BatchDescent:
+        """The batched member pipeline: feasibility sprint → schedule → polish.
+
+        Phase A drives every member's residuals toward zero with batched
+        Levenberg–Marquardt (feasibility is cheap on the structured Step-3
+        systems — the penalty schedule is not the tool for it).  Phase B
+        minimises the penalty merit under the rho schedule with per-member
+        stages: a member leaves the schedule as soon as a finished rho phase
+        leaves it feasible, exactly like the sequential loop's in-schedule
+        break.  Phase C re-runs the sprint on members the schedule left
+        infeasible (the legacy polish).
+        """
+        options = self.options
+        tolerance = options.tolerance
+        target = max(tolerance * 1e-3, 1e-12)
+        sprint_budget = max(options.max_iterations, 50)
+        trigger = self._win_trigger()
+
+        outcome = batched_least_squares(
+            problem,
+            points,
+            control=control,
+            counters=counters,
+            max_iterations=sprint_budget,
+            target=target,
+            win_tolerance=tolerance if self.objective_weight == 0.0 else None,
+        )
+        x = outcome.points
+        iterations = outcome.iterations
+        if outcome.interrupted:
+            return BatchDescent(x, iterations, True)
+
+        members = x.shape[0]
+        schedule = np.asarray(self.penalty_schedule, dtype=float)
+        finished = np.zeros(members, dtype=bool)
+        #: Members the sequential loop would never have started: once a lower
+        #: member completes its pipeline satisfying the win trigger, the fold
+        #: of :func:`~repro.solvers.batched.winning_member` stops before the
+        #: higher members, so their rows stop iterating (and skip the polish).
+        cancelled = np.zeros(members, dtype=bool)
+
+        def cancel_overtaken_members(violation: np.ndarray) -> None:
+            complete = np.flatnonzero(finished & (violation <= tolerance) & ~cancelled)
+            if complete.size == 0:
+                return
+            objectives = (
+                problem.objective_value_batch(x) if self.objective_weight else None
+            )
+            for index in complete:
+                if objectives is None or trigger(violation[index], objectives[index]):
+                    cancelled[index + 1 :] = True
+                    return
+
+        stage = np.zeros(members, dtype=int)
+        if self.objective_weight == 0.0:
+            # Pure feasibility: members the sprint already satisfied are done.
+            violation = problem.max_violation_batch(x)
+            finished |= violation <= tolerance
+            cancel_overtaken_members(violation)
+        else:
+            # Members the sprint already made feasible skip straight to the
+            # top rho: a low penalty weight would trade their feasibility
+            # away for objective, leaving the closing polish to re-earn it
+            # from far outside the feasible manifold (the expensive case).
+            violation = problem.max_violation_batch(x)
+            stage = np.where(violation <= tolerance, schedule.size - 1, 0)
+        while not (finished | cancelled).all():
+            if control.should_stop():
+                return BatchDescent(x, iterations, True)
+            outcome = batched_penalty_descent(
+                problem,
+                x,
+                schedule[stage],
+                control=control,
+                counters=counters,
+                objective_weight=self.objective_weight,
+                max_iterations=options.max_iterations,
+                active=~finished & ~cancelled,
+            )
+            x = outcome.points
+            iterations += outcome.iterations
+            if outcome.interrupted:
+                return BatchDescent(x, iterations, True)
+            violation = problem.max_violation_batch(x)
+            finished |= violation <= tolerance
+            finished |= stage >= schedule.size - 1
+            stage = np.minimum(stage + 1, schedule.size - 1)
+            cancel_overtaken_members(violation)
+
+        need_polish = (problem.max_violation_batch(x) > tolerance) & ~cancelled
+        if need_polish.any():
+            outcome = batched_least_squares(
+                problem,
+                x,
+                control=control,
+                counters=counters,
+                max_iterations=sprint_budget,
+                target=target,
+                active=need_polish,
+            )
+            x = outcome.points
+            iterations += outcome.iterations
+            if outcome.interrupted:
+                return BatchDescent(x, iterations, True)
+        return BatchDescent(x, iterations, False)
 
     # -- main loop ---------------------------------------------------------------------
 
@@ -142,11 +280,30 @@ class PenaltyQCLPSolver(Solver):
             )
         if problem.dimension == 0:
             return _trivial_result()
+        if options.batch != "off":
+            return run_multistart(
+                problem,
+                control,
+                options,
+                self.label(),
+                cold_scale=self._cold_scale,
+                warm_scale=lambda attempt: 0.05 * (attempt + 1),
+                descend=lambda points, counters: self._descend(problem, control, points, counters),
+                trigger=self._win_trigger(),
+            )
+        return self._solve_sequential(problem, control)
 
+    def _solve_sequential(
+        self, problem: CompiledProblem, control: SolveControl
+    ) -> SolverResult:
+        """The retired per-restart SciPy loop (``batch="off"``, the perf baseline)."""
+        options = self.options
         rng = np.random.default_rng(options.seed)
         best = _BestTracker(control, options.tolerance, self.label())
         iterations = 0
         restarts_used = 0
+        residual_evaluations = 0
+        jacobian_evaluations = 0
         interrupted = False
 
         for attempt in range(options.restarts):
@@ -154,10 +311,7 @@ class PenaltyQCLPSolver(Solver):
                 interrupted = True
                 break
             restarts_used += 1
-            # The very first restart of the default seed starts from the origin (good
-            # for the highly structured Step-3 systems); every other restart perturbs
-            # randomly so multi-seed enumeration explores different components.
-            cold_scale = 0.0 if (attempt == 0 and options.seed == 0) else 0.1 * max(attempt, 1)
+            cold_scale = self._cold_scale(attempt)
             point = _restart_point(problem, control, rng, attempt, cold_scale, warm_scale=0.05)
 
             latest = point
@@ -185,12 +339,16 @@ class PenaltyQCLPSolver(Solver):
                     break
                 point = result.x
                 iterations += int(result.nit)
+                residual_evaluations += int(result.nfev)
+                jacobian_evaluations += int(getattr(result, "njev", 0))
                 if problem.max_violation(point) <= options.tolerance:
                     break
 
             if not interrupted and problem.max_violation(point) > options.tolerance:
-                point, polish_steps = self._polish(problem, point, control)
+                point, polish_steps, polish_jacobians = self._polish(problem, point, control)
                 iterations += polish_steps
+                residual_evaluations += polish_steps
+                jacobian_evaluations += polish_jacobians
 
             violation = problem.max_violation(point)
             objective = problem.objective_value(point)
@@ -211,6 +369,8 @@ class PenaltyQCLPSolver(Solver):
                 iterations=iterations,
                 details={"timed_out": float(control.timed_out)},
                 strategy=self.label(),
+                residual_evaluations=residual_evaluations,
+                jacobian_evaluations=jacobian_evaluations,
             )
 
         feasible = best.feasible
@@ -228,6 +388,8 @@ class PenaltyQCLPSolver(Solver):
                 "timed_out": float(control.timed_out),
             },
             strategy=self.label(),
+            residual_evaluations=residual_evaluations,
+            jacobian_evaluations=jacobian_evaluations,
         )
 
 
@@ -244,6 +406,35 @@ class GaussNewtonSolver(Solver):
     def __init__(self, options=None, max_nfev: int | None = None):
         super().__init__(options)
         self.max_nfev = max_nfev
+
+    def _cold_scale(self, attempt: int) -> float:
+        # Restart 0 deliberately starts at the deterministic role-floor
+        # origin under every seed: the structured Step-3 systems often solve
+        # right there, and the exact-certificate repair re-race (decorrelated
+        # seed) counts on the structured solutions it yields.  Later restarts
+        # jitter with strictly growing scales, so no two batch rows coincide.
+        return 0.2 * attempt
+
+    def _budget(self) -> int:
+        return self.max_nfev if self.max_nfev is not None else max(self.options.max_iterations, 50)
+
+    def _descend(
+        self,
+        problem: CompiledProblem,
+        control: SolveControl,
+        points: np.ndarray,
+        counters: KernelCounters,
+    ) -> BatchDescent:
+        tolerance = self.options.tolerance
+        return batched_least_squares(
+            problem,
+            points,
+            control=control,
+            counters=counters,
+            max_iterations=self._budget(),
+            target=max(tolerance * 1e-3, 1e-12),
+            win_tolerance=tolerance,
+        )
 
     def solve_compiled(
         self, problem: CompiledProblem, control: SolveControl | None = None
@@ -264,18 +455,37 @@ class GaussNewtonSolver(Solver):
                 max_violation=0.0,
                 strategy=self.label(),
             )
+        if options.batch != "off":
+            return run_multistart(
+                problem,
+                control,
+                options,
+                self.label(),
+                cold_scale=self._cold_scale,
+                warm_scale=lambda attempt: 0.1 * (attempt + 1),
+                descend=lambda points, counters: self._descend(problem, control, points, counters),
+                trigger=lambda violation, objective: violation <= options.tolerance,
+            )
+        return self._solve_sequential(problem, control)
 
+    def _solve_sequential(
+        self, problem: CompiledProblem, control: SolveControl
+    ) -> SolverResult:
+        """The retired per-restart SciPy loop (``batch="off"``, the perf baseline)."""
+        options = self.options
         rng = np.random.default_rng(options.seed)
         best = _BestTracker(control, options.tolerance, self.label())
         iterations = 0
         restarts_used = 0
-        budget = self.max_nfev if self.max_nfev is not None else max(options.max_iterations, 50)
+        residual_evaluations = 0
+        jacobian_evaluations = 0
+        budget = self._budget()
 
         for attempt in range(options.restarts):
             if control.should_stop():
                 break
             restarts_used += 1
-            cold_scale = 0.0 if (attempt == 0 and options.seed == 0) else 0.2 * attempt
+            cold_scale = self._cold_scale(attempt)
             point = _restart_point(problem, control, rng, attempt, cold_scale, warm_scale=0.1)
 
             latest = point
@@ -300,6 +510,8 @@ class GaussNewtonSolver(Solver):
                 )
                 point = result.x
                 iterations += int(result.nfev)
+                residual_evaluations += int(result.nfev)
+                jacobian_evaluations += int(getattr(result, "njev", 0) or 0)
             except SolverInterrupted:
                 point = np.asarray(latest, dtype=float)
             except Exception:  # pragma: no cover - scipy edge cases on degenerate systems
@@ -320,6 +532,8 @@ class GaussNewtonSolver(Solver):
                 iterations=iterations,
                 details={"timed_out": float(control.timed_out)},
                 strategy=self.label(),
+                residual_evaluations=residual_evaluations,
+                jacobian_evaluations=jacobian_evaluations,
             )
         feasible = best.feasible
         return SolverResult(
@@ -335,4 +549,6 @@ class GaussNewtonSolver(Solver):
                 "timed_out": float(control.timed_out),
             },
             strategy=self.label(),
+            residual_evaluations=residual_evaluations,
+            jacobian_evaluations=jacobian_evaluations,
         )

@@ -1,0 +1,189 @@
+"""Property tests: the batched kernels agree with the per-point kernels.
+
+The batched Step-4 engines (:mod:`repro.solvers.batched`) rest on two
+properties of the ``*_batch`` kernels of
+:class:`repro.solvers.problem.CompiledProblem`:
+
+* **per-point agreement** — row ``i`` of every batched kernel equals the
+  scalar kernel applied to point ``i`` (up to floating-point reduction
+  order), on random quadratic systems and random batches;
+* **lockstep row independence** — a member's row is *bit-identical* whether
+  it is evaluated alone or inside a wider batch, which is what makes
+  ``batch="on"`` and ``batch="rows"`` produce the same winning assignment.
+
+The solver-level corollary is checked too: with the same seed, the three
+multi-start solvers return identical fingerprints (assignment, status,
+violation) under ``batch="on"`` and ``batch="rows"``.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.invariants.quadratic_system import (
+    ConstraintKind,
+    QuadraticConstraint,
+    QuadraticSystem,
+)
+from repro.polynomial.monomial import Monomial
+from repro.polynomial.polynomial import Polynomial
+from repro.solvers.alternating import AlternatingSolver
+from repro.solvers.base import SolverOptions
+from repro.solvers.problem import CompiledProblem
+from repro.solvers.qclp import GaussNewtonSolver, PenaltyQCLPSolver
+
+UNKNOWNS = ["$s_a_0_0_0", "$s_a_0_0_1", "$t_c0_0_0", "$l_f_0_1_1"]
+
+_QUADRATIC_MONOMIALS = [Monomial({})]
+_QUADRATIC_MONOMIALS += [Monomial({name: 1}) for name in UNKNOWNS]
+_QUADRATIC_MONOMIALS += [Monomial({name: 2}) for name in UNKNOWNS]
+_QUADRATIC_MONOMIALS += [
+    Monomial({left: 1, right: 1})
+    for i, left in enumerate(UNKNOWNS)
+    for right in UNKNOWNS[i + 1:]
+]
+
+coefficients = st.integers(min_value=-6, max_value=6).map(Fraction) | st.fractions(
+    min_value=-3, max_value=3, max_denominator=4
+)
+
+polynomials = st.dictionaries(
+    st.sampled_from(_QUADRATIC_MONOMIALS), coefficients, min_size=1, max_size=4
+).map(Polynomial)
+
+constraints = st.builds(
+    QuadraticConstraint,
+    polynomial=polynomials,
+    kind=st.sampled_from(list(ConstraintKind)),
+)
+
+
+def build_system(constraint_list, objective):
+    system = QuadraticSystem()
+    for constraint in constraint_list:
+        system.add(constraint)
+    system.objective = objective
+    return system
+
+
+systems = st.builds(
+    build_system, st.lists(constraints, min_size=1, max_size=6), polynomials
+)
+
+# Random batches: lists of assignments, lowered to (k, d) rows per system
+# with problem.vector (the compiled dimension varies with the system).
+assignments = st.fixed_dictionaries(
+    {name: st.integers(min_value=-4, max_value=4).map(float) for name in UNKNOWNS}
+)
+batches = st.lists(assignments, min_size=1, max_size=5)
+
+
+def _points(problem, assignment_list):
+    return np.array([problem.vector(assignment) for assignment in assignment_list])
+
+rhos = st.floats(min_value=0.5, max_value=100.0, allow_nan=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(systems, batches)
+def test_batched_values_and_residuals_match_per_point(system, batch):
+    problem = CompiledProblem(system)
+    points = _points(problem, batch)
+    values = problem.constraint_values_batch(points)
+    residuals = problem.residuals_batch(points)
+    violations = problem.max_violation_batch(points)
+    objectives = problem.objective_value_batch(points)
+    for i, point in enumerate(points):
+        assert np.allclose(values[i], problem.constraint_values(point), rtol=1e-9, atol=1e-12)
+        assert np.allclose(residuals[i], problem.residuals(point), rtol=1e-9, atol=1e-12)
+        assert np.isclose(violations[i], problem.max_violation(point), rtol=1e-9, atol=1e-12)
+        assert np.isclose(objectives[i], problem.objective_value(point), rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(systems, batches, rhos)
+def test_batched_penalty_and_gradients_match_per_point(system, batch, rho):
+    problem = CompiledProblem(system)
+    points = _points(problem, batch)
+    # Per-member rho: distinct multiples exercise the (k,) broadcast path.
+    rho_members = rho * (1.0 + np.arange(points.shape[0], dtype=float))
+    penalties = problem.penalty_batch(points, rho_members, objective_weight=1.0)
+    gradients = problem.penalty_gradient_batch(points, rho_members, objective_weight=1.0)
+    objective_gradients = problem.objective_gradient_batch(points)
+    for i, point in enumerate(points):
+        assert np.isclose(
+            penalties[i], problem.penalty(point, rho_members[i], 1.0), rtol=1e-9, atol=1e-9
+        )
+        assert np.allclose(
+            gradients[i],
+            problem.penalty_gradient(point, rho_members[i], 1.0),
+            rtol=1e-8,
+            atol=1e-9,
+        )
+        assert np.allclose(
+            objective_gradients[i], problem.objective_gradient(point), rtol=1e-9, atol=1e-12
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(systems, batches)
+def test_batched_jacobian_matches_per_point_jacobian(system, batch):
+    problem = CompiledProblem(system)
+    points = _points(problem, batch)
+    jacobian = problem.residual_jacobian_batch(points)
+    rng = np.random.default_rng(0)
+    vectors = rng.standard_normal(points.shape)
+    weights = rng.standard_normal((points.shape[0], problem.row_count))
+    jv = jacobian.matvec(vectors)
+    jtw = jacobian.rmatvec(weights)
+    for i, point in enumerate(points):
+        scalar = problem.residual_jacobian(point)
+        assert np.allclose(jv[i], scalar.dot(vectors[i]), rtol=1e-9, atol=1e-10)
+        assert np.allclose(jtw[i], scalar.T.dot(weights[i]), rtol=1e-9, atol=1e-10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(systems, batches, rhos)
+def test_lockstep_rows_are_bit_identical_to_wide_batches(system, batch, rho):
+    """Row ``i`` of a width-``k`` kernel call equals the same row alone, bitwise."""
+    problem = CompiledProblem(system)
+    points = _points(problem, batch)
+    rho_members = rho * (1.0 + np.arange(points.shape[0], dtype=float))
+    values = problem.constraint_values_batch(points)
+    residuals = problem.residuals_batch(points)
+    penalties = problem.penalty_batch(points, rho_members, objective_weight=1.0)
+    gradients = problem.penalty_gradient_batch(points, rho_members, objective_weight=1.0)
+    for i in range(points.shape[0]):
+        row = points[i : i + 1]
+        assert np.array_equal(values[i], problem.constraint_values_batch(row)[0])
+        assert np.array_equal(residuals[i], problem.residuals_batch(row)[0])
+        assert np.array_equal(
+            penalties[i], problem.penalty_batch(row, rho_members[i : i + 1], 1.0)[0]
+        )
+        assert np.array_equal(
+            gradients[i],
+            problem.penalty_gradient_batch(row, rho_members[i : i + 1], 1.0)[0],
+        )
+
+
+def _fingerprint(result):
+    return (result.assignment, result.status, result.max_violation)
+
+
+@settings(max_examples=10, deadline=None)
+@given(systems, st.integers(min_value=0, max_value=2 ** 16))
+def test_same_seed_batched_and_replay_fingerprints_match(system, seed):
+    """``batch="on"`` equals the one-member-at-a-time replay, solver by solver."""
+    for make in (
+        lambda options: PenaltyQCLPSolver(options),
+        lambda options: GaussNewtonSolver(options),
+        lambda options: AlternatingSolver(options, sweeps=2),
+    ):
+        fingerprints = []
+        for mode in ("on", "rows"):
+            options = SolverOptions(
+                restarts=3, max_iterations=25, time_limit=None, seed=seed, batch=mode
+            )
+            fingerprints.append(_fingerprint(make(options).solve(system)))
+        assert fingerprints[0] == fingerprints[1]

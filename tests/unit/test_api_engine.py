@@ -219,6 +219,15 @@ def test_stats_expose_cache_counters(engine):
     assert "entries" in stats and "solves_cached" in stats
 
 
+def test_stats_accumulate_solver_kernel_counters():
+    with Engine(solver_options=QUICK_SOLVE) as engine:
+        engine.synthesize(request_for("sum"))
+        stats = engine.stats()
+    assert stats["solver_residual_evaluations"] > 0
+    assert stats["solver_jacobian_evaluations"] > 0
+    assert stats["solver_batch_width_max"] >= 1
+
+
 # -- JSON round-trip of the whole loop ---------------------------------------------
 
 

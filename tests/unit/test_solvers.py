@@ -159,26 +159,28 @@ def test_penalty_solver_trivial_system():
     assert result.status == "trivial"
 
 
-def test_time_limit_is_enforced_inside_iteration_loops():
+@pytest.mark.parametrize("batch", ["on", "rows", "off"])
+def test_time_limit_is_enforced_inside_iteration_loops(batch):
     """Regression: a restart's inner optimisation loop must respect the deadline.
 
-    The ``sum`` system grinds for several seconds in a single restart at this
-    iteration budget; the historical implementation only checked the limit
-    *between* restarts, so with ``restarts=1`` a tiny ``time_limit`` was
-    ignored entirely.  The deadline checks now live in the evaluation
-    closures, so the solve returns almost immediately.
+    The ``sum`` system grinds for seconds at this iteration budget — the
+    legacy loop inside restart 0, the batched engines on the jittered later
+    members — and the historical implementation only checked the limit
+    *between* restarts, so a tiny ``time_limit`` was ignored entirely.  The
+    deadline checks live inside every engine's iteration loop, so the solve
+    returns almost immediately in all three batch modes.
     """
     benchmark = get_benchmark("sum")
     task = build_task(benchmark.source, benchmark.precondition, benchmark.objective(),
                       benchmark.options(upsilon=1))
     solver = PenaltyQCLPSolver(
-        SolverOptions(restarts=1, max_iterations=100_000, time_limit=0.25)
+        SolverOptions(restarts=3, max_iterations=100_000, time_limit=0.25, batch=batch)
     )
     start = time.monotonic()
     result = solver.solve(task.system)
     elapsed = time.monotonic() - start
     assert elapsed < 3.0  # generous CI margin over the 0.25s budget
-    assert result.restarts_used == 1  # the limit struck inside the restart
+    assert result.restarts_used >= 1  # the limit struck inside a restart
     assert result.details["timed_out"] == 1.0
 
 
@@ -238,3 +240,74 @@ def test_enumerator_reports_attempts():
     result = enumerator.enumerate(system)
     assert result.attempts == 3
     assert result.count >= 1
+
+
+# -- batched multi-start (batch="on"/"rows"/"off") -------------------------------------
+
+
+def test_solver_options_reject_unknown_batch_mode():
+    with pytest.raises(ValueError):
+        SolverOptions(batch="sometimes")
+
+
+def test_batch_modes_agree_on_winning_assignment():
+    """`batch="on"` and the one-member-at-a-time replay pick the same winner."""
+    for system in (bilinear_system(), objective_system()):
+        fingerprints = []
+        for mode in ("on", "rows"):
+            options = SolverOptions(restarts=3, max_iterations=200, batch=mode)
+            result = PenaltyQCLPSolver(options).solve(system)
+            fingerprints.append((result.assignment, result.status, result.max_violation))
+        assert fingerprints[0] == fingerprints[1]
+
+
+def test_solver_results_report_kernel_counters():
+    system = bilinear_system()
+    for mode, width in (("on", 3), ("rows", 1), ("off", 0)):
+        options = SolverOptions(restarts=3, max_iterations=200, batch=mode)
+        result = PenaltyQCLPSolver(options).solve(system)
+        assert result.feasible
+        assert result.residual_evaluations > 0
+        assert result.jacobian_evaluations > 0
+        assert result.batch_width == width
+
+
+def test_start_batch_rows_are_pairwise_distinct():
+    """No two restart rows may coincide — including warm rows vs the warm point.
+
+    Regression for the zero-jitter bug: ``warm_scale * attempt`` gave the
+    first warm perturbation a zero scale, duplicating the already-explored
+    warm point.  Restart 0's cold row is the *deliberate* role-floor origin
+    (a single deterministic row under every seed); every other row must
+    carry a strictly positive, strictly growing jitter scale.
+    """
+    from repro.solvers.batched import start_batch
+    from repro.solvers.problem import SolveControl
+
+    problem = compile_problem(bilinear_system())
+    solvers = (
+        PenaltyQCLPSolver(SolverOptions()),
+        GaussNewtonSolver(SolverOptions()),
+        AlternatingSolver(SolverOptions()),
+    )
+    warm_scales = (lambda a: 0.05 * (a + 1), lambda a: 0.1 * (a + 1), None)
+    for seed in (0, 7):
+        for solver, warm_scale in zip(solvers, warm_scales):
+            solver.options = SolverOptions(seed=seed)
+            control = SolveControl(deadline=Deadline.never(), tolerance=1e-6)
+            warm = problem.vector({"$s_f_1_0_0": 1.0, "$t_c0_0_0": 1.0})
+            control.report(warm, 0.0, 0.0)
+            assert control.warm_start() is not None
+            points = start_batch(
+                problem,
+                control,
+                np.random.default_rng(seed),
+                restarts=4,
+                cold_scale=solver._cold_scale,
+                warm_scale=warm_scale,
+            )
+            rows = [tuple(row) for row in points]
+            assert len(set(rows)) == len(rows), (type(solver).__name__, seed)
+            # Warm rows are perturbations, never the warm point itself.
+            for row in points:
+                assert not np.array_equal(row, warm)
